@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: data movement as a first-class citizen (§4.3). Runs the
+ * tensorized tuner on GMM and C2D with the AutoCopy machinery degraded:
+ * (a) full system, (b) no vectorized copies, (c) no shared-memory
+ * staging, (d) neither. The gap between (a) and (d) is the contribution
+ * the paper attributes to first-class data movement scheduling.
+ */
+#include "bench_util.h"
+
+using namespace tir;
+
+namespace {
+
+double
+tuneWith(const workloads::OpSpec& op, const hwsim::GpuDevice& gpu,
+         bool shared, bool vectorized, uint64_t seed)
+{
+    auto candidates = meta::generateTensorizeCandidates(
+        op.func, op.einsum_block, {"wmma_16x16x16_f16"});
+    TIR_CHECK(!candidates.empty());
+    meta::TensorizeCandidate cand = candidates.front();
+    meta::SketchOptions sketch_options;
+    sketch_options.use_shared_staging = shared;
+    sketch_options.vectorize_copies = vectorized;
+    meta::SketchApplier applier = [cand,
+                                   sketch_options](Schedule& sch) {
+        meta::ReindexBlocks rb = meta::applyReindexAndLayout(sch, cand);
+        meta::applyGpuTensorSketch(sch, cand, rb, sketch_options);
+    };
+    meta::TuneResult result = meta::evolutionarySearch(
+        op.func, applier, gpu, bench::singleOpOptions(seed));
+    return result.best_latency_us;
+}
+
+} // namespace
+
+int
+main()
+{
+    hwsim::GpuDevice gpu;
+    bench::printHeader(
+        "Ablation: AutoCopy data-movement scheduling (simulated GPU)");
+    bench::printRow({"op", "full(us)", "-vector(us)", "-shared(us)",
+                     "-both(us)", "full vs -both"});
+    std::vector<workloads::OpSpec> ops = {
+        workloads::gmm(1024, 1024, 1024),
+        workloads::conv2d(8, 28, 28, 128, 128, 3, 1, 1),
+    };
+    for (const workloads::OpSpec& op : ops) {
+        double full = tuneWith(op, gpu, true, true, 71);
+        double novec = tuneWith(op, gpu, true, false, 72);
+        double noshared = tuneWith(op, gpu, false, true, 73);
+        double neither = tuneWith(op, gpu, false, false, 74);
+        bench::printRow({op.name, bench::fmt(full), bench::fmt(novec),
+                         bench::fmt(noshared), bench::fmt(neither),
+                         bench::fmt(neither / full, "%.2fx")});
+    }
+    return 0;
+}

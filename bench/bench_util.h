@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses: standard
+ * tuning configurations and aligned-column table printing.
+ */
+#ifndef TENSORIR_BENCH_BENCH_UTIL_H
+#define TENSORIR_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/executor.h"
+#include "meta/search.h"
+#include "workloads/workloads.h"
+
+namespace bench {
+
+/** Standard search budget for single-operator experiments. */
+inline tir::meta::TuneOptions
+singleOpOptions(uint64_t seed)
+{
+    tir::meta::TuneOptions options;
+    options.population = 16;
+    options.generations = 5;
+    options.children_per_generation = 32;
+    options.measured_per_generation = 10;
+    options.seed = seed;
+    return options;
+}
+
+/** Reduced budget for end-to-end models (many tasks). The per-trial
+ *  measurement overhead is scaled up so the *totals* land in the
+ *  paper's Table 1 magnitude: our ~45 simulated trials per task stand
+ *  in for the ~2000 profiling rounds a real tuning run performs. */
+inline tir::meta::TuneOptions
+endToEndOptions(uint64_t seed)
+{
+    tir::meta::TuneOptions options;
+    options.population = 8;
+    options.generations = 3;
+    options.children_per_generation = 16;
+    options.measured_per_generation = 6;
+    options.measure_overhead_us = 13.5e6;
+    options.measure_repeats = 4500;
+    options.seed = seed;
+    return options;
+}
+
+/** Print an aligned table row. */
+inline void
+printRow(const std::vector<std::string>& cells, int width = 14)
+{
+    for (const std::string& cell : cells) {
+        std::printf("%-*s", width, cell.c_str());
+    }
+    std::printf("\n");
+}
+
+inline std::string
+fmt(double value, const char* pattern = "%.1f")
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), pattern, value);
+    return buf;
+}
+
+inline void
+printHeader(const std::string& title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace bench
+
+#endif // TENSORIR_BENCH_BENCH_UTIL_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 12 reproduction: end-to-end model latency on the simulated GPU
+ * for PyTorch, TVM (loop-only tuner), AMOS, TensorRT and TensorIR.
+ * Expected shape: TensorIR outperforms PyTorch/TVM/AMOS by ~1.2-8.8x,
+ * beats TensorRT on MobileNet-V2 (~1.3x), is within 88-100% of TensorRT
+ * on ResNet-50 and BERT-large, and supports ViT where TensorRT cannot.
+ */
+#include "bench_util.h"
+
+using namespace tir;
+
+int
+main()
+{
+    hwsim::GpuDevice gpu;
+    hwsim::CpuDevice cpu;
+    std::vector<std::string> intrins = {"wmma_16x16x16_f16"};
+
+    bench::printHeader(
+        "Figure 12: end-to-end models (simulated RTX 3080, latency us)");
+    bench::printRow({"model", "PyTorch", "TVM", "AMOS", "TensorRT",
+                     "TensorIR", "vs TRT"});
+
+    std::vector<graph::ModelSpec> models = {
+        graph::resnet50Gpu(), graph::mobilenetV2Gpu(),
+        graph::bertLargeGpu(), graph::vitGpu()};
+    for (const graph::ModelSpec& model : models) {
+        graph::ModelResult pytorch = graph::runModelLibrary(
+            model, baselines::Library::kPyTorchCuda, gpu, cpu, true,
+            /*per_op_overhead_us=*/12);
+        graph::ModelResult tvm = graph::runModelTuned(
+            model, gpu, "gpu", intrins, meta::TunerStyle::kLoopOnly,
+            bench::endToEndOptions(31));
+        graph::ModelResult amos = graph::runModelTuned(
+            model, gpu, "gpu", intrins, meta::TunerStyle::kAmosLike,
+            bench::endToEndOptions(32));
+        graph::ModelResult trt = graph::runModelLibrary(
+            model, baselines::Library::kTensorRT, gpu, cpu, true, 0);
+        graph::ModelResult tensorir = graph::runModelTuned(
+            model, gpu, "gpu", intrins, meta::TunerStyle::kTensorIR,
+            bench::endToEndOptions(33));
+        bench::printRow(
+            {model.name, bench::fmt(pytorch.latency_us),
+             bench::fmt(tvm.latency_us), bench::fmt(amos.latency_us),
+             trt.supported ? bench::fmt(trt.latency_us) : "unsupported",
+             bench::fmt(tensorir.latency_us),
+             trt.supported
+                 ? bench::fmt(trt.latency_us / tensorir.latency_us,
+                              "%.2fx")
+                 : "-"});
+    }
+    return 0;
+}

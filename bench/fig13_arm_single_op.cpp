@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 13 reproduction: single-operator evaluation on the simulated
+ * ARM CPU with the int8 `sdot` intrinsic. Expected shape: TensorIR is
+ * up to ~12.5x faster than TVM (which has no sdot path) and reaches
+ * 85-105% of ArmComputeLib.
+ */
+#include "bench_util.h"
+
+using namespace tir;
+
+int
+main()
+{
+    hwsim::CpuDevice cpu;
+    hwsim::GpuDevice gpu;
+    std::vector<std::string> intrins = {"arm_sdot_1x1x4", "arm_gemm_8x12x4"};
+
+    bench::printHeader(
+        "Figure 13: ARM single-op (simulated Graviton2, int8)");
+    bench::printRow({"op", "TVM(us)", "ACL(us)", "TensorIR(us)",
+                     "vs TVM", "vs ACL"});
+
+    for (const workloads::OpSpec& op : workloads::armSuite()) {
+        meta::TuneTask task{op.func, op.einsum_block, "cpu", intrins};
+        meta::TuneResult tvm = meta::autoTune(
+            task, cpu, bench::singleOpOptions(51),
+            meta::TunerStyle::kLoopOnly);
+        meta::TuneResult tensorir = meta::autoTune(
+            task, cpu, bench::singleOpOptions(52),
+            meta::TunerStyle::kTensorIR);
+        auto acl = baselines::libraryLatencyUsCpu(
+            baselines::Library::kArmComputeLib, op, cpu);
+        bench::printRow(
+            {op.name, bench::fmt(tvm.best_latency_us),
+             acl ? bench::fmt(*acl) : "n/a",
+             bench::fmt(tensorir.best_latency_us),
+             bench::fmt(tvm.best_latency_us / tensorir.best_latency_us,
+                        "%.2fx"),
+             acl ? bench::fmt(*acl / tensorir.best_latency_us, "%.2fx")
+                 : "-"});
+    }
+    std::printf("\n(paper: up to 12.5x over TVM; 85%%-105%% of "
+                "ArmComputeLib)\n");
+    return 0;
+}

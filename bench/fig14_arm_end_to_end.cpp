@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 14 reproduction: end-to-end quantized models on the simulated
+ * ARM CPU. PyTorch runs on a QNNPACK persona that predates `sdot` (the
+ * paper's maintenance-cost observation), TVM is the loop-only tuner.
+ * Expected shape: TensorIR outperforms both by ~1.2-2.5x.
+ */
+#include "bench_util.h"
+
+using namespace tir;
+
+int
+main()
+{
+    hwsim::CpuDevice cpu;
+    hwsim::GpuDevice gpu;
+    std::vector<std::string> intrins = {"arm_sdot_1x1x4", "arm_gemm_8x12x4"};
+
+    bench::printHeader(
+        "Figure 14: ARM end-to-end quantized models (latency us)");
+    bench::printRow({"model", "PyTorch", "TVM", "TensorIR", "vs PyTorch",
+                     "vs TVM"});
+
+    std::vector<graph::ModelSpec> models = {graph::resnet50Arm(),
+                                            graph::mobilenetV2Arm(),
+                                            graph::bertBaseArm()};
+    for (const graph::ModelSpec& model : models) {
+        graph::ModelResult pytorch = graph::runModelLibrary(
+            model, baselines::Library::kPyTorchQnnpack, gpu, cpu, false,
+            /*per_op_overhead_us=*/20);
+        graph::ModelResult tvm = graph::runModelTuned(
+            model, cpu, "cpu", intrins, meta::TunerStyle::kLoopOnly,
+            bench::endToEndOptions(61));
+        graph::ModelResult tensorir = graph::runModelTuned(
+            model, cpu, "cpu", intrins, meta::TunerStyle::kTensorIR,
+            bench::endToEndOptions(62));
+        bench::printRow(
+            {model.name, bench::fmt(pytorch.latency_us),
+             bench::fmt(tvm.latency_us),
+             bench::fmt(tensorir.latency_us),
+             bench::fmt(pytorch.latency_us / tensorir.latency_us,
+                        "%.2fx"),
+             bench::fmt(tvm.latency_us / tensorir.latency_us, "%.2fx")});
+    }
+    std::printf("\n(paper: 1.2x-2.5x over PyTorch and TVM)\n");
+    return 0;
+}

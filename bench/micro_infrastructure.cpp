@@ -1,0 +1,110 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the compiler infrastructure
+ * itself: schedule-primitive throughput, validation cost, sketch
+ * instantiation rate, and simulated-measurement cost. These bound the
+ * search throughput reported by the tuning-time experiment (Table 1).
+ */
+#include <benchmark/benchmark.h>
+
+#include "hwsim/device.h"
+#include "meta/search.h"
+#include "te/te.h"
+#include "tir/schedule.h"
+#include "workloads/workloads.h"
+
+using namespace tir;
+
+namespace {
+
+PrimFunc
+gmmFunc()
+{
+    static PrimFunc func = workloads::gmm(1024, 1024, 1024).func;
+    return func;
+}
+
+void
+BM_SplitReorder(benchmark::State& state)
+{
+    for (auto _ : state) {
+        Schedule sch(gmmFunc());
+        std::vector<Var> loops = sch.getLoops("C");
+        std::vector<Var> i_split = sch.split(loops[0], {16, 4, 16});
+        std::vector<Var> j_split = sch.split(loops[1], {16, 4, 16});
+        sch.reorder({i_split[0], j_split[0], i_split[1], j_split[1]});
+        benchmark::DoNotOptimize(sch.func());
+    }
+}
+BENCHMARK(BM_SplitReorder);
+
+void
+BM_AffineValidation(benchmark::State& state)
+{
+    Schedule sch(gmmFunc());
+    std::vector<Var> loops = sch.getLoops("C");
+    sch.split(loops[0], {16, 4, 16});
+    sch.split(loops[1], {16, 4, 16});
+    for (auto _ : state) {
+        sch.validateAffineBindings();
+    }
+}
+BENCHMARK(BM_AffineValidation);
+
+void
+BM_TensorSketchInstantiation(benchmark::State& state)
+{
+    workloads::OpSpec op = workloads::gmm(1024, 1024, 1024);
+    auto candidates = meta::generateTensorizeCandidates(
+        op.func, "C", {"wmma_16x16x16_f16"});
+    uint64_t seed = 0;
+    for (auto _ : state) {
+        Schedule sch(op.func, seed++);
+        try {
+            meta::ReindexBlocks rb =
+                meta::applyReindexAndLayout(sch, candidates[0]);
+            meta::applyGpuTensorSketch(sch, candidates[0], rb, {});
+        } catch (const FatalError&) {
+            // invalid samples are part of the workload
+        }
+        benchmark::DoNotOptimize(sch.func());
+    }
+}
+BENCHMARK(BM_TensorSketchInstantiation);
+
+void
+BM_SimulatedMeasurement(benchmark::State& state)
+{
+    workloads::OpSpec op = workloads::gmm(1024, 1024, 1024);
+    auto candidates = meta::generateTensorizeCandidates(
+        op.func, "C", {"wmma_16x16x16_f16"});
+    Schedule sch(op.func, 3);
+    meta::ReindexBlocks rb =
+        meta::applyReindexAndLayout(sch, candidates[0]);
+    meta::applyGpuTensorSketch(sch, candidates[0], rb, {});
+    hwsim::GpuDevice gpu;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gpu.run(sch.func()).latency_us);
+    }
+}
+BENCHMARK(BM_SimulatedMeasurement);
+
+void
+BM_FeatureExtraction(benchmark::State& state)
+{
+    workloads::OpSpec op = workloads::gmm(1024, 1024, 1024);
+    auto candidates = meta::generateTensorizeCandidates(
+        op.func, "C", {"wmma_16x16x16_f16"});
+    Schedule sch(op.func, 3);
+    meta::ReindexBlocks rb =
+        meta::applyReindexAndLayout(sch, candidates[0]);
+    meta::applyGpuTensorSketch(sch, candidates[0], rb, {});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(meta::extractFeatures(sch.func()));
+    }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Automatic tensorization of a 2D convolution (the paper's running
+ * example, §4.2 / Figure 9). Shows the candidate-generation machinery:
+ * characteristic-vector classification of the convolution's iterators,
+ * the ReIndex + layout rewrite that lowers it onto a 16x16x16 tensor
+ * core intrinsic, and the full auto-scheduler run with the evolutionary
+ * search — then checks the winner against the reference numerically.
+ */
+#include <cstdio>
+
+#include "meta/search.h"
+#include "runtime/interpreter.h"
+#include "workloads/workloads.h"
+
+using namespace tir;
+
+int
+main()
+{
+    // A small NHWC convolution so the numeric check is quick.
+    workloads::OpSpec op =
+        workloads::conv2d(2, 14, 14, 32, 32, 3, 1, 1, 1,
+                          DataType::f16(), DataType::f16());
+
+    // --- Candidate generation (§4.2) ---------------------------------
+    std::vector<meta::TensorizeCandidate> candidates =
+        meta::generateTensorizeCandidates(op.func, op.einsum_block,
+                                          {"wmma_16x16x16_f16"});
+    std::printf("tensorization candidates: %zu\n", candidates.size());
+    for (const meta::TensorizeCandidate& cand : candidates) {
+        std::printf("  intrinsic %s: iterator groups (x | y | k sizes):",
+                    cand.intrin.c_str());
+        for (size_t g = 0; g < cand.groups.size(); ++g) {
+            std::printf(" %zu->%lld", cand.groups[g].size(),
+                        static_cast<long long>(cand.padded[g]));
+        }
+        std::printf(", padding waste %.2fx\n", cand.padding_waste);
+    }
+
+    // --- Full auto-scheduling run (§4.3-4.4) ---------------------------
+    hwsim::GpuDevice gpu;
+    meta::TuneTask task{op.func, op.einsum_block, "gpu",
+                        {"wmma_16x16x16_f16"}};
+    meta::TuneOptions options;
+    options.population = 8;
+    options.generations = 3;
+    meta::TuneResult tensorized = meta::autoTune(
+        task, gpu, options, meta::TunerStyle::kTensorIR);
+    meta::TuneResult loop_only = meta::autoTune(
+        task, gpu, options, meta::TunerStyle::kLoopOnly);
+    std::printf("tuned latency: %.1f us tensorized vs %.1f us "
+                "loop-only (%.2fx)\n",
+                tensorized.best_latency_us, loop_only.best_latency_us,
+                loop_only.best_latency_us / tensorized.best_latency_us);
+    std::printf("measured trials: %d (+%d filtered before reaching "
+                "hardware)\n",
+                tensorized.trials_measured, tensorized.invalid_filtered);
+
+    // --- Numeric check of the winning schedule -------------------------
+    Rng rng(9);
+    std::vector<runtime::NDArray> ref_args;
+    std::vector<runtime::NDArray> got_args;
+    for (const Buffer& param : op.func->params) {
+        std::vector<int64_t> shape;
+        for (size_t dim = 0; dim < param->ndim(); ++dim) {
+            shape.push_back(param->shapeInt(dim));
+        }
+        runtime::NDArray array(param->dtype, shape);
+        array.fillRandom(rng);
+        ref_args.push_back(array);
+        got_args.push_back(array);
+    }
+    std::vector<runtime::NDArray*> ref_ptrs;
+    std::vector<runtime::NDArray*> got_ptrs;
+    for (auto& arr : ref_args) ref_ptrs.push_back(&arr);
+    for (auto& arr : got_args) got_ptrs.push_back(&arr);
+    runtime::Interpreter interp;
+    interp.run(op.func, ref_ptrs);
+    interp.run(tensorized.best_func, got_ptrs);
+    std::printf("max |difference| vs reference: %g\n",
+                ref_args.back().maxAbsDiff(got_args.back()));
+    return 0;
+}

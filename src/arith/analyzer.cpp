@@ -1,0 +1,629 @@
+#include "arith/analyzer.h"
+
+#include "ir/structural_equal.h"
+
+namespace tir {
+namespace arith {
+
+void
+Analyzer::bind(const Var& v, const Range& range)
+{
+    int64_t min_v = 0;
+    int64_t ext_v = 0;
+    if (isConstInt(range.min, &min_v) && isConstInt(range.extent, &ext_v)) {
+        dom_[v.get()] = Interval(min_v, min_v + ext_v - 1);
+    } else {
+        dom_[v.get()] = Interval::everything();
+    }
+}
+
+void
+Analyzer::bind(const Var& v, const Interval& interval)
+{
+    dom_[v.get()] = interval;
+}
+
+namespace {
+
+int64_t
+gcdInt(int64_t a, int64_t b)
+{
+    a = a < 0 ? -a : a;
+    b = b < 0 ? -b : b;
+    while (b) {
+        int64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+} // namespace
+
+int64_t
+Analyzer::stride(const Expr& expr, int64_t modulus) const
+{
+    // gcd of all affine coefficients of `expr` (and the modulus): the
+    // value is always a multiple of this stride.
+    switch (expr->kind) {
+      case ExprKind::kIntImm:
+        return gcdInt(static_cast<const IntImmNode&>(*expr).value,
+                      modulus);
+      case ExprKind::kAdd:
+      case ExprKind::kSub: {
+        const auto& n = static_cast<const BinaryNode&>(*expr);
+        return gcdInt(stride(n.a, modulus), stride(n.b, modulus));
+      }
+      case ExprKind::kMul: {
+        const auto& n = static_cast<const BinaryNode&>(*expr);
+        int64_t c = 0;
+        if (isConstInt(n.b, &c) || isConstInt(n.a, &c)) {
+            return gcdInt(c, modulus);
+        }
+        return 1;
+      }
+      default:
+        return 1;
+    }
+}
+
+Interval
+Analyzer::evalInterval(const Expr& expr) const
+{
+    switch (expr->kind) {
+      case ExprKind::kIntImm:
+        return Interval::point(
+            static_cast<const IntImmNode&>(*expr).value);
+      case ExprKind::kVar: {
+        auto it = dom_.find(static_cast<const VarNode*>(expr.get()));
+        return it == dom_.end() ? Interval::everything() : it->second;
+      }
+      case ExprKind::kCast:
+        return evalInterval(static_cast<const CastNode&>(*expr).value);
+      case ExprKind::kSelect: {
+        const auto& n = static_cast<const SelectNode&>(*expr);
+        return evalInterval(n.tval).unite(evalInterval(n.fval));
+      }
+      case ExprKind::kAdd: {
+        const auto& n = static_cast<const BinaryNode&>(*expr);
+        return evalInterval(n.a) + evalInterval(n.b);
+      }
+      case ExprKind::kSub: {
+        const auto& n = static_cast<const BinaryNode&>(*expr);
+        return evalInterval(n.a) - evalInterval(n.b);
+      }
+      case ExprKind::kMul: {
+        const auto& n = static_cast<const BinaryNode&>(*expr);
+        return evalInterval(n.a) * evalInterval(n.b);
+      }
+      case ExprKind::kFloorDiv: {
+        const auto& n = static_cast<const BinaryNode&>(*expr);
+        Interval a = evalInterval(n.a);
+        Interval b = evalInterval(n.b);
+        if (b.isPoint() && b.lo > 0 && a.bounded()) {
+            return {floorDivInt(a.lo, b.lo), floorDivInt(a.hi, b.lo)};
+        }
+        return Interval::everything();
+      }
+      case ExprKind::kFloorMod: {
+        const auto& n = static_cast<const BinaryNode&>(*expr);
+        Interval a = evalInterval(n.a);
+        Interval b = evalInterval(n.b);
+        if (b.isPoint() && b.lo > 0) {
+            if (a.bounded() &&
+                floorDivInt(a.lo, b.lo) == floorDivInt(a.hi, b.lo)) {
+                return {floorModInt(a.lo, b.lo), floorModInt(a.hi, b.lo)};
+            }
+            // The residue is a multiple of gcd(coefficients, modulus):
+            // floormod(x*16, 512) can reach at most 496, not 511.
+            int64_t g = stride(n.a, b.lo);
+            return {0, b.lo - g};
+        }
+        return Interval::everything();
+      }
+      case ExprKind::kMin: {
+        const auto& n = static_cast<const BinaryNode&>(*expr);
+        Interval a = evalInterval(n.a);
+        Interval b = evalInterval(n.b);
+        return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+      }
+      case ExprKind::kMax: {
+        const auto& n = static_cast<const BinaryNode&>(*expr);
+        Interval a = evalInterval(n.a);
+        Interval b = evalInterval(n.b);
+        return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+      }
+      default:
+        return Interval::everything();
+    }
+}
+
+namespace {
+
+/** One addend of an affine sum: expr * coeff. */
+struct Term
+{
+    Expr expr;
+    int64_t coeff;
+};
+
+/** Flatten nested Add/Sub/Mul-by-const into terms + constant base. */
+void
+flattenSum(const Expr& e, int64_t coeff, std::vector<Term>& terms,
+           int64_t& base)
+{
+    int64_t value = 0;
+    if (isConstInt(e, &value)) {
+        base += value * coeff;
+        return;
+    }
+    switch (e->kind) {
+      case ExprKind::kAdd: {
+        const auto& n = static_cast<const BinaryNode&>(*e);
+        flattenSum(n.a, coeff, terms, base);
+        flattenSum(n.b, coeff, terms, base);
+        return;
+      }
+      case ExprKind::kSub: {
+        const auto& n = static_cast<const BinaryNode&>(*e);
+        flattenSum(n.a, coeff, terms, base);
+        flattenSum(n.b, -coeff, terms, base);
+        return;
+      }
+      case ExprKind::kMul: {
+        const auto& n = static_cast<const BinaryNode&>(*e);
+        int64_t c = 0;
+        if (isConstInt(n.b, &c)) {
+            flattenSum(n.a, coeff * c, terms, base);
+            return;
+        }
+        if (isConstInt(n.a, &c)) {
+            flattenSum(n.b, coeff * c, terms, base);
+            return;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    terms.push_back({e, coeff});
+}
+
+/** Rebuild Σ expr*coeff + base as a right-leaning sum. */
+Expr
+rebuildSum(const std::vector<Term>& terms, int64_t base, DataType dtype)
+{
+    Expr result = nullptr;
+    for (const Term& t : terms) {
+        if (t.coeff == 0) continue;
+        Expr piece =
+            t.coeff == 1 ? t.expr : t.expr * intImm(t.coeff, dtype);
+        result = result ? result + piece : piece;
+    }
+    if (!result) return intImm(base, dtype);
+    if (base != 0) result = result + intImm(base, dtype);
+    return result;
+}
+
+/** Merge structurally-equal terms (x + x -> 2x). */
+std::vector<Term>
+mergeTerms(std::vector<Term> terms)
+{
+    std::vector<Term> merged;
+    for (Term& t : terms) {
+        bool found = false;
+        for (Term& m : merged) {
+            if (m.expr == t.expr || exprDeepEqual(m.expr, t.expr)) {
+                m.coeff += t.coeff;
+                found = true;
+                break;
+            }
+        }
+        if (!found) merged.push_back(std::move(t));
+    }
+    std::vector<Term> out;
+    for (Term& t : merged) {
+        if (t.coeff != 0) out.push_back(std::move(t));
+    }
+    return out;
+}
+
+} // namespace
+
+Expr
+Analyzer::simplify(const Expr& expr) const
+{
+    switch (expr->kind) {
+      case ExprKind::kIntImm:
+      case ExprKind::kFloatImm:
+      case ExprKind::kStringImm:
+        return expr;
+      case ExprKind::kVar: {
+        // A variable whose domain is a single point is that constant
+        // (extent-1 loops vanish from bindings).
+        auto it = dom_.find(static_cast<const VarNode*>(expr.get()));
+        if (it != dom_.end() && it->second.isPoint() &&
+            it->second.bounded()) {
+            return intImm(it->second.lo, expr->dtype);
+        }
+        return expr;
+      }
+      case ExprKind::kNot: {
+        Expr a = simplify(static_cast<const NotNode&>(*expr).a);
+        int64_t v = 0;
+        if (isConstInt(a, &v)) {
+            return intImm(v ? 0 : 1, DataType::boolean());
+        }
+        return notExpr(a);
+      }
+      case ExprKind::kCast: {
+        const auto& n = static_cast<const CastNode&>(*expr);
+        Expr v = simplify(n.value);
+        int64_t iv = 0;
+        if (isConstInt(v, &iv)) {
+            if (n.dtype.isFloat()) {
+                return floatImm(static_cast<double>(iv), n.dtype);
+            }
+            if (n.dtype.isInt() || n.dtype.isBool()) {
+                return intImm(iv, n.dtype);
+            }
+        }
+        if (v->kind == ExprKind::kFloatImm && n.dtype.isFloat()) {
+            return floatImm(static_cast<const FloatImmNode&>(*v).value,
+                            n.dtype);
+        }
+        return cast(n.dtype, v);
+      }
+      case ExprKind::kSelect: {
+        const auto& n = static_cast<const SelectNode&>(*expr);
+        Expr c = simplify(n.cond);
+        int64_t cv = 0;
+        if (isConstInt(c, &cv)) {
+            return cv ? simplify(n.tval) : simplify(n.fval);
+        }
+        return select(c, simplify(n.tval), simplify(n.fval));
+      }
+      case ExprKind::kBufferLoad:
+      case ExprKind::kBufferPtr:
+      case ExprKind::kCall: {
+        // Simplify children only.
+        if (expr->kind == ExprKind::kBufferLoad) {
+            const auto& n = static_cast<const BufferLoadNode&>(*expr);
+            std::vector<Expr> idx;
+            idx.reserve(n.indices.size());
+            bool changed = false;
+            for (const Expr& i : n.indices) {
+                Expr s = simplify(i);
+                changed |= (s != i);
+                idx.push_back(std::move(s));
+            }
+            return changed ? bufferLoad(n.buffer, std::move(idx)) : expr;
+        }
+        if (expr->kind == ExprKind::kBufferPtr) {
+            const auto& n = static_cast<const BufferPtrNode&>(*expr);
+            std::vector<Expr> idx;
+            idx.reserve(n.indices.size());
+            bool changed = false;
+            for (const Expr& i : n.indices) {
+                Expr s = simplify(i);
+                changed |= (s != i);
+                idx.push_back(std::move(s));
+            }
+            return changed ? bufferPtr(n.buffer, std::move(idx)) : expr;
+        }
+        const auto& n = static_cast<const CallNode&>(*expr);
+        std::vector<Expr> args;
+        args.reserve(n.args.size());
+        bool changed = false;
+        for (const Expr& a : n.args) {
+            Expr s = simplify(a);
+            changed |= (s != a);
+            args.push_back(std::move(s));
+        }
+        return changed ? call(n.dtype, n.op, std::move(args)) : expr;
+      }
+      default:
+        break;
+    }
+
+    const auto& n = static_cast<const BinaryNode&>(*expr);
+    Expr a = simplify(n.a);
+    Expr b = simplify(n.b);
+    int64_t ca = 0;
+    int64_t cb = 0;
+    bool a_const = isConstInt(a, &ca);
+    bool b_const = isConstInt(b, &cb);
+    DataType dtype = expr->dtype;
+
+    // Float constant folding for arithmetic on float immediates.
+    if (a->kind == ExprKind::kFloatImm && b->kind == ExprKind::kFloatImm) {
+        double fa = static_cast<const FloatImmNode&>(*a).value;
+        double fb = static_cast<const FloatImmNode&>(*b).value;
+        switch (n.kind) {
+          case ExprKind::kAdd: return floatImm(fa + fb, dtype);
+          case ExprKind::kSub: return floatImm(fa - fb, dtype);
+          case ExprKind::kMul: return floatImm(fa * fb, dtype);
+          case ExprKind::kDiv:
+            if (fb != 0) return floatImm(fa / fb, dtype);
+            break;
+          case ExprKind::kMin:
+            return floatImm(std::min(fa, fb), dtype);
+          case ExprKind::kMax:
+            return floatImm(std::max(fa, fb), dtype);
+          default:
+            break;
+        }
+    }
+
+    if (a_const && b_const) {
+        auto boolean = [&](bool v) {
+            return intImm(v ? 1 : 0, DataType::boolean());
+        };
+        switch (n.kind) {
+          case ExprKind::kAdd: return intImm(ca + cb, dtype);
+          case ExprKind::kSub: return intImm(ca - cb, dtype);
+          case ExprKind::kMul: return intImm(ca * cb, dtype);
+          case ExprKind::kFloorDiv:
+            TIR_CHECK(cb != 0) << "division by zero in simplify";
+            return intImm(floorDivInt(ca, cb), dtype);
+          case ExprKind::kFloorMod:
+            TIR_CHECK(cb != 0) << "modulo by zero in simplify";
+            return intImm(floorModInt(ca, cb), dtype);
+          case ExprKind::kMin: return intImm(std::min(ca, cb), dtype);
+          case ExprKind::kMax: return intImm(std::max(ca, cb), dtype);
+          case ExprKind::kEQ: return boolean(ca == cb);
+          case ExprKind::kNE: return boolean(ca != cb);
+          case ExprKind::kLT: return boolean(ca < cb);
+          case ExprKind::kLE: return boolean(ca <= cb);
+          case ExprKind::kGT: return boolean(ca > cb);
+          case ExprKind::kGE: return boolean(ca >= cb);
+          case ExprKind::kAnd: return boolean(ca && cb);
+          case ExprKind::kOr: return boolean(ca || cb);
+          default: break;
+        }
+    }
+
+    switch (n.kind) {
+      case ExprKind::kAdd:
+      case ExprKind::kSub: {
+        std::vector<Term> terms;
+        int64_t base = 0;
+        flattenSum(a, 1, terms, base);
+        flattenSum(b, n.kind == ExprKind::kAdd ? 1 : -1, terms, base);
+        return rebuildSum(mergeTerms(std::move(terms)), base, dtype);
+      }
+      case ExprKind::kMul: {
+        if (a_const) std::swap(a, b), std::swap(ca, cb),
+            std::swap(a_const, b_const);
+        if (b_const) {
+            if (cb == 0) return intImm(0, dtype);
+            if (cb == 1) return a;
+            // Distribute over sums to expose affine structure.
+            std::vector<Term> terms;
+            int64_t base = 0;
+            flattenSum(a, cb, terms, base);
+            return rebuildSum(mergeTerms(std::move(terms)), base, dtype);
+        }
+        return binary(ExprKind::kMul, a, b);
+      }
+      case ExprKind::kFloorDiv: {
+        if (b_const && cb > 0) {
+            if (cb == 1) return a;
+            Interval bound = evalInterval(a);
+            if (bound.lo >= 0 && bound.hi < cb) return intImm(0, dtype);
+            // floordiv(q*c + r, c) = q + floordiv(r, c)
+            std::vector<Term> terms;
+            int64_t base = 0;
+            flattenSum(a, 1, terms, base);
+            std::vector<Term> quotient;
+            std::vector<Term> remainder;
+            for (Term& t : terms) {
+                if (t.coeff % cb == 0) {
+                    quotient.push_back({t.expr, t.coeff / cb});
+                } else {
+                    remainder.push_back(std::move(t));
+                }
+            }
+            int64_t q_base = floorDivInt(base, cb);
+            int64_t r_base = floorModInt(base, cb);
+            if (!quotient.empty() || q_base != 0) {
+                Expr r = rebuildSum(remainder, r_base, dtype);
+                Interval rest_bound = evalInterval(r);
+                // Only extract the quotient when the remainder fully
+                // resolves; partial extraction would destroy the fused-
+                // chain structure the binding validator recognizes.
+                if (remainder.empty() ||
+                    (rest_bound.lo >= 0 && rest_bound.hi < cb)) {
+                    Expr r_div =
+                        simplify(floordiv(r, intImm(cb, dtype)));
+                    Expr q = rebuildSum(quotient, q_base, dtype);
+                    return simplify(q + r_div);
+                }
+            }
+            // floordiv(floordiv(x, c1), c2) -> floordiv(x, c1*c2)
+            if (a->kind == ExprKind::kFloorDiv) {
+                const auto& inner = static_cast<const BinaryNode&>(*a);
+                int64_t c1 = 0;
+                if (isConstInt(inner.b, &c1) && c1 > 0) {
+                    return simplify(
+                        floordiv(inner.a, intImm(c1 * cb, dtype)));
+                }
+            }
+            // Chain rule: floordiv(E*c1 + rest, c) = floordiv(E, c/c1)
+            // when c1 | c and 0 <= rest < c1 (split-after-fuse shapes).
+            // Only applicable when no quotient terms were set aside.
+            if (!remainder.empty() && quotient.empty() && q_base == 0) {
+                size_t best = 0;
+                for (size_t i = 1; i < remainder.size(); ++i) {
+                    if (remainder[i].coeff > remainder[best].coeff) {
+                        best = i;
+                    }
+                }
+                int64_t c1 = remainder[best].coeff;
+                if (c1 > 1 && cb % c1 == 0) {
+                    std::vector<Term> rest_terms;
+                    for (size_t i = 0; i < remainder.size(); ++i) {
+                        if (i != best) rest_terms.push_back(remainder[i]);
+                    }
+                    Expr rest = rebuildSum(rest_terms, r_base, dtype);
+                    Interval rest_bound = evalInterval(rest);
+                    if (rest_bound.lo >= 0 && rest_bound.hi < c1) {
+                        return simplify(
+                            floordiv(remainder[best].expr,
+                                     intImm(cb / c1, dtype)));
+                    }
+                }
+            }
+        }
+        return binary(ExprKind::kFloorDiv, a, b);
+      }
+      case ExprKind::kFloorMod: {
+        if (b_const && cb > 0) {
+            if (cb == 1) return intImm(0, dtype);
+            Interval bound = evalInterval(a);
+            if (bound.lo >= 0 && bound.hi < cb) return a;
+            // Terms whose coefficient is a multiple of c vanish.
+            std::vector<Term> terms;
+            int64_t base = 0;
+            flattenSum(a, 1, terms, base);
+            std::vector<Term> kept;
+            bool dropped = false;
+            for (Term& t : terms) {
+                if (t.coeff % cb == 0) {
+                    dropped = true;
+                } else {
+                    kept.push_back(std::move(t));
+                }
+            }
+            int64_t r_base = floorModInt(base, cb);
+            if (dropped || r_base != base) {
+                Expr r = rebuildSum(kept, r_base, dtype);
+                return simplify(floormod(r, intImm(cb, dtype)));
+            }
+            // floormod(floormod(x, c1), c) -> floormod(x, c) when c | c1
+            if (a->kind == ExprKind::kFloorMod) {
+                const auto& inner = static_cast<const BinaryNode&>(*a);
+                int64_t c1 = 0;
+                if (isConstInt(inner.b, &c1) && c1 > 0 && c1 % cb == 0) {
+                    return simplify(floormod(inner.a, intImm(cb, dtype)));
+                }
+            }
+            // Chain rule: floormod(E*c1 + rest, c) =
+            // floormod(E, c/c1)*c1 + rest when c1 | c, 0 <= rest < c1.
+            if (!kept.empty()) {
+                size_t best = 0;
+                for (size_t i = 1; i < kept.size(); ++i) {
+                    if (kept[i].coeff > kept[best].coeff) best = i;
+                }
+                int64_t c1 = kept[best].coeff;
+                if (c1 > 1 && cb % c1 == 0) {
+                    std::vector<Term> rest_terms;
+                    for (size_t i = 0; i < kept.size(); ++i) {
+                        if (i != best) rest_terms.push_back(kept[i]);
+                    }
+                    Expr rest = rebuildSum(rest_terms, r_base, dtype);
+                    Interval rest_bound = evalInterval(rest);
+                    if (rest_bound.lo >= 0 && rest_bound.hi < c1) {
+                        Expr head = simplify(
+                            floormod(kept[best].expr,
+                                     intImm(cb / c1, dtype)));
+                        return simplify(head * intImm(c1, dtype) + rest);
+                    }
+                }
+            }
+        }
+        return binary(ExprKind::kFloorMod, a, b);
+      }
+      case ExprKind::kMin:
+      case ExprKind::kMax: {
+        if (a == b || exprDeepEqual(a, b)) return a;
+        Interval ia = evalInterval(a);
+        Interval ib = evalInterval(b);
+        if (n.kind == ExprKind::kMin) {
+            if (ia.hi <= ib.lo) return a;
+            if (ib.hi <= ia.lo) return b;
+        } else {
+            if (ia.lo >= ib.hi) return a;
+            if (ib.lo >= ia.hi) return b;
+        }
+        return binary(n.kind, a, b);
+      }
+      case ExprKind::kLT:
+      case ExprKind::kLE:
+      case ExprKind::kGT:
+      case ExprKind::kGE:
+      case ExprKind::kEQ:
+      case ExprKind::kNE: {
+        Interval ia = evalInterval(a);
+        Interval ib = evalInterval(b);
+        auto boolean = [&](bool v) {
+            return intImm(v ? 1 : 0, DataType::boolean());
+        };
+        switch (n.kind) {
+          case ExprKind::kLT:
+            if (ia.hi < ib.lo) return boolean(true);
+            if (ia.lo >= ib.hi) return boolean(false);
+            break;
+          case ExprKind::kLE:
+            if (ia.hi <= ib.lo) return boolean(true);
+            if (ia.lo > ib.hi) return boolean(false);
+            break;
+          case ExprKind::kGT:
+            if (ia.lo > ib.hi) return boolean(true);
+            if (ia.hi <= ib.lo) return boolean(false);
+            break;
+          case ExprKind::kGE:
+            if (ia.lo >= ib.hi) return boolean(true);
+            if (ia.hi < ib.lo) return boolean(false);
+            break;
+          case ExprKind::kEQ:
+            if (ia.isPoint() && ib.isPoint() && ia.lo == ib.lo) {
+                return boolean(true);
+            }
+            if (ia.hi < ib.lo || ib.hi < ia.lo) return boolean(false);
+            break;
+          case ExprKind::kNE:
+            if (ia.hi < ib.lo || ib.hi < ia.lo) return boolean(true);
+            break;
+          default:
+            break;
+        }
+        return binary(n.kind, a, b);
+      }
+      case ExprKind::kAnd: {
+        if (a_const) return ca ? b : intImm(0, DataType::boolean());
+        if (b_const) return cb ? a : intImm(0, DataType::boolean());
+        return binary(ExprKind::kAnd, a, b);
+      }
+      case ExprKind::kOr: {
+        if (a_const) return ca ? intImm(1, DataType::boolean()) : b;
+        if (b_const) return cb ? intImm(1, DataType::boolean()) : a;
+        return binary(ExprKind::kOr, a, b);
+      }
+      default:
+        return binary(n.kind, a, b);
+    }
+}
+
+bool
+Analyzer::provablyEqual(const Expr& a, const Expr& b) const
+{
+    Expr diff = simplify(a - b);
+    int64_t v = 0;
+    return isConstInt(diff, &v) && v == 0;
+}
+
+bool
+Analyzer::provablyGE(const Expr& expr, int64_t value) const
+{
+    return evalInterval(simplify(expr)).lo >= value;
+}
+
+bool
+Analyzer::provablyLE(const Expr& expr, int64_t value) const
+{
+    return evalInterval(simplify(expr)).hi <= value;
+}
+
+} // namespace arith
+} // namespace tir

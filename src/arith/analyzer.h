@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Expression analyzer: rule-based simplification with bound information,
+ * constant-interval evaluation, and simple provers. The simplifier knows
+ * the floordiv/floormod-of-affine-sum rules that keep iterator bindings in
+ * the quasi-affine normal form the validator (§3.3) pattern-matches.
+ */
+#ifndef TENSORIR_ARITH_ANALYZER_H
+#define TENSORIR_ARITH_ANALYZER_H
+
+#include <unordered_map>
+
+#include "arith/interval.h"
+#include "ir/stmt.h"
+
+namespace tir {
+namespace arith {
+
+/** Per-scope expression analyzer; bind loop vars, then simplify/prove. */
+class Analyzer
+{
+  public:
+    /** Bind a variable to a constant-bounded range. */
+    void bind(const Var& v, const Range& range);
+    /** Bind a variable to a constant interval. */
+    void bind(const Var& v, const Interval& interval);
+
+    /** Conservative constant bounds of an expression. */
+    Interval evalInterval(const Expr& expr) const;
+
+    /** Simplify using constant folding, identities, and div/mod rules. */
+    Expr simplify(const Expr& expr) const;
+
+    /** True when a - b simplifies to the constant 0. */
+    bool provablyEqual(const Expr& a, const Expr& b) const;
+    /** True when expr provably >= value. */
+    bool provablyGE(const Expr& expr, int64_t value) const;
+    /** True when expr provably <= value. */
+    bool provablyLE(const Expr& expr, int64_t value) const;
+
+    /** The value of `expr` is always a multiple of this stride (gcd of
+     *  its affine coefficients and `modulus`). */
+    int64_t stride(const Expr& expr, int64_t modulus) const;
+
+  private:
+    std::unordered_map<const VarNode*, Interval> dom_;
+};
+
+} // namespace arith
+} // namespace tir
+
+#endif // TENSORIR_ARITH_ANALYZER_H

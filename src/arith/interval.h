@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Saturating constant integer intervals used by bound analysis.
+ */
+#ifndef TENSORIR_ARITH_INTERVAL_H
+#define TENSORIR_ARITH_INTERVAL_H
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace tir {
+namespace arith {
+
+/** Closed constant interval [lo, hi] with +/- infinity sentinels. */
+struct Interval
+{
+    static constexpr int64_t kNegInf =
+        std::numeric_limits<int64_t>::min() / 4;
+    static constexpr int64_t kPosInf =
+        std::numeric_limits<int64_t>::max() / 4;
+
+    int64_t lo = kNegInf;
+    int64_t hi = kPosInf;
+
+    Interval() = default;
+    Interval(int64_t l, int64_t h) : lo(l), hi(h) {}
+
+    static Interval everything() { return {}; }
+    static Interval point(int64_t v) { return {v, v}; }
+    /** [0, extent). */
+    static Interval fromExtent(int64_t extent)
+    {
+        return {0, extent - 1};
+    }
+
+    bool isPoint() const { return lo == hi; }
+    bool
+    bounded() const
+    {
+        return lo > kNegInf && hi < kPosInf;
+    }
+
+    Interval
+    operator+(const Interval& other) const
+    {
+        return {satAdd(lo, other.lo), satAdd(hi, other.hi)};
+    }
+    Interval
+    operator-(const Interval& other) const
+    {
+        return {satAdd(lo, -other.hi), satAdd(hi, -other.lo)};
+    }
+    Interval
+    operator*(const Interval& other) const
+    {
+        int64_t candidates[4] = {satMul(lo, other.lo), satMul(lo, other.hi),
+                                 satMul(hi, other.lo),
+                                 satMul(hi, other.hi)};
+        return {*std::min_element(candidates, candidates + 4),
+                *std::max_element(candidates, candidates + 4)};
+    }
+
+    /** Union hull. */
+    Interval
+    unite(const Interval& other) const
+    {
+        return {std::min(lo, other.lo), std::max(hi, other.hi)};
+    }
+
+    static int64_t
+    satAdd(int64_t a, int64_t b)
+    {
+        if (a <= kNegInf || b <= kNegInf) return kNegInf;
+        if (a >= kPosInf || b >= kPosInf) return kPosInf;
+        int64_t r = a + b;
+        return std::clamp(r, kNegInf, kPosInf);
+    }
+
+    static int64_t
+    satMul(int64_t a, int64_t b)
+    {
+        if (a == 0 || b == 0) return 0;
+        double approx = static_cast<double>(a) * static_cast<double>(b);
+        if (approx >= static_cast<double>(kPosInf)) return kPosInf;
+        if (approx <= static_cast<double>(kNegInf)) return kNegInf;
+        return a * b;
+    }
+};
+
+/** Euclidean floor division (round toward negative infinity). */
+inline int64_t
+floorDivInt(int64_t a, int64_t b)
+{
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+    return q;
+}
+
+/** Euclidean modulo paired with floorDivInt; result sign matches b. */
+inline int64_t
+floorModInt(int64_t a, int64_t b)
+{
+    return a - floorDivInt(a, b) * b;
+}
+
+} // namespace arith
+} // namespace tir
+
+#endif // TENSORIR_ARITH_INTERVAL_H

@@ -1,0 +1,527 @@
+#include "arith/iter_map.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "ir/functor.h"
+
+#include "ir/printer.h"
+#include "ir/structural_equal.h"
+
+namespace tir {
+namespace arith {
+
+namespace {
+
+/** Ceiling division for positive operands. */
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Effective extent of (src div d) mod m for a source of extent E. */
+int64_t
+atomExtent(int64_t source_extent, int64_t div, int64_t mod)
+{
+    int64_t remaining = ceilDiv(source_extent, div);
+    if (mod == IterAtom::kNoMod) return remaining;
+    return std::min(remaining, mod);
+}
+
+bool parseAtom(const Expr& e, const DomMap& doms, IterAtom* out,
+               std::string* error);
+
+/** Canonical identity string of a chain (high-to-low order terms). */
+std::string
+chainIdOf(const IterChain& chain)
+{
+    std::string id;
+    for (const auto& [sub, scale] : chain.terms) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%p/%lld%%%lld*%lld|",
+                      static_cast<const void*>(sub.source),
+                      static_cast<long long>(sub.div),
+                      static_cast<long long>(sub.mod),
+                      static_cast<long long>(scale));
+        id += sub.chain_id.empty() ? std::string(buf)
+                                   : ("[" + sub.chain_id + "]" + buf);
+    }
+    return id;
+}
+
+/** Identity string of an atom's (pseudo-)source iterator. */
+std::string
+atomSourceId(const IterAtom& atom)
+{
+    if (!atom.chain_id.empty()) return atom.chain_id;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%p/1%%-1*1|",
+                  static_cast<const void*>(atom.source));
+    return buf;
+}
+
+/** Parse a sum as a fused pseudo-iterator source (complete chain). */
+bool
+parseChainSource(const Expr& e, const DomMap& doms, IterAtom* out,
+                 std::string* error)
+{
+    IterChain chain = parseIterChain(e, doms);
+    if (!chain.valid || chain.base != 0 || chain.terms.size() < 2) {
+        *error = "expression is not a quasi-affine atom or chain: " +
+                 exprToString(e);
+        return false;
+    }
+    IterAtom atom;
+    atom.source = nullptr;
+    atom.source_extent = chain.extent;
+    atom.div = 1;
+    atom.mod = IterAtom::kNoMod;
+    atom.extent = chain.extent;
+    atom.chain_id = chainIdOf(chain);
+    for (const auto& [sub, scale] : chain.terms) {
+        for (const VarNode* v : sub.vars) atom.vars.push_back(v);
+        bool plain = sub.source != nullptr && sub.div == 1 &&
+                     (sub.mod == IterAtom::kNoMod ||
+                      sub.mod >= sub.source_extent);
+        atom.terms.emplace_back(plain ? sub.source : nullptr, scale,
+                                sub.extent);
+    }
+    *out = atom;
+    return true;
+}
+
+/** Parse an atom expression; returns false and sets error on failure. */
+bool
+parseAtom(const Expr& e, const DomMap& doms, IterAtom* out,
+          std::string* error)
+{
+    switch (e->kind) {
+      case ExprKind::kVar: {
+        const auto* v = static_cast<const VarNode*>(e.get());
+        auto it = doms.find(v);
+        if (it == doms.end()) {
+            *error = "unbound variable " + v->name;
+            return false;
+        }
+        int64_t min_v = 0;
+        int64_t ext_v = 0;
+        if (!isConstInt(it->second.min, &min_v) || min_v != 0 ||
+            !isConstInt(it->second.extent, &ext_v)) {
+            *error = "loop " + v->name + " is not a constant [0, n) range";
+            return false;
+        }
+        IterAtom atom;
+        atom.source = v;
+        atom.vars = {v};
+        atom.source_extent = ext_v;
+        atom.div = 1;
+        atom.mod = IterAtom::kNoMod;
+        atom.extent = ext_v;
+        *out = atom;
+        return true;
+      }
+      case ExprKind::kFloorDiv: {
+        const auto& n = static_cast<const BinaryNode&>(*e);
+        int64_t c = 0;
+        if (!isConstInt(n.b, &c) || c <= 0) {
+            *error = "non-constant divisor";
+            return false;
+        }
+        IterAtom inner;
+        if (!parseAtom(n.a, doms, &inner, error) &&
+            !parseChainSource(n.a, doms, &inner, error)) {
+            return false;
+        }
+        IterAtom atom = inner;
+        atom.div = inner.div * c;
+        if (inner.mod == IterAtom::kNoMod) {
+            atom.mod = IterAtom::kNoMod;
+        } else if (inner.mod % c == 0) {
+            atom.mod = inner.mod / c;
+        } else {
+            *error = "floordiv factor does not divide modulus";
+            return false;
+        }
+        atom.extent = atomExtent(inner.source_extent, atom.div, atom.mod);
+        *out = atom;
+        return true;
+      }
+      case ExprKind::kFloorMod: {
+        const auto& n = static_cast<const BinaryNode&>(*e);
+        int64_t c = 0;
+        if (!isConstInt(n.b, &c) || c <= 0) {
+            *error = "non-constant modulus";
+            return false;
+        }
+        IterAtom inner;
+        if (!parseAtom(n.a, doms, &inner, error) &&
+            !parseChainSource(n.a, doms, &inner, error)) {
+            return false;
+        }
+        IterAtom atom = inner;
+        if (inner.mod == IterAtom::kNoMod) {
+            atom.mod = c;
+        } else if (inner.mod % c == 0) {
+            atom.mod = c;
+        } else if (c >= inner.mod) {
+            atom.mod = inner.mod; // vacuous mod
+        } else {
+            *error = "floormod factor does not divide modulus";
+            return false;
+        }
+        atom.extent = atomExtent(inner.source_extent, atom.div, atom.mod);
+        *out = atom;
+        return true;
+      }
+      default:
+        *error = "expression is not a quasi-affine atom: " +
+                 exprToString(e);
+        return false;
+    }
+}
+
+/** Flatten a binding into (atom expr, coeff) pairs + base. */
+bool
+flattenBinding(const Expr& e, int64_t coeff,
+               std::vector<std::pair<Expr, int64_t>>& parts, int64_t* base,
+               std::string* error)
+{
+    int64_t value = 0;
+    if (isConstInt(e, &value)) {
+        *base += value * coeff;
+        return true;
+    }
+    switch (e->kind) {
+      case ExprKind::kAdd: {
+        const auto& n = static_cast<const BinaryNode&>(*e);
+        return flattenBinding(n.a, coeff, parts, base, error) &&
+               flattenBinding(n.b, coeff, parts, base, error);
+      }
+      case ExprKind::kSub: {
+        const auto& n = static_cast<const BinaryNode&>(*e);
+        return flattenBinding(n.a, coeff, parts, base, error) &&
+               flattenBinding(n.b, -coeff, parts, base, error);
+      }
+      case ExprKind::kMul: {
+        const auto& n = static_cast<const BinaryNode&>(*e);
+        int64_t c = 0;
+        if (isConstInt(n.b, &c)) {
+            return flattenBinding(n.a, coeff * c, parts, base, error);
+        }
+        if (isConstInt(n.a, &c)) {
+            return flattenBinding(n.b, coeff * c, parts, base, error);
+        }
+        *error = "non-affine product: " + exprToString(e);
+        return false;
+      }
+      default:
+        parts.emplace_back(e, coeff);
+        return true;
+    }
+}
+
+} // namespace
+
+IterChain
+parseIterChain(const Expr& binding, const DomMap& doms)
+{
+    IterChain chain;
+    std::vector<std::pair<Expr, int64_t>> parts;
+    if (!flattenBinding(binding, 1, parts, &chain.base, &chain.error)) {
+        return chain;
+    }
+    for (auto& [expr, coeff] : parts) {
+        if (coeff <= 0) {
+            chain.error = "negative iterator scale";
+            return chain;
+        }
+        IterAtom atom;
+        if (!parseAtom(expr, doms, &atom, &chain.error)) return chain;
+        if (atom.extent <= 0) {
+            chain.error = "empty iterator atom";
+            return chain;
+        }
+        if (atom.extent > 1) chain.terms.emplace_back(atom, coeff);
+    }
+    std::sort(chain.terms.begin(), chain.terms.end(),
+              [](const auto& a, const auto& b) {
+                  return a.second > b.second;
+              });
+    // Verify mixed-radix structure.
+    if (!chain.terms.empty()) {
+        if (chain.terms.back().second != 1) {
+            chain.error = "lowest-order scale is not 1";
+            return chain;
+        }
+        for (size_t k = 0; k + 1 < chain.terms.size(); ++k) {
+            int64_t expect = chain.terms[k + 1].second *
+                             chain.terms[k + 1].first.extent;
+            if (chain.terms[k].second != expect) {
+                chain.error = "scales do not form a mixed radix chain";
+                return chain;
+            }
+        }
+        chain.extent =
+            chain.terms.front().second * chain.terms.front().first.extent;
+    } else {
+        chain.extent = 1;
+    }
+    chain.valid = true;
+    return chain;
+}
+
+std::vector<Expr>
+splitConjunction(const Expr& pred)
+{
+    std::vector<Expr> result;
+    if (pred->kind == ExprKind::kAnd) {
+        const auto& n = static_cast<const BinaryNode&>(*pred);
+        auto a = splitConjunction(n.a);
+        auto b = splitConjunction(n.b);
+        result.insert(result.end(), a.begin(), a.end());
+        result.insert(result.end(), b.begin(), b.end());
+        return result;
+    }
+    int64_t v = 0;
+    if (isConstInt(pred, &v) && v == 1) return result; // true
+    result.push_back(pred);
+    return result;
+}
+
+BindingValidation
+validateBlockBindings(const BlockRealizeNode& realize,
+                      const DomMap& loop_doms)
+{
+    const BlockNode& block = *realize.block;
+    Analyzer analyzer;
+    for (const auto& [var_node, range] : loop_doms) {
+        Var alias(range.min, var_node);
+        analyzer.bind(alias, range);
+    }
+
+    std::vector<IterAtom> all_atoms;
+    std::vector<Expr> needed_guards;
+    std::vector<std::pair<IterChain, int64_t>> needed_structured;
+
+    std::vector<Expr> raw_present =
+        splitConjunction(analyzer.simplify(realize.predicate));
+    for (size_t i = 0; i < block.iter_vars.size(); ++i) {
+        const IterVar& iv = block.iter_vars[i];
+        Expr binding = analyzer.simplify(realize.iter_values[i]);
+        int64_t dom_min = 0;
+        int64_t dom_ext = 0;
+        if (!isConstInt(iv.dom.min, &dom_min) ||
+            !isConstInt(iv.dom.extent, &dom_ext)) {
+            return {false,
+                    "iterator " + iv.var->name + " has symbolic domain"};
+        }
+        IterChain chain = parseIterChain(binding, loop_doms);
+        if (chain.valid && chain.base >= dom_min) {
+            // Strict tier: mixed-radix chain. The binding may cover a
+            // subset of the domain (e.g. a producer moved under a
+            // consumer tile) — completeness is the region-cover
+            // validator's job — but must not exceed it unguarded.
+            if (chain.base + chain.extent > dom_min + dom_ext) {
+                needed_guards.push_back(analyzer.simplify(lt(
+                    binding,
+                    intImm(dom_min + dom_ext, binding->dtype))));
+                needed_structured.emplace_back(chain, dom_ext);
+            }
+            for (const auto& [atom, scale] : chain.terms) {
+                all_atoms.push_back(atom);
+            }
+            continue;
+        }
+        // Relaxed tier: the binding is not in the chain grammar (e.g. a
+        // tile-base offset plus local digits). A single-variable
+        // expression that failed the chain parse (such as the paper's
+        // v = i*2) is genuinely non-affine-injective: reject it.
+        std::set<const VarNode*> binding_vars;
+        {
+            struct Collect : public ExprVisitor
+            {
+                std::set<const VarNode*>* out;
+                void
+                visitVar(const VarNode& v) override
+                {
+                    out->insert(&v);
+                }
+            } collect;
+            collect.out = &binding_vars;
+            collect.visitExpr(binding);
+        }
+        if (binding_vars.size() <= 1 && binding->kind != ExprKind::kVar &&
+            !isConstInt(binding)) {
+            return {false,
+                    "iterator " + iv.var->name + ": " + chain.error};
+        }
+        // Otherwise accept when the value range provably stays inside
+        // the iterator domain, or the realize predicate carries the
+        // exact bound guards.
+        Interval range = analyzer.evalInterval(binding);
+        bool lo_ok = range.lo >= dom_min;
+        bool hi_ok = range.hi < dom_min + dom_ext;
+        if (!lo_ok || !hi_ok) {
+            Expr need_lo = analyzer.simplify(
+                ge(binding, intImm(dom_min, binding->dtype)));
+            Expr need_hi = analyzer.simplify(lt(
+                binding, intImm(dom_min + dom_ext, binding->dtype)));
+            for (const Expr& have : raw_present) {
+                lo_ok |= exprDeepEqual(need_lo, have);
+                hi_ok |= exprDeepEqual(need_hi, have);
+            }
+        }
+        if (!lo_ok || !hi_ok) {
+            return {false, "iterator " + iv.var->name +
+                               " may leave its domain: " + chain.error};
+        }
+    }
+
+    // Independence: atoms of the same (pseudo-)source must cover
+    // disjoint value ranges; atoms of different sources may not share
+    // loop variables.
+    for (size_t i = 0; i < all_atoms.size(); ++i) {
+        for (size_t j = i + 1; j < all_atoms.size(); ++j) {
+            const IterAtom& a = all_atoms[i];
+            const IterAtom& b = all_atoms[j];
+            auto ends_with = [](const std::string& big,
+                                const std::string& small) {
+                return big.size() >= small.size() &&
+                       big.compare(big.size() - small.size(),
+                                   small.size(), small) == 0;
+            };
+            // Two pseudo-chains share a coordinate space when one is a
+            // low-order suffix of the other (term scales are absolute,
+            // so suffix chains live in the same value range).
+            bool same_source =
+                (a.source != nullptr && a.source == b.source) ||
+                (a.source == nullptr && b.source == nullptr &&
+                 (ends_with(a.chain_id, b.chain_id) ||
+                  ends_with(b.chain_id, a.chain_id)));
+            if (same_source) {
+                bool disjoint = a.highBit() <= b.lowBit() ||
+                                b.highBit() <= a.lowBit();
+                if (!disjoint) {
+                    return {false,
+                            "iterators share a source iterator "
+                            "non-independently"};
+                }
+                continue;
+            }
+            // Leaf atom vs pseudo-chain: when the leaf variable is a
+            // plain term of the chain, its coverage maps into the
+            // chain's value range and can be checked there.
+            const IterAtom* leaf = nullptr;
+            const IterAtom* pseudo = nullptr;
+            if (a.source && !b.source) {
+                leaf = &a;
+                pseudo = &b;
+            } else if (b.source && !a.source) {
+                leaf = &b;
+                pseudo = &a;
+            }
+            bool shares_var = false;
+            for (const VarNode* va : a.vars) {
+                for (const VarNode* vb : b.vars) {
+                    shares_var |= (va == vb);
+                }
+            }
+            if (!shares_var) continue;
+            bool resolved = false;
+            if (leaf && pseudo) {
+                for (const auto& [term_var, scale, extent] :
+                     pseudo->terms) {
+                    if (term_var != leaf->source) continue;
+                    int64_t lo = scale * leaf->lowBit();
+                    int64_t hi =
+                        scale * std::min(leaf->highBit(), extent);
+                    bool disjoint = hi <= pseudo->lowBit() ||
+                                    pseudo->highBit() <= lo;
+                    if (disjoint) resolved = true;
+                    break;
+                }
+            }
+            if (!resolved) {
+                return {false,
+                        "iterators mix loop variables across "
+                        "incompatible sources"};
+            }
+        }
+    }
+
+    // Every needed guard must be implied by the predicate conjunction:
+    // either it appears verbatim, or a conjunct `S < c` bounds the same
+    // source iterator tightly enough that `(S div d) < L` follows.
+    std::vector<Expr> present =
+        splitConjunction(analyzer.simplify(realize.predicate));
+    struct PresentBound
+    {
+        std::string source_id;
+        int64_t bound;
+    };
+    std::vector<PresentBound> present_bounds;
+    for (const Expr& have : present) {
+        if (have->kind != ExprKind::kLT) continue;
+        const auto& cmp = static_cast<const BinaryNode&>(*have);
+        int64_t c = 0;
+        if (!isConstInt(cmp.b, &c)) continue;
+        IterChain pchain = parseIterChain(cmp.a, loop_doms);
+        if (!pchain.valid || pchain.base != 0) continue;
+        if (pchain.terms.size() == 1) {
+            const IterAtom& atom = pchain.terms[0].first;
+            if (pchain.terms[0].second == 1 && atom.div == 1 &&
+                atom.mod == IterAtom::kNoMod) {
+                present_bounds.push_back({atomSourceId(atom), c});
+            }
+        } else {
+            present_bounds.push_back({chainIdOf(pchain), c});
+        }
+    }
+    auto implied = [&](const IterChain& chain, int64_t limit) {
+        // Reduce a multi-term chain to its leading atom when the limit
+        // aligns with the leading scale.
+        const IterAtom* atom = nullptr;
+        int64_t atom_limit = limit;
+        if (chain.terms.size() == 1 && chain.terms[0].second == 1) {
+            atom = &chain.terms[0].first;
+        } else if (!chain.terms.empty()) {
+            int64_t scale = chain.terms.front().second;
+            if (limit % scale == 0) {
+                atom = &chain.terms.front().first;
+                atom_limit = limit / scale;
+            }
+        }
+        if (!atom || atom->mod != IterAtom::kNoMod) return false;
+        std::string id = atomSourceId(*atom);
+        for (const PresentBound& pb : present_bounds) {
+            if (pb.source_id != id) continue;
+            if (floorDivInt(pb.bound - 1, atom->div) <= atom_limit - 1) {
+                return true;
+            }
+        }
+        return false;
+    };
+    for (size_t g = 0; g < needed_guards.size(); ++g) {
+        bool found = false;
+        for (const Expr& have : present) {
+            if (exprDeepEqual(needed_guards[g], have)) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            found = implied(needed_structured[g].first,
+                            needed_structured[g].second);
+        }
+        if (!found) {
+            return {false, "missing predicate guard: " +
+                               exprToString(needed_guards[g])};
+        }
+    }
+    return {true, ""};
+}
+
+} // namespace arith
+} // namespace tir

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Quasi-affine iterator mapping analysis (§3.3 Loop Nest Validation).
+ *
+ * A block iterator binding is valid when it is a "chain": a sum
+ *     sum_k scale_k * atom_k + base
+ * where each atom is (loop_var floordiv d) floormod m, scales form a mixed
+ * radix (scale_k = scale_{k+1} * extent_{k+1}, last scale 1), and atoms of
+ * the same loop var never overlap across the block's bindings. This is
+ * exactly the split/fuse pattern family; v1 = i, v2 = 2*i is rejected
+ * while v1 = i floordiv 4, v2 = i floormod 4 is accepted, matching the
+ * paper's example.
+ */
+#ifndef TENSORIR_ARITH_ITER_MAP_H
+#define TENSORIR_ARITH_ITER_MAP_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arith/analyzer.h"
+#include "ir/stmt.h"
+
+namespace tir {
+namespace arith {
+
+/** One quasi-affine atom: (source floordiv div) floormod mod. The
+ *  source is either a leaf loop variable or a *fused pseudo-iterator*
+ *  (a complete mixed-radix chain of loop variables), which is how
+ *  re-splitting a fused loop stays analyzable. */
+struct IterAtom
+{
+    const VarNode* source = nullptr;
+    /** Canonical identity of a fused pseudo-iterator source (empty for
+     *  leaf variables). */
+    std::string chain_id;
+    /** All loop variables feeding this atom. */
+    std::vector<const VarNode*> vars;
+    /** For pseudo-iterators: (plain leaf var, scale-in-chain, extent)
+     *  for every *plain* chain term; non-plain terms get var=nullptr. */
+    std::vector<std::tuple<const VarNode*, int64_t, int64_t>> terms;
+    /** Extent of the (pseudo-)source iterator. */
+    int64_t source_extent = 1;
+    int64_t div = 1;
+    /** Modulus; kNoMod when the mod is vacuous. */
+    int64_t mod = -1;
+    /** Number of distinct values the atom takes. */
+    int64_t extent = 1;
+
+    static constexpr int64_t kNoMod = -1;
+
+    /** Coverage interval [div, div*extent) of the source's value range. */
+    int64_t lowBit() const { return div; }
+    int64_t highBit() const { return div * extent; }
+};
+
+/** Result of parsing a binding expression into a mixed-radix chain. */
+struct IterChain
+{
+    bool valid = false;
+    /** (atom, scale) pairs, sorted by descending scale. */
+    std::vector<std::pair<IterAtom, int64_t>> terms;
+    int64_t base = 0;
+    /** Total number of distinct values (product of atom extents). */
+    int64_t extent = 1;
+    std::string error;
+};
+
+/** Loop-variable domains visible to the binding expressions. */
+using DomMap = std::map<const VarNode*, Range>;
+
+/** Parse one binding into a chain; `valid=false` with `error` on failure. */
+IterChain parseIterChain(const Expr& binding, const DomMap& doms);
+
+/** Result of validating all bindings of a block realize. */
+struct BindingValidation
+{
+    bool affine = false;
+    std::string error;
+};
+
+/**
+ * Validate that a block realize's iterator bindings form independent
+ * quasi-affine chains matching each iterator's domain, with any
+ * over-approximation guarded by the realize predicate.
+ */
+BindingValidation validateBlockBindings(const BlockRealizeNode& realize,
+                                        const DomMap& loop_doms);
+
+/** Split a boolean expression into its top-level conjuncts. */
+std::vector<Expr> splitConjunction(const Expr& pred);
+
+} // namespace arith
+} // namespace tir
+
+#endif // TENSORIR_ARITH_ITER_MAP_H

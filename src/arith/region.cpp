@@ -1,0 +1,349 @@
+#include "arith/region.h"
+
+#include "ir/functor.h"
+#include "ir/structural_equal.h"
+#include "ir/transform.h"
+
+namespace tir {
+namespace arith {
+
+SymBound
+evalSymBound(const Expr& index, const RangeEnv& env,
+             const Analyzer& analyzer)
+{
+    switch (index->kind) {
+      case ExprKind::kIntImm:
+        return {index, index, true};
+      case ExprKind::kVar: {
+        auto it = env.find(static_cast<const VarNode*>(index.get()));
+        if (it == env.end()) return {index, index, true};
+        const Range& r = it->second;
+        Expr hi = analyzer.simplify(r.min + r.extent - 1);
+        return {analyzer.simplify(r.min), hi, true};
+      }
+      case ExprKind::kAdd: {
+        const auto& n = static_cast<const BinaryNode&>(*index);
+        SymBound a = evalSymBound(n.a, env, analyzer);
+        SymBound b = evalSymBound(n.b, env, analyzer);
+        return {analyzer.simplify(a.lo + b.lo),
+                analyzer.simplify(a.hi + b.hi), a.exact && b.exact};
+      }
+      case ExprKind::kSub: {
+        const auto& n = static_cast<const BinaryNode&>(*index);
+        SymBound a = evalSymBound(n.a, env, analyzer);
+        SymBound b = evalSymBound(n.b, env, analyzer);
+        return {analyzer.simplify(a.lo - b.hi),
+                analyzer.simplify(a.hi - b.lo), a.exact && b.exact};
+      }
+      case ExprKind::kMul: {
+        const auto& n = static_cast<const BinaryNode&>(*index);
+        int64_t c = 0;
+        Expr other;
+        if (isConstInt(n.b, &c)) {
+            other = n.a;
+        } else if (isConstInt(n.a, &c)) {
+            other = n.b;
+        } else {
+            return {nullptr, nullptr, false};
+        }
+        SymBound a = evalSymBound(other, env, analyzer);
+        if (!a.lo) return a;
+        Expr scale = intImm(c, index->dtype);
+        if (c >= 0) {
+            return {analyzer.simplify(a.lo * scale),
+                    analyzer.simplify(a.hi * scale), a.exact};
+        }
+        return {analyzer.simplify(a.hi * scale),
+                analyzer.simplify(a.lo * scale), a.exact};
+      }
+      case ExprKind::kFloorDiv: {
+        const auto& n = static_cast<const BinaryNode&>(*index);
+        int64_t c = 0;
+        if (!isConstInt(n.b, &c) || c <= 0) return {nullptr, nullptr, false};
+        SymBound a = evalSymBound(n.a, env, analyzer);
+        if (!a.lo) return a;
+        Expr divisor = intImm(c, index->dtype);
+        return {analyzer.simplify(floordiv(a.lo, divisor)),
+                analyzer.simplify(floordiv(a.hi, divisor)), a.exact};
+      }
+      case ExprKind::kFloorMod: {
+        const auto& n = static_cast<const BinaryNode&>(*index);
+        int64_t c = 0;
+        if (!isConstInt(n.b, &c) || c <= 0) return {nullptr, nullptr, false};
+        SymBound a = evalSymBound(n.a, env, analyzer);
+        if (a.lo && exprDeepEqual(a.lo, a.hi)) {
+            Expr divisor = intImm(c, index->dtype);
+            Expr point = analyzer.simplify(floormod(a.lo, divisor));
+            return {point, point, a.exact};
+        }
+        if (a.lo) {
+            // When the window [lo, hi] cannot wrap the modulus — the
+            // base is stride-aligned and the span fits in the residual —
+            // the mod distributes over the window.
+            Expr span = analyzer.simplify(
+                binary(ExprKind::kSub, a.hi, a.lo));
+            int64_t span_v = constIntOr(span, -1);
+            int64_t g = analyzer.stride(a.lo, c);
+            if (span_v >= 0 && (c - g) + span_v < c) {
+                Expr divisor = intImm(c, index->dtype);
+                Expr lo = analyzer.simplify(floormod(a.lo, divisor));
+                Expr hi = analyzer.simplify(lo + span_v);
+                return {lo, hi, a.exact};
+            }
+        }
+        // Conservative: a full period.
+        return {intImm(0, index->dtype), intImm(c - 1, index->dtype),
+                false};
+      }
+      case ExprKind::kMin:
+      case ExprKind::kMax: {
+        const auto& n = static_cast<const BinaryNode&>(*index);
+        SymBound a = evalSymBound(n.a, env, analyzer);
+        SymBound b = evalSymBound(n.b, env, analyzer);
+        if (!a.lo || !b.lo) return {nullptr, nullptr, false};
+        if (index->kind == ExprKind::kMin) {
+            return {analyzer.simplify(minExpr(a.lo, b.lo)),
+                    analyzer.simplify(minExpr(a.hi, b.hi)),
+                    a.exact && b.exact};
+        }
+        return {analyzer.simplify(maxExpr(a.lo, b.lo)),
+                analyzer.simplify(maxExpr(a.hi, b.hi)),
+                a.exact && b.exact};
+      }
+      case ExprKind::kSelect: {
+        const auto& n = static_cast<const SelectNode&>(*index);
+        SymBound a = evalSymBound(n.tval, env, analyzer);
+        SymBound b = evalSymBound(n.fval, env, analyzer);
+        if (!a.lo || !b.lo) return {nullptr, nullptr, false};
+        return {analyzer.simplify(minExpr(a.lo, b.lo)),
+                analyzer.simplify(maxExpr(a.hi, b.hi)), false};
+      }
+      case ExprKind::kCast: {
+        return evalSymBound(static_cast<const CastNode&>(*index).value,
+                            env, analyzer);
+      }
+      default:
+        return {nullptr, nullptr, false};
+    }
+}
+
+namespace {
+
+/** Accumulates per-buffer region hulls. */
+class RegionAccumulator
+{
+  public:
+    RegionAccumulator(const RangeEnv* env, Analyzer* analyzer)
+        : env_(env), analyzer_(analyzer)
+    {}
+
+    void
+    addAccess(const Buffer& buffer, const std::vector<Expr>& indices,
+              bool is_write, int64_t extent_hint = 1)
+    {
+        std::vector<Range> region;
+        region.reserve(indices.size());
+        for (size_t d = 0; d < indices.size(); ++d) {
+            SymBound bound = evalSymBound(indices[d], *env_, *analyzer_);
+            if (!bound.lo) {
+                // Unknown: whole dimension.
+                region.emplace_back(intImm(0), buffer->shape[d]);
+            } else {
+                Expr extent =
+                    analyzer_->simplify(bound.hi - bound.lo + 1);
+                region.emplace_back(bound.lo, extent);
+            }
+        }
+        (void)extent_hint;
+        addRegion(BufferRegion(buffer, std::move(region)), is_write);
+    }
+
+    void
+    addRegion(BufferRegion region, bool is_write)
+    {
+        auto& list = is_write ? writes_ : reads_;
+        for (BufferRegion& existing : list) {
+            if (existing.buffer == region.buffer) {
+                existing = regionUnion(existing, region, *analyzer_);
+                return;
+            }
+        }
+        list.push_back(std::move(region));
+    }
+
+    AccessRegions
+    take()
+    {
+        return {std::move(reads_), std::move(writes_)};
+    }
+
+  private:
+    const RangeEnv* env_;
+    Analyzer* analyzer_;
+    std::vector<BufferRegion> reads_;
+    std::vector<BufferRegion> writes_;
+};
+
+/** Walks a statement, widening env with loop ranges along the way. */
+class RegionVisitor : public StmtExprVisitor
+{
+  public:
+    RegionVisitor(RangeEnv env, Analyzer analyzer)
+        : env_(std::move(env)), analyzer_(std::move(analyzer)),
+          accum_(&env_, &analyzer_)
+    {}
+
+    AccessRegions run(const Stmt& stmt)
+    {
+        visitStmt(stmt);
+        return accum_.take();
+    }
+
+  protected:
+    void
+    visitBufferLoad(const BufferLoadNode& node) override
+    {
+        accum_.addAccess(node.buffer, node.indices, /*is_write=*/false);
+        StmtExprVisitor::visitBufferLoad(node);
+    }
+
+    void
+    visitBufferPtr(const BufferPtrNode& node) override
+    {
+        // Opaque intrinsic pointer: conservatively the whole buffer, both
+        // directions.
+        accum_.addRegion(BufferRegion::full(node.buffer), false);
+        accum_.addRegion(BufferRegion::full(node.buffer), true);
+    }
+
+    void
+    visitBufferStore(const BufferStoreNode& node) override
+    {
+        accum_.addAccess(node.buffer, node.indices, /*is_write=*/true);
+        visitExpr(node.value);
+        for (const Expr& idx : node.indices) visitExpr(idx);
+    }
+
+    void
+    visitFor(const ForNode& node) override
+    {
+        env_[node.loop_var.get()] = Range(node.min, node.extent);
+        analyzer_.bind(node.loop_var, Range(node.min, node.extent));
+        StmtExprVisitor::visitFor(node);
+        env_.erase(node.loop_var.get());
+    }
+
+    void
+    visitBlockRealize(const BlockRealizeNode& node) override
+    {
+        // Summarize the nested block by its signature, with iterator
+        // values substituted, never by inspecting its body.
+        const BlockNode& block = *node.block;
+        VarMap vmap;
+        for (size_t i = 0; i < block.iter_vars.size(); ++i) {
+            vmap[block.iter_vars[i].var.get()] = node.iter_values[i];
+            visitExpr(node.iter_values[i]);
+        }
+        auto widen = [&](const std::vector<BufferRegion>& regions,
+                         bool is_write) {
+            for (const BufferRegion& br : regions) {
+                std::vector<Range> widened;
+                widened.reserve(br.region.size());
+                for (const Range& r : br.region) {
+                    Expr min_sub = substitute(r.min, vmap);
+                    Expr ext_sub = substitute(r.extent, vmap);
+                    SymBound lo = evalSymBound(min_sub, env_, analyzer_);
+                    SymBound hi = evalSymBound(
+                        analyzer_.simplify(min_sub + ext_sub - 1), env_,
+                        analyzer_);
+                    if (!lo.lo || !hi.hi) {
+                        widened.emplace_back(intImm(0),
+                                             intImm(Interval::kPosInf));
+                    } else {
+                        widened.emplace_back(
+                            lo.lo,
+                            analyzer_.simplify(hi.hi - lo.lo + 1));
+                    }
+                }
+                // Clamp unknown dims to the buffer shape.
+                for (size_t d = 0; d < widened.size(); ++d) {
+                    int64_t ext = constIntOr(widened[d].extent, -1);
+                    if (ext < 0 || ext >= Interval::kPosInf) {
+                        widened[d] = Range(intImm(0), br.buffer->shape[d]);
+                    }
+                }
+                accum_.addRegion(BufferRegion(br.buffer, widened),
+                                 is_write);
+            }
+        };
+        widen(block.reads, false);
+        widen(block.writes, true);
+        // Do not descend into the block body; alloc'd buffers are local.
+    }
+
+  private:
+    RangeEnv env_;
+    Analyzer analyzer_;
+    RegionAccumulator accum_;
+};
+
+} // namespace
+
+AccessRegions
+detectRegions(const Stmt& stmt, const RangeEnv& env)
+{
+    Analyzer analyzer;
+    for (const auto& [var_node, range] : env) {
+        int64_t min_v = 0;
+        int64_t ext_v = 0;
+        if (isConstInt(range.min, &min_v) &&
+            isConstInt(range.extent, &ext_v)) {
+            // Rebind through a temporary Var handle aliasing the node.
+            Var alias(range.min, var_node); // aliasing constructor
+            analyzer.bind(alias, Interval(min_v, min_v + ext_v - 1));
+        }
+    }
+    RegionVisitor visitor(env, std::move(analyzer));
+    return visitor.run(stmt);
+}
+
+bool
+regionCovers(const BufferRegion& cover, const BufferRegion& target,
+             const Analyzer& analyzer)
+{
+    if (cover.buffer != target.buffer) return false;
+    TIR_ICHECK(cover.region.size() == target.region.size());
+    for (size_t d = 0; d < cover.region.size(); ++d) {
+        const Range& c = cover.region[d];
+        const Range& t = target.region[d];
+        // c.min <= t.min and c.min + c.extent >= t.min + t.extent
+        Expr lower_ok = analyzer.simplify(t.min - c.min);
+        Expr upper_ok = analyzer.simplify((c.min + c.extent) -
+                                          (t.min + t.extent));
+        if (!(analyzer.evalInterval(lower_ok).lo >= 0)) return false;
+        if (!(analyzer.evalInterval(upper_ok).lo >= 0)) return false;
+    }
+    return true;
+}
+
+BufferRegion
+regionUnion(const BufferRegion& a, const BufferRegion& b,
+            const Analyzer& analyzer)
+{
+    TIR_ICHECK(a.buffer == b.buffer);
+    TIR_ICHECK(a.region.size() == b.region.size());
+    std::vector<Range> result;
+    result.reserve(a.region.size());
+    for (size_t d = 0; d < a.region.size(); ++d) {
+        const Range& ra = a.region[d];
+        const Range& rb = b.region[d];
+        Expr lo = analyzer.simplify(minExpr(ra.min, rb.min));
+        Expr hi = analyzer.simplify(
+            maxExpr(ra.min + ra.extent, rb.min + rb.extent));
+        result.emplace_back(lo, analyzer.simplify(hi - lo));
+    }
+    return {a.buffer, std::move(result)};
+}
+
+} // namespace arith
+} // namespace tir

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Symbolic buffer-region analysis. Computes the rectangular read/write
+ * regions a statement touches, expressed over the variables left unbound
+ * by the environment. This produces the access-region part of a block
+ * signature and powers the producer-consumer cover validation (§3.3).
+ */
+#ifndef TENSORIR_ARITH_REGION_H
+#define TENSORIR_ARITH_REGION_H
+
+#include <unordered_map>
+
+#include "arith/analyzer.h"
+#include "ir/stmt.h"
+
+namespace tir {
+namespace arith {
+
+/** Environment mapping variables to their (possibly symbolic) ranges. */
+using RangeEnv = std::unordered_map<const VarNode*, Range>;
+
+/** Read and write regions of a statement. */
+struct AccessRegions
+{
+    std::vector<BufferRegion> reads;
+    std::vector<BufferRegion> writes;
+};
+
+/**
+ * Detect the buffer regions accessed by `stmt`. Variables bound in `env`
+ * are widened over their ranges; unbound variables stay symbolic. Nested
+ * blocks are summarized through their signatures (never their bodies),
+ * matching the paper's isolation principle.
+ */
+AccessRegions detectRegions(const Stmt& stmt, const RangeEnv& env);
+
+/** Evaluate the inclusive symbolic bounds of an index expression. */
+struct SymBound
+{
+    Expr lo;
+    Expr hi;
+    bool exact = true;
+};
+SymBound evalSymBound(const Expr& index, const RangeEnv& env,
+                      const Analyzer& analyzer);
+
+/** True when region `cover` provably contains region `target` per-dim. */
+bool regionCovers(const BufferRegion& cover, const BufferRegion& target,
+                  const Analyzer& analyzer);
+
+/** Per-dimension union hull of two regions of the same buffer. */
+BufferRegion regionUnion(const BufferRegion& a, const BufferRegion& b,
+                         const Analyzer& analyzer);
+
+} // namespace arith
+} // namespace tir
+
+#endif // TENSORIR_ARITH_REGION_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Vendor-library and framework baselines for the evaluation (§5).
+ *
+ * CUTLASS / TensorRT / ArmComputeLib / PyTorch / QNNPACK are modeled as
+ * roofline-style estimators with per-(library, operator) efficiency
+ * factors that encode what the paper reports qualitatively: dedicated
+ * teams optimize GEMM-like kernels close to peak, generic convolutions
+ * run through im2col-style paths with lower efficiency, several
+ * operators are simply unsupported, and frameworks add per-operator
+ * launch/dispatch overheads. The factors are calibration constants, not
+ * measurements — they give the baselines the paper's qualitative shape.
+ */
+#ifndef TENSORIR_BASELINES_LIBRARIES_H
+#define TENSORIR_BASELINES_LIBRARIES_H
+
+#include <optional>
+#include <string>
+
+#include "hwsim/device.h"
+#include "workloads/workloads.h"
+
+namespace tir {
+namespace baselines {
+
+/** Which library persona to emulate. */
+enum class Library
+{
+    kCutlass,
+    kTensorRT,
+    kArmComputeLib,
+    kPyTorchCuda,
+    kPyTorchQnnpack,
+};
+
+/** Printable library name. */
+std::string libraryName(Library library);
+
+/**
+ * Estimated latency of a library executing `op` on `device`;
+ * std::nullopt when the library does not support the operator (CUTLASS
+ * has no DEP/GRP/T2D kernels; TensorRT lacks the ViT attention ops;
+ * QNNPACK has no sdot path so it runs at NEON-scalar rates).
+ */
+std::optional<double> libraryLatencyUs(Library library,
+                                       const workloads::OpSpec& op,
+                                       const hwsim::GpuDevice& gpu);
+
+/** CPU-library variant (ArmComputeLib / PyTorch+QNNPACK). */
+std::optional<double> libraryLatencyUsCpu(Library library,
+                                          const workloads::OpSpec& op,
+                                          const hwsim::CpuDevice& cpu);
+
+} // namespace baselines
+} // namespace tir
+
+#endif // TENSORIR_BASELINES_LIBRARIES_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * C source backend for lowered (block-free) CPU functions. Emits a
+ * self-contained C translation unit: buffer parameters become pointer
+ * arguments, loops become for statements (parallel loops carry an
+ * OpenMP pragma), and tensor-intrinsic calls are routed to generic
+ * tile-MMA helper functions emitted in the preamble. This closes the
+ * paper's pipeline — schedule, validate, lower, generate code — for the
+ * CPU target.
+ */
+#ifndef TENSORIR_CODEGEN_C_CODEGEN_H
+#define TENSORIR_CODEGEN_C_CODEGEN_H
+
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace tir {
+namespace codegen {
+
+/**
+ * Emit a C function (plus required helpers) for a lowered CPU function.
+ * Fatal on GPU thread bindings or remaining blocks.
+ */
+std::string emitC(const PrimFunc& func);
+
+/**
+ * Emit a standalone C program: the function, a main() that fills every
+ * input deterministically, runs the function, and prints a checksum of
+ * the outputs (one value per output buffer, `%.6e` format). Used by the
+ * compile-and-run example and the codegen tests.
+ */
+std::string emitStandaloneC(const PrimFunc& func, int num_outputs);
+
+} // namespace codegen
+} // namespace tir
+
+#endif // TENSORIR_CODEGEN_C_CODEGEN_H

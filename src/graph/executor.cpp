@@ -1,0 +1,69 @@
+#include "graph/executor.h"
+
+namespace tir {
+namespace graph {
+
+ModelResult
+runModelTuned(const ModelSpec& model, const hwsim::DeviceModel& device,
+              const std::string& target,
+              const std::vector<std::string>& intrins,
+              meta::TunerStyle style, const meta::TuneOptions& options)
+{
+    ModelResult result;
+    switch (style) {
+      case meta::TunerStyle::kTensorIR: result.system = "TensorIR"; break;
+      case meta::TunerStyle::kLoopOnly: result.system = "TVM"; break;
+      case meta::TunerStyle::kAmosLike: result.system = "AMOS"; break;
+    }
+    uint64_t seed = options.seed;
+    for (const Layer& layer : model.layers) {
+        meta::TuneTask task{layer.op.func, layer.op.einsum_block, target,
+                            intrins};
+        meta::TuneOptions opts = options;
+        opts.seed = seed++;
+        if (style == meta::TunerStyle::kLoopOnly) {
+            // The paper's Table 1 observation: without tensorization the
+            // search space is larger, so the baseline spends more trials
+            // per task to converge.
+            opts.generations = options.generations +
+                               (options.generations + 1) / 2;
+        }
+        meta::TuneResult tuned =
+            meta::autoTune(task, device, opts, style);
+        result.latency_us += tuned.best_latency_us * layer.count;
+        result.tuning_minutes += tuned.tuning_cost_us / 60e6;
+    }
+    return result;
+}
+
+ModelResult
+runModelLibrary(const ModelSpec& model, baselines::Library library,
+                const hwsim::GpuDevice& gpu, const hwsim::CpuDevice& cpu,
+                bool is_gpu, double per_op_overhead_us)
+{
+    ModelResult result;
+    result.system = baselines::libraryName(library);
+    if (is_gpu && library == baselines::Library::kTensorRT &&
+        model.tensorrt_unsupported) {
+        result.supported = false;
+        return result;
+    }
+    for (const Layer& layer : model.layers) {
+        std::optional<double> latency =
+            is_gpu ? baselines::libraryLatencyUs(library, layer.op, gpu)
+                   : baselines::libraryLatencyUsCpu(library, layer.op,
+                                                    cpu);
+        if (!latency) {
+            result.supported = false;
+            return result;
+        }
+        result.latency_us += *latency * layer.count;
+    }
+    // Eager frameworks pay per-op dispatch for the elementwise glue that
+    // compilers fuse away.
+    result.latency_us += model.framework_extra_ops * per_op_overhead_us;
+    return result;
+}
+
+} // namespace graph
+} // namespace tir

@@ -1,0 +1,247 @@
+#include "graph/models.h"
+
+namespace tir {
+namespace graph {
+
+namespace {
+
+using workloads::batchMatmul;
+using workloads::conv2d;
+using workloads::depthwiseConv2d;
+using workloads::gmm;
+
+/** Shorthand for a conv2d layer. */
+Layer
+conv(int64_t n, int64_t hw, int64_t ci, int64_t co, int64_t k,
+     int64_t stride, int64_t pad, int count, DataType in_dtype,
+     DataType acc)
+{
+    return {conv2d(n, hw, hw, ci, co, k, stride, pad, 1, in_dtype, acc),
+            count};
+}
+
+Layer
+dep(int64_t n, int64_t hw, int64_t c, int64_t stride, int count,
+    DataType in_dtype, DataType acc)
+{
+    return {depthwiseConv2d(n, hw, hw, c, 3, stride, 1, in_dtype, acc),
+            count};
+}
+
+} // namespace
+
+ModelSpec
+resnet50Gpu()
+{
+    DataType f16 = DataType::f16();
+    ModelSpec model;
+    model.name = "ResNet-50";
+    // Representative unique bottleneck layers (batch 1, NHWC).
+    model.layers = {
+        conv(1, 224, 4, 64, 7, 2, 3, 1, f16, f16), // stem (3->4 padded)
+        conv(1, 56, 64, 64, 1, 1, 0, 3, f16, f16),
+        conv(1, 56, 64, 64, 3, 1, 1, 3, f16, f16),
+        conv(1, 56, 64, 256, 1, 1, 0, 3, f16, f16),
+        conv(1, 56, 256, 64, 1, 1, 0, 2, f16, f16),
+        conv(1, 56, 256, 128, 1, 2, 0, 1, f16, f16),
+        conv(1, 28, 128, 128, 3, 1, 1, 4, f16, f16),
+        conv(1, 28, 128, 512, 1, 1, 0, 4, f16, f16),
+        conv(1, 28, 512, 128, 1, 1, 0, 3, f16, f16),
+        conv(1, 28, 512, 256, 1, 2, 0, 1, f16, f16),
+        conv(1, 14, 256, 256, 3, 1, 1, 6, f16, f16),
+        conv(1, 14, 256, 1024, 1, 1, 0, 6, f16, f16),
+        conv(1, 14, 1024, 256, 1, 1, 0, 5, f16, f16),
+        conv(1, 14, 1024, 512, 1, 2, 0, 1, f16, f16),
+        conv(1, 7, 512, 512, 3, 1, 1, 3, f16, f16),
+        conv(1, 7, 512, 2048, 1, 1, 0, 3, f16, f16),
+        conv(1, 7, 2048, 512, 1, 1, 0, 2, f16, f16),
+        {gmm(16, 1000, 2048, f16, f16), 1}, // padded-batch classifier
+    };
+    model.framework_extra_ops = 70; // bn/relu/add per bottleneck
+    return model;
+}
+
+ModelSpec
+mobilenetV2Gpu()
+{
+    DataType f16 = DataType::f16();
+    ModelSpec model;
+    model.name = "MobileNet-V2";
+    model.layers = {
+        conv(1, 224, 4, 32, 3, 2, 1, 1, f16, f16),
+        dep(1, 112, 32, 1, 1, f16, f16),
+        conv(1, 112, 32, 16, 1, 1, 0, 1, f16, f16),
+        conv(1, 112, 16, 96, 1, 1, 0, 1, f16, f16),
+        dep(1, 112, 96, 2, 1, f16, f16),
+        conv(1, 56, 96, 24, 1, 1, 0, 1, f16, f16),
+        conv(1, 56, 24, 144, 1, 1, 0, 2, f16, f16),
+        dep(1, 56, 144, 1, 1, f16, f16),
+        dep(1, 56, 144, 2, 1, f16, f16),
+        conv(1, 56, 144, 24, 1, 1, 0, 1, f16, f16),
+        conv(1, 28, 144, 32, 1, 1, 0, 1, f16, f16),
+        conv(1, 28, 32, 192, 1, 1, 0, 3, f16, f16),
+        dep(1, 28, 192, 1, 2, f16, f16),
+        dep(1, 28, 192, 2, 1, f16, f16),
+        conv(1, 28, 192, 32, 1, 1, 0, 2, f16, f16),
+        conv(1, 14, 192, 64, 1, 1, 0, 1, f16, f16),
+        conv(1, 14, 64, 384, 1, 1, 0, 4, f16, f16),
+        dep(1, 14, 384, 1, 4, f16, f16),
+        conv(1, 14, 384, 64, 1, 1, 0, 3, f16, f16),
+        conv(1, 14, 384, 96, 1, 1, 0, 1, f16, f16),
+        conv(1, 14, 96, 576, 1, 1, 0, 3, f16, f16),
+        dep(1, 14, 576, 1, 2, f16, f16),
+        dep(1, 14, 576, 2, 1, f16, f16),
+        conv(1, 14, 576, 96, 1, 1, 0, 2, f16, f16),
+        conv(1, 7, 576, 160, 1, 1, 0, 1, f16, f16),
+        conv(1, 7, 160, 960, 1, 1, 0, 3, f16, f16),
+        dep(1, 7, 960, 1, 3, f16, f16),
+        conv(1, 7, 960, 160, 1, 1, 0, 2, f16, f16),
+        conv(1, 7, 960, 320, 1, 1, 0, 1, f16, f16),
+        conv(1, 7, 320, 1280, 1, 1, 0, 1, f16, f16),
+        {gmm(16, 1000, 1280, f16, f16), 1},
+    };
+    model.framework_extra_ops = 105;
+    return model;
+}
+
+ModelSpec
+bertLargeGpu()
+{
+    DataType f16 = DataType::f16();
+    ModelSpec model;
+    model.name = "BERT-large";
+    const int layers = 24;
+    const int64_t seq = 384;
+    const int64_t hidden = 1024;
+    const int heads = 16;
+    const int64_t head_dim = hidden / heads;
+    model.layers = {
+        {gmm(seq, 3 * hidden, hidden, f16, f16), layers},     // QKV
+        {batchMatmul(heads, seq, seq, head_dim, f16, f16), layers},
+        {batchMatmul(heads, seq, head_dim, seq, f16, f16), layers},
+        {gmm(seq, hidden, hidden, f16, f16), layers},         // proj
+        {gmm(seq, 4 * hidden, hidden, f16, f16), layers},     // FFN in
+        {gmm(seq, hidden, 4 * hidden, f16, f16), layers},     // FFN out
+    };
+    model.framework_extra_ops = layers * 8; // layernorm/softmax/gelu/add
+    return model;
+}
+
+ModelSpec
+vitGpu()
+{
+    DataType f16 = DataType::f16();
+    ModelSpec model;
+    model.name = "ViT";
+    const int layers = 12;
+    const int64_t seq = 256;
+    const int64_t hidden = 768;
+    const int heads = 12;
+    const int64_t head_dim = hidden / heads;
+    model.layers = {
+        conv(1, 224, 4, hidden, 16, 16, 0, 1, f16, f16), // patch embed
+        {gmm(seq, 3 * hidden, hidden, f16, f16), layers},
+        {batchMatmul(heads, seq, seq, head_dim, f16, f16), layers},
+        {batchMatmul(heads, seq, head_dim, seq, f16, f16), layers},
+        {gmm(seq, hidden, hidden, f16, f16), layers},
+        {gmm(seq, 4 * hidden, hidden, f16, f16), layers},
+        {gmm(seq, hidden, 4 * hidden, f16, f16), layers},
+    };
+    model.framework_extra_ops = layers * 8;
+    // The paper's §5.2: TensorRT does not yet support this emerging
+    // model family.
+    model.tensorrt_unsupported = true;
+    return model;
+}
+
+namespace {
+
+ModelSpec
+quantize(const ModelSpec& base, const std::string& suffix)
+{
+    // Rebuild every layer with int8 inputs and int32 accumulators.
+    ModelSpec model;
+    model.name = base.name + suffix;
+    model.framework_extra_ops = base.framework_extra_ops;
+    for (const Layer& layer : base.layers) {
+        // The workload generators capture shapes; reconstruct from the
+        // function signature would be heavyweight, so quantized models
+        // are built directly below instead.
+        (void)layer;
+    }
+    return model;
+}
+
+} // namespace
+
+ModelSpec
+resnet50Arm()
+{
+    DataType i8 = DataType::i8();
+    DataType i32 = DataType::i32();
+    ModelSpec model;
+    model.name = "ResNet-50-int8";
+    model.layers = {
+        conv(1, 56, 64, 64, 3, 1, 1, 6, i8, i32),
+        conv(1, 56, 64, 256, 1, 1, 0, 4, i8, i32),
+        conv(1, 28, 128, 128, 3, 1, 1, 4, i8, i32),
+        conv(1, 28, 128, 512, 1, 1, 0, 6, i8, i32),
+        conv(1, 14, 256, 256, 3, 1, 1, 6, i8, i32),
+        conv(1, 14, 256, 1024, 1, 1, 0, 8, i8, i32),
+        conv(1, 7, 512, 512, 3, 1, 1, 3, i8, i32),
+        conv(1, 7, 512, 2048, 1, 1, 0, 5, i8, i32),
+        {gmm(16, 1000, 2048, i8, i32), 1},
+    };
+    model.framework_extra_ops = 70;
+    (void)quantize; // documented alternative path
+    return model;
+}
+
+ModelSpec
+mobilenetV2Arm()
+{
+    DataType i8 = DataType::i8();
+    DataType i32 = DataType::i32();
+    ModelSpec model;
+    model.name = "MobileNet-V2-int8";
+    model.layers = {
+        conv(1, 112, 32, 16, 1, 1, 0, 1, i8, i32),
+        dep(1, 112, 96, 2, 2, i8, i32),
+        conv(1, 56, 96, 24, 1, 1, 0, 2, i8, i32),
+        dep(1, 56, 144, 1, 2, i8, i32),
+        conv(1, 28, 144, 32, 1, 1, 0, 3, i8, i32),
+        dep(1, 28, 192, 1, 3, i8, i32),
+        conv(1, 14, 192, 64, 1, 1, 0, 4, i8, i32),
+        dep(1, 14, 384, 1, 4, i8, i32),
+        conv(1, 14, 384, 96, 1, 1, 0, 3, i8, i32),
+        dep(1, 14, 576, 1, 3, i8, i32),
+        conv(1, 7, 576, 160, 1, 1, 0, 3, i8, i32),
+        conv(1, 7, 960, 320, 1, 1, 0, 2, i8, i32),
+        {gmm(16, 1000, 1280, i8, i32), 1},
+    };
+    model.framework_extra_ops = 105;
+    return model;
+}
+
+ModelSpec
+bertBaseArm()
+{
+    DataType i8 = DataType::i8();
+    DataType i32 = DataType::i32();
+    ModelSpec model;
+    model.name = "BERT-base-int8";
+    const int layers = 12;
+    const int64_t seq = 128;
+    const int64_t hidden = 768;
+    model.layers = {
+        {gmm(seq, 3 * hidden, hidden, i8, i32), layers},
+        {gmm(seq, hidden, hidden, i8, i32), layers},
+        {gmm(seq, 4 * hidden, hidden, i8, i32), layers},
+        {gmm(seq, hidden, 4 * hidden, i8, i32), layers},
+    };
+    model.framework_extra_ops = layers * 8;
+    return model;
+}
+
+} // namespace graph
+} // namespace tir

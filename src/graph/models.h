@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Operator-graph model zoo for the end-to-end evaluation (§5.2, §5.3):
+ * ResNet-50, MobileNet-V2, BERT-large and ViT as lists of unique layer
+ * workloads with occurrence counts (task extraction is by construction:
+ * identical layers share one tuning task).
+ */
+#ifndef TENSORIR_GRAPH_MODELS_H
+#define TENSORIR_GRAPH_MODELS_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/workloads.h"
+
+namespace tir {
+namespace graph {
+
+/** One unique layer and how many times the model runs it. */
+struct Layer
+{
+    workloads::OpSpec op;
+    int count = 1;
+};
+
+/** A model as a bag of unique layers. */
+struct ModelSpec
+{
+    std::string name;
+    std::vector<Layer> layers;
+    /** Elementwise/normalization ops fused away by compilers but paid
+     *  per-op by eager frameworks. */
+    int framework_extra_ops = 0;
+    /** True when TensorRT has no kernel coverage for the model (ViT). */
+    bool tensorrt_unsupported = false;
+
+    double
+    totalMacs() const
+    {
+        double total = 0;
+        for (const Layer& l : layers) total += l.op.macs * l.count;
+        return total;
+    }
+};
+
+/** ResNet-50, batch 1, fp16 (representative unique-layer set). */
+ModelSpec resnet50Gpu();
+/** MobileNet-V2, batch 1, fp16. */
+ModelSpec mobilenetV2Gpu();
+/** BERT-large, sequence 384, fp16. */
+ModelSpec bertLargeGpu();
+/** ViT-Base, 256 tokens, fp16 (TensorRT-unsupported per §5.2). */
+ModelSpec vitGpu();
+
+/** Quantized int8 models for the ARM evaluation (§5.3). */
+ModelSpec resnet50Arm();
+ModelSpec mobilenetV2Arm();
+ModelSpec bertBaseArm();
+
+} // namespace graph
+} // namespace tir
+
+#endif // TENSORIR_GRAPH_MODELS_H

@@ -1,0 +1,172 @@
+#include "hwsim/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tir {
+namespace hwsim {
+
+RunEstimate
+DeviceModel::run(const PrimFunc& func) const
+{
+    return estimate(extractStats(func));
+}
+
+RunEstimate
+GpuDevice::estimate(const ProgramStats& stats) const
+{
+    RunEstimate result;
+    if (stats.block_threads > max_threads_per_block) {
+        result.violation = "thread block exceeds " +
+                           std::to_string(
+                               static_cast<int>(max_threads_per_block)) +
+                           " threads";
+        result.latency_us = std::numeric_limits<double>::infinity();
+        return result;
+    }
+    if (stats.shared_alloc_bytes > max_shared_bytes) {
+        result.violation = "shared memory allocation exceeds capacity";
+        result.latency_us = std::numeric_limits<double>::infinity();
+        return result;
+    }
+
+    const double cycles_per_us = clock_ghz * 1e3;
+
+    // Occupancy: how much of the machine the launch geometry can fill.
+    // Warp-scope tensor intrinsics engage 32 implicit lanes per warp.
+    double lane_factor =
+        stats.intrin_macs.count("tensor_core") ? 32.0 : 1.0;
+    double total_threads =
+        stats.grid_blocks * stats.block_threads * lane_factor;
+    double machine_threads = sms * threads_for_full_occupancy_per_sm;
+    double occupancy = stats.uses_gpu_threads
+                           ? std::min(1.0, total_threads / machine_threads)
+                           : 1.0 / machine_threads;
+    // Very small blocks schedule poorly.
+    if (stats.uses_gpu_threads && stats.block_threads < 32) {
+        occupancy *= stats.block_threads / 32.0;
+    }
+    occupancy = std::max(occupancy, 1e-6);
+
+    // Compute pipes (cycles).
+    double scalar_cycles =
+        stats.scalar_ops / (sms * fma_per_sm_per_cycle * occupancy);
+    double tc_macs = 0;
+    double dot_macs = 0;
+    for (const auto& [unit, macs] : stats.intrin_macs) {
+        if (unit == "tensor_core") {
+            tc_macs += macs;
+        } else {
+            dot_macs += macs;
+        }
+    }
+    double tc_cycles =
+        tc_macs / (sms * tc_macs_per_sm_per_cycle * occupancy);
+    double dot_cycles =
+        dot_macs / (sms * dot_macs_per_sm_per_cycle * occupancy);
+    double loop_cycles = stats.loop_iterations /
+                         (sms * fma_per_sm_per_cycle * occupancy);
+
+    // Memory system. Coalescing/vectorization efficiency: fully
+    // vectorized copies reach peak bandwidth, scalar ones reach half.
+    double global_bytes = stats.totalBytes("global");
+    double all_bytes = 1e-9;
+    for (const auto& [scope, bytes] : stats.bytes_read) {
+        all_bytes += bytes;
+    }
+    for (const auto& [scope, bytes] : stats.bytes_written) {
+        all_bytes += bytes;
+    }
+    double vector_fraction =
+        std::min(1.0, stats.vector_bytes / all_bytes);
+    double bw_efficiency = 0.55 + 0.45 * vector_fraction;
+    double global_us = global_bytes /
+                       (global_bw_gbps * 1e3 * bw_efficiency *
+                        std::min(1.0, occupancy * 4));
+    double shared_bytes = stats.totalBytes("shared");
+    double shared_cycles =
+        shared_bytes / (sms * shared_bytes_per_sm_per_cycle * occupancy);
+    // Register-file / fragment scopes are effectively free; tiny charge
+    // keeps orderings stable.
+    double frag_bytes = 0;
+    for (const auto& [scope, bytes] : stats.bytes_read) {
+        if (scope != "global" && scope != "shared") frag_bytes += bytes;
+    }
+    double frag_cycles =
+        frag_bytes / (sms * shared_bytes_per_sm_per_cycle * 16 *
+                      occupancy);
+
+    double compute_us =
+        (scalar_cycles + tc_cycles + dot_cycles + loop_cycles * 0.15) /
+        cycles_per_us;
+    double mem_us =
+        global_us + (shared_cycles + frag_cycles) / cycles_per_us;
+    // Compute and memory overlap; the slower side dominates, with a
+    // small serialization tail from the other.
+    double body_us = std::max(compute_us, mem_us) +
+                     0.15 * std::min(compute_us, mem_us);
+    result.latency_us =
+        body_us + launch_overhead_us * std::max(1.0, stats.launches);
+    return result;
+}
+
+RunEstimate
+CpuDevice::estimate(const ProgramStats& stats) const
+{
+    RunEstimate result;
+    if (stats.uses_gpu_threads) {
+        result.violation = "GPU thread bindings on a CPU target";
+        result.latency_us = std::numeric_limits<double>::infinity();
+        return result;
+    }
+
+    const double cycles_per_us = clock_ghz * 1e3;
+    double cores_used =
+        std::min<double>(cores, std::max(1.0, stats.parallel_extent));
+
+    double all_bytes = 1e-9;
+    for (const auto& [scope, bytes] : stats.bytes_read) {
+        all_bytes += bytes;
+    }
+    for (const auto& [scope, bytes] : stats.bytes_written) {
+        all_bytes += bytes;
+    }
+    double vector_fraction =
+        std::min(1.0, stats.vector_bytes / all_bytes);
+    // Vectorized loops retire several scalar ops per instruction.
+    double scalar_rate = scalar_ops_per_core_per_cycle +
+                         (simd_ops_per_core_per_cycle -
+                          scalar_ops_per_core_per_cycle) *
+                             vector_fraction;
+    double scalar_cycles =
+        stats.scalar_ops / (cores_used * scalar_rate);
+    double sdot_macs = 0;
+    for (const auto& [unit, macs] : stats.intrin_macs) sdot_macs += macs;
+    double sdot_cycles =
+        sdot_macs / (cores_used * sdot_macs_per_core_per_cycle);
+    double loop_cycles =
+        stats.loop_iterations / (cores_used * 2.0);
+
+    // Memory: global traffic through DRAM bandwidth; non-global scopes
+    // model cache-resident staging buffers.
+    double global_us =
+        stats.totalBytes("global") / (mem_bw_gbps * 1e3);
+    double cached_us = 0;
+    for (const auto& [scope, bytes] : stats.bytes_read) {
+        if (scope != "global") cached_us += bytes;
+    }
+    for (const auto& [scope, bytes] : stats.bytes_written) {
+        if (scope != "global") cached_us += bytes;
+    }
+    cached_us /= (cached_bw_gbps_per_core * 1e3 * cores_used);
+
+    double compute_us =
+        (scalar_cycles + sdot_cycles + loop_cycles * 0.2) / cycles_per_us;
+    double mem_us = global_us + cached_us;
+    result.latency_us = std::max(compute_us, mem_us) +
+                        0.2 * std::min(compute_us, mem_us) + 1.0;
+    return result;
+}
+
+} // namespace hwsim
+} // namespace tir

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Analytical device models. These substitute for the paper's RTX 3080
+ * and Graviton2 testbeds: they convert extracted program-event counts
+ * into an estimated latency. The models capture the effects the paper's
+ * evaluation hinges on — tensor-core vs scalar throughput, per-scope
+ * memory bandwidth, occupancy from thread geometry, vectorized copies —
+ * so schedule-quality *orderings* carry over even though absolute
+ * numbers are synthetic. Constraint checks (threads per block, shared
+ * memory capacity) mirror the paper's threading validation (§3.3).
+ */
+#ifndef TENSORIR_HWSIM_DEVICE_H
+#define TENSORIR_HWSIM_DEVICE_H
+
+#include <memory>
+#include <string>
+
+#include "hwsim/stats.h"
+
+namespace tir {
+namespace hwsim {
+
+/** Result of running a program on a simulated device. */
+struct RunEstimate
+{
+    /** Estimated latency in microseconds; infinity when invalid. */
+    double latency_us = 0;
+    /** Empty when the program satisfies all device constraints. */
+    std::string violation;
+
+    bool valid() const { return violation.empty(); }
+};
+
+/** Base interface of all device models. */
+class DeviceModel
+{
+  public:
+    virtual ~DeviceModel() = default;
+    virtual std::string name() const = 0;
+    /** Estimate program latency (and check device constraints). */
+    virtual RunEstimate estimate(const ProgramStats& stats) const = 0;
+    /** Convenience: extract stats then estimate. */
+    RunEstimate run(const PrimFunc& func) const;
+};
+
+/** An RTX 3080-class GPU with Tensor Cores. */
+class GpuDevice : public DeviceModel
+{
+  public:
+    // Architecture parameters (3080-like).
+    int sms = 68;
+    double clock_ghz = 1.71;
+    double fma_per_sm_per_cycle = 128;      // fp32/fp16 scalar FMA lanes
+    double tc_macs_per_sm_per_cycle = 2048; // fp16 tensor core MACs
+    double dot_macs_per_sm_per_cycle = 512; // dp4a-style int8 dot
+    double global_bw_gbps = 760;
+    double shared_bytes_per_sm_per_cycle = 128;
+    double launch_overhead_us = 4.0;
+    double max_threads_per_block = 1024;
+    double max_shared_bytes = 100 * 1024;
+    double threads_for_full_occupancy_per_sm = 1024;
+
+    std::string name() const override { return "sim-gpu-rtx3080"; }
+    RunEstimate estimate(const ProgramStats& stats) const override;
+};
+
+/** A Graviton2-class ARM server CPU with NEON + sdot. */
+class CpuDevice : public DeviceModel
+{
+  public:
+    int cores = 64;
+    double clock_ghz = 2.5;
+    double scalar_ops_per_core_per_cycle = 4;  // superscalar ALUs
+    double simd_ops_per_core_per_cycle = 24;   // dual-issue NEON lanes
+    double sdot_macs_per_core_per_cycle = 32;  // 2x sdot issue, 16 MACs
+    double mem_bw_gbps = 190;
+    double cached_bw_gbps_per_core = 80;       // L1/L2-resident traffic
+
+    std::string name() const override { return "sim-cpu-graviton2"; }
+    RunEstimate estimate(const ProgramStats& stats) const override;
+};
+
+} // namespace hwsim
+} // namespace tir
+
+#endif // TENSORIR_HWSIM_DEVICE_H

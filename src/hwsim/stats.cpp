@@ -1,0 +1,272 @@
+#include "hwsim/stats.h"
+
+#include "intrin/tensor_intrin.h"
+#include "ir/functor.h"
+
+namespace tir {
+namespace hwsim {
+
+namespace {
+
+/** Count arithmetic operation nodes in an expression. */
+class OpCounter : public ExprVisitor
+{
+  public:
+    double ops = 0;
+
+    void
+    visitExpr(const Expr& e) override
+    {
+        switch (e->kind) {
+          case ExprKind::kAdd:
+          case ExprKind::kSub:
+          case ExprKind::kMul:
+          case ExprKind::kDiv:
+          case ExprKind::kMin:
+          case ExprKind::kMax:
+          case ExprKind::kSelect:
+            ops += 1;
+            break;
+          case ExprKind::kCall:
+            ops += 4; // transcendental-ish calls cost more
+            break;
+          default:
+            break;
+        }
+        ExprVisitor::visitExpr(e);
+    }
+};
+
+class StatsExtractor : public StmtExprVisitor
+{
+  public:
+    ProgramStats stats;
+
+    void
+    run(const PrimFunc& func)
+    {
+        visitStmt(func->body);
+        for (const auto& [buffer, footprint] : footprints_) {
+            if (buffer->scope == "shared") {
+                stats.shared_alloc_bytes += footprint;
+            } else {
+                stats.local_alloc_bytes += footprint;
+            }
+        }
+    }
+
+  protected:
+    void
+    visitFor(const ForNode& node) override
+    {
+        double extent =
+            static_cast<double>(std::max<int64_t>(
+                constIntOr(node.extent, 1), 1));
+        double saved_trip = trip_;
+        bool saved_vector = in_vectorized_;
+        bool launch_root = false;
+        trip_ *= extent;
+        switch (node.for_kind) {
+          case ForKind::kThreadBinding:
+            stats.uses_gpu_threads = true;
+            if (thread_depth_ == 0) {
+                // A new kernel launch begins here.
+                launch_root = true;
+                cur_grid_ = 1;
+                cur_threads_ = 1;
+                stats.launches += 1;
+            }
+            ++thread_depth_;
+            if (node.thread_tag.rfind("blockIdx", 0) == 0) {
+                cur_grid_ *= extent;
+            } else {
+                cur_threads_ *= extent;
+            }
+            break;
+          case ForKind::kParallel:
+            stats.parallel_extent =
+                std::max(stats.parallel_extent, extent);
+            stats.loop_iterations += trip_;
+            break;
+          case ForKind::kVectorized:
+            in_vectorized_ = true;
+            break;
+          case ForKind::kUnrolled:
+            stats.unrolled_iterations += trip_;
+            break;
+          case ForKind::kSerial:
+            stats.loop_iterations += trip_;
+            break;
+        }
+        visitStmt(node.body);
+        if (node.for_kind == ForKind::kThreadBinding) {
+            --thread_depth_;
+            if (launch_root) {
+                stats.grid_blocks =
+                    std::max(stats.grid_blocks, cur_grid_);
+                stats.block_threads =
+                    std::max(stats.block_threads, cur_threads_);
+            }
+        }
+        trip_ = saved_trip;
+        in_vectorized_ = saved_vector;
+    }
+
+    void
+    visitBlock(const BlockNode& node) override
+    {
+        // Identity layout rewrites are folded away by real compilers
+        // (the paper's inlined ReIndex stages): zero cost.
+        if (node.annotations.count("layout_free")) return;
+        auto it = node.annotations.find("tensor_intrin");
+        std::string saved_intrin = current_intrin_;
+        if (it != node.annotations.end() &&
+            it->second->kind == ExprKind::kStringImm) {
+            current_intrin_ =
+                static_cast<const StringImmNode&>(*it->second).value;
+        }
+        // Cooperative fetches distribute their iterations over the
+        // participating threads: divide the trip count accordingly.
+        double saved_trip = trip_;
+        auto coop = node.annotations.find("cooperative_fetch");
+        if (coop != node.annotations.end()) {
+            int64_t threads = constIntOr(coop->second, 1);
+            if (threads > 1) trip_ /= static_cast<double>(threads);
+        }
+        double saved_entry = block_entry_trip_;
+        block_entry_trip_ = trip_;
+        if (node.init) {
+            // The init statement runs once per output element, i.e. on
+            // the first reduction iteration only.
+            double reduce_extent = 1;
+            for (const IterVar& iv : node.iter_vars) {
+                if (iv.type == IterType::kReduce) {
+                    reduce_extent *= static_cast<double>(
+                        std::max<int64_t>(
+                            constIntOr(iv.dom.extent, 1), 1));
+                }
+            }
+            double saved = trip_;
+            trip_ /= std::max(1.0, reduce_extent);
+            visitStmt(node.init);
+            trip_ = saved;
+        }
+        visitStmt(node.body);
+        block_entry_trip_ = saved_entry;
+        trip_ = saved_trip;
+        current_intrin_ = saved_intrin;
+    }
+
+    void
+    visitBlockRealize(const BlockRealizeNode& node) override
+    {
+        visitBlock(*node.block);
+    }
+
+    void
+    visitBufferStore(const BufferStoreNode& node) override
+    {
+        double bytes =
+            static_cast<double>(node.buffer->dtype.bytes()) * trip_;
+        stats.bytes_written[node.buffer->scope] += bytes;
+        if (node.buffer->scope != "global") {
+            // Per-block-instance footprint: bytes written by one
+            // instance of the staging block bound the live tile size.
+            double per_instance =
+                bytes / std::max(1.0, block_entry_trip_);
+            double& footprint = footprints_[node.buffer.get()];
+            footprint = std::max(footprint, per_instance);
+        }
+        if (in_vectorized_) stats.vector_bytes += bytes;
+        OpCounter counter;
+        counter.visitExpr(node.value);
+        stats.scalar_ops += counter.ops * trip_;
+        StmtExprVisitor::visitBufferStore(node);
+    }
+
+    void
+    visitBufferLoad(const BufferLoadNode& node) override
+    {
+        double bytes =
+            static_cast<double>(node.buffer->dtype.bytes()) * trip_;
+        stats.bytes_read[node.buffer->scope] += bytes;
+        if (in_vectorized_) stats.vector_bytes += bytes;
+        StmtExprVisitor::visitBufferLoad(node);
+    }
+
+    void
+    visitCall(const CallNode& node) override
+    {
+        if (!current_intrin_.empty() &&
+            TensorIntrin::exists(current_intrin_)) {
+            const TensorIntrin& ti = TensorIntrin::get(current_intrin_);
+            stats.intrin_calls[ti.compute_unit] += trip_;
+            stats.intrin_macs[ti.compute_unit] +=
+                static_cast<double>(ti.macs) * trip_;
+            // Tile traffic: args are (C, A, B) pointers for matmul-style
+            // intrinsics.
+            auto tile_bytes = [&](int64_t rows, int64_t cols,
+                                  DataType dtype) {
+                return static_cast<double>(rows * cols * dtype.bytes()) *
+                       trip_;
+            };
+            for (size_t i = 0; i < node.args.size(); ++i) {
+                if (node.args[i]->kind != ExprKind::kBufferPtr) continue;
+                const auto& ptr =
+                    static_cast<const BufferPtrNode&>(*node.args[i]);
+                const std::string& scope = ptr.buffer->scope;
+                if (i == 0) {
+                    double bytes = tile_bytes(ti.tile_m, ti.tile_n,
+                                              ti.acc_dtype);
+                    stats.bytes_read[scope] += bytes;
+                    stats.bytes_written[scope] += bytes;
+                } else if (i == 1) {
+                    stats.bytes_read[scope] +=
+                        tile_bytes(ti.tile_m, ti.tile_k, ti.in_dtype);
+                } else {
+                    stats.bytes_read[scope] +=
+                        tile_bytes(ti.tile_k, ti.tile_n, ti.in_dtype);
+                }
+            }
+            return; // opaque: no scalar costs inside
+        }
+        StmtExprVisitor::visitCall(node);
+    }
+
+    void
+    visitStmt(const Stmt& s) override
+    {
+        if (s->kind == StmtKind::kIfThenElse) {
+            // Predicated copies (e.g. padding gathers) mostly take the
+            // then-branch; attribute full cost there only.
+            const auto& n = static_cast<const IfThenElseNode&>(*s);
+            visitExpr(n.cond);
+            visitStmt(n.then_case);
+            return;
+        }
+        StmtExprVisitor::visitStmt(s);
+    }
+
+  private:
+    double trip_ = 1;
+    double block_entry_trip_ = 1;
+    std::map<const BufferNode*, double> footprints_;
+    bool in_vectorized_ = false;
+    int thread_depth_ = 0;
+    double cur_grid_ = 1;
+    double cur_threads_ = 1;
+    std::string current_intrin_;
+};
+
+} // namespace
+
+ProgramStats
+extractStats(const PrimFunc& func)
+{
+    StatsExtractor extractor;
+    extractor.run(func);
+    return extractor.stats;
+}
+
+} // namespace hwsim
+} // namespace tir

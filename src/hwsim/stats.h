@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Static program-event extraction for the hardware performance model.
+ * Walks a scheduled TensorIR function and counts, per full program run:
+ * scalar arithmetic, tensor-intrinsic invocations, bytes moved per
+ * storage scope, loop iterations, thread-grid geometry, and annotation
+ * effects (vectorized/unrolled copies). Because counts multiply loop
+ * extents along the path, moving a copy block to a different tile level
+ * changes the extracted traffic exactly as it would on hardware.
+ */
+#ifndef TENSORIR_HWSIM_STATS_H
+#define TENSORIR_HWSIM_STATS_H
+
+#include <map>
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace tir {
+namespace hwsim {
+
+/** Aggregate dynamic-event counts of one program execution. */
+struct ProgramStats
+{
+    /** Scalar arithmetic operations executed in block bodies. */
+    double scalar_ops = 0;
+    /** Multiply-accumulates executed inside tensor intrinsics, keyed by
+     *  compute unit ("tensor_core", "dot4", "sdot"). */
+    std::map<std::string, double> intrin_macs;
+    /** Intrinsic invocation counts by compute unit. */
+    std::map<std::string, double> intrin_calls;
+    /** Bytes read per storage scope. */
+    std::map<std::string, double> bytes_read;
+    /** Bytes written per storage scope. */
+    std::map<std::string, double> bytes_written;
+    /** Bytes accessed under vectorized loops (any scope). */
+    double vector_bytes = 0;
+    /** Total loop iterations executed (loop control overhead). */
+    double loop_iterations = 0;
+    /** Iterations of unrolled loops (overhead removed). */
+    double unrolled_iterations = 0;
+    /** Largest per-launch product of blockIdx.* extents. */
+    double grid_blocks = 1;
+    /** Largest per-launch product of threadIdx.* extents. */
+    double block_threads = 1;
+    /** Number of kernel launches (top-level thread-bound nests). */
+    double launches = 0;
+    /** Largest parallel-loop extent (CPU threading). */
+    double parallel_extent = 1;
+    /** Bytes of shared-scope allocations (occupancy pressure). */
+    double shared_alloc_bytes = 0;
+    /** Bytes of register-scope allocations per thread. */
+    double local_alloc_bytes = 0;
+    /** True when any thread binding exists. */
+    bool uses_gpu_threads = false;
+
+    double
+    totalBytes(const std::string& scope) const
+    {
+        double total = 0;
+        auto r = bytes_read.find(scope);
+        auto w = bytes_written.find(scope);
+        if (r != bytes_read.end()) total += r->second;
+        if (w != bytes_written.end()) total += w->second;
+        return total;
+    }
+
+    double
+    totalIntrinMacs() const
+    {
+        double total = 0;
+        for (const auto& [unit, macs] : intrin_macs) total += macs;
+        return total;
+    }
+};
+
+/** Extract event counts from a scheduled function (static analysis). */
+ProgramStats extractStats(const PrimFunc& func);
+
+} // namespace hwsim
+} // namespace tir
+
+#endif // TENSORIR_HWSIM_STATS_H

@@ -1,0 +1,202 @@
+#include "ir/expr.h"
+
+namespace tir {
+
+int64_t
+BufferNode::numel() const
+{
+    int64_t total = 1;
+    for (size_t i = 0; i < shape.size(); ++i) total *= shapeInt(i);
+    return total;
+}
+
+int64_t
+BufferNode::shapeInt(size_t i) const
+{
+    TIR_ICHECK(i < shape.size());
+    int64_t value = 0;
+    TIR_CHECK(isConstInt(shape[i], &value))
+        << "buffer " << name << " has symbolic extent in dim " << i;
+    return value;
+}
+
+Expr
+intImm(int64_t value, DataType dtype)
+{
+    return std::make_shared<IntImmNode>(value, dtype);
+}
+
+Expr
+floatImm(double value, DataType dtype)
+{
+    return std::make_shared<FloatImmNode>(value, dtype);
+}
+
+Expr
+stringImm(std::string value)
+{
+    return std::make_shared<StringImmNode>(std::move(value));
+}
+
+Var
+var(std::string name, DataType dtype)
+{
+    return std::make_shared<VarNode>(std::move(name), dtype);
+}
+
+namespace {
+
+bool
+isCompare(ExprKind k)
+{
+    switch (k) {
+      case ExprKind::kEQ:
+      case ExprKind::kNE:
+      case ExprKind::kLT:
+      case ExprKind::kLE:
+      case ExprKind::kGT:
+      case ExprKind::kGE:
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+Expr
+binary(ExprKind kind, Expr a, Expr b)
+{
+    TIR_ICHECK(a && b) << "binary operands must be non-null";
+    DataType dtype = isCompare(kind) ? DataType::boolean() : a->dtype;
+    return std::make_shared<BinaryNode>(kind, dtype, std::move(a),
+                                        std::move(b));
+}
+
+Expr
+notExpr(Expr a)
+{
+    return std::make_shared<NotNode>(std::move(a));
+}
+
+Expr
+select(Expr cond, Expr tval, Expr fval)
+{
+    return std::make_shared<SelectNode>(std::move(cond), std::move(tval),
+                                        std::move(fval));
+}
+
+Expr
+cast(DataType dtype, Expr value)
+{
+    if (value->dtype == dtype) return value;
+    return std::make_shared<CastNode>(dtype, std::move(value));
+}
+
+Buffer
+makeBuffer(std::string name, std::vector<int64_t> shape, DataType dtype,
+           std::string scope)
+{
+    std::vector<Expr> shape_expr;
+    shape_expr.reserve(shape.size());
+    for (int64_t dim : shape) shape_expr.push_back(intImm(dim));
+    return std::make_shared<BufferNode>(std::move(name), dtype,
+                                        std::move(shape_expr),
+                                        std::move(scope));
+}
+
+Buffer
+makeBufferE(std::string name, std::vector<Expr> shape, DataType dtype,
+            std::string scope)
+{
+    return std::make_shared<BufferNode>(std::move(name), dtype,
+                                        std::move(shape), std::move(scope));
+}
+
+Expr
+bufferLoad(Buffer buffer, std::vector<Expr> indices)
+{
+    TIR_ICHECK(buffer->ndim() == indices.size())
+        << "load of " << buffer->name << ": " << indices.size()
+        << " indices for " << buffer->ndim() << " dims";
+    return std::make_shared<BufferLoadNode>(std::move(buffer),
+                                            std::move(indices));
+}
+
+Expr
+bufferPtr(Buffer buffer, std::vector<Expr> indices)
+{
+    TIR_ICHECK(buffer->ndim() == indices.size());
+    return std::make_shared<BufferPtrNode>(std::move(buffer),
+                                           std::move(indices));
+}
+
+Expr
+call(DataType dtype, std::string op, std::vector<Expr> args)
+{
+    return std::make_shared<CallNode>(dtype, std::move(op), std::move(args));
+}
+
+Expr operator+(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kAdd, a, b); }
+Expr operator-(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kSub, a, b); }
+Expr operator*(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kMul, a, b); }
+Expr operator+(const Expr& a, int64_t b)
+{ return a + intImm(b, a->dtype); }
+Expr operator-(const Expr& a, int64_t b)
+{ return a - intImm(b, a->dtype); }
+Expr operator*(const Expr& a, int64_t b)
+{ return a * intImm(b, a->dtype); }
+Expr floordiv(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kFloorDiv, a, b); }
+Expr floormod(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kFloorMod, a, b); }
+Expr floordiv(const Expr& a, int64_t b)
+{ return floordiv(a, intImm(b, a->dtype)); }
+Expr floormod(const Expr& a, int64_t b)
+{ return floormod(a, intImm(b, a->dtype)); }
+Expr div(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kDiv, a, b); }
+Expr minExpr(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kMin, a, b); }
+Expr maxExpr(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kMax, a, b); }
+Expr eq(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kEQ, a, b); }
+Expr ne(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kNE, a, b); }
+Expr lt(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kLT, a, b); }
+Expr le(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kLE, a, b); }
+Expr gt(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kGT, a, b); }
+Expr ge(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kGE, a, b); }
+Expr land(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kAnd, a, b); }
+Expr lor(const Expr& a, const Expr& b)
+{ return binary(ExprKind::kOr, a, b); }
+
+bool
+isConstInt(const Expr& e, int64_t* out)
+{
+    if (e && e->kind == ExprKind::kIntImm) {
+        if (out) *out = static_cast<const IntImmNode*>(e.get())->value;
+        return true;
+    }
+    return false;
+}
+
+int64_t
+constIntOr(const Expr& e, int64_t fallback)
+{
+    int64_t value = 0;
+    return isConstInt(e, &value) ? value : fallback;
+}
+
+} // namespace tir

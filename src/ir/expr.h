@@ -1,0 +1,277 @@
+/**
+ * @file
+ * TensorIR expression AST: scalar expressions, variables, buffer loads and
+ * opaque intrinsic calls. Nodes are immutable and shared; Var and Buffer
+ * identity is pointer identity.
+ */
+#ifndef TENSORIR_IR_EXPR_H
+#define TENSORIR_IR_EXPR_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+#include "support/logging.h"
+
+namespace tir {
+
+/** Discriminator for every expression node. */
+enum class ExprKind : uint8_t {
+    kIntImm,
+    kFloatImm,
+    kStringImm,
+    kVar,
+    // Binary arithmetic / comparison / logic (all share BinaryNode).
+    kAdd,
+    kSub,
+    kMul,
+    kDiv, // floating-point division
+    kFloorDiv,
+    kFloorMod,
+    kMin,
+    kMax,
+    kEQ,
+    kNE,
+    kLT,
+    kLE,
+    kGT,
+    kGE,
+    kAnd,
+    kOr,
+    kNot,
+    kSelect,
+    kCast,
+    kBufferLoad,
+    kBufferPtr,
+    kCall,
+};
+
+class ExprNode;
+/** Shared immutable expression handle. */
+using Expr = std::shared_ptr<const ExprNode>;
+
+/** Base class of all expression nodes. */
+class ExprNode
+{
+  public:
+    const ExprKind kind;
+    const DataType dtype;
+
+    virtual ~ExprNode() = default;
+
+  protected:
+    ExprNode(ExprKind k, DataType t) : kind(k), dtype(t) {}
+};
+
+/** Integer immediate. */
+class IntImmNode : public ExprNode
+{
+  public:
+    const int64_t value;
+    IntImmNode(int64_t v, DataType t) : ExprNode(ExprKind::kIntImm, t),
+        value(v)
+    {}
+};
+
+/** Floating-point immediate. */
+class FloatImmNode : public ExprNode
+{
+  public:
+    const double value;
+    FloatImmNode(double v, DataType t) : ExprNode(ExprKind::kFloatImm, t),
+        value(v)
+    {}
+};
+
+/** String immediate (used for annotations and intrinsic arguments). */
+class StringImmNode : public ExprNode
+{
+  public:
+    const std::string value;
+    explicit StringImmNode(std::string v)
+        : ExprNode(ExprKind::kStringImm, DataType::handle()),
+          value(std::move(v))
+    {}
+};
+
+/** A named scalar variable; identity is pointer identity. */
+class VarNode : public ExprNode
+{
+  public:
+    const std::string name;
+    VarNode(std::string n, DataType t) : ExprNode(ExprKind::kVar, t),
+        name(std::move(n))
+    {}
+};
+/** Shared variable handle (pointer identity). */
+using Var = std::shared_ptr<const VarNode>;
+
+/** All binary operations; `kind` distinguishes the operator. */
+class BinaryNode : public ExprNode
+{
+  public:
+    const Expr a;
+    const Expr b;
+    BinaryNode(ExprKind k, DataType t, Expr lhs, Expr rhs)
+        : ExprNode(k, t), a(std::move(lhs)), b(std::move(rhs))
+    {}
+};
+
+/** Logical negation. */
+class NotNode : public ExprNode
+{
+  public:
+    const Expr a;
+    explicit NotNode(Expr e)
+        : ExprNode(ExprKind::kNot, DataType::boolean()), a(std::move(e))
+    {}
+};
+
+/** Ternary select: cond ? tval : fval (both sides evaluated semantics). */
+class SelectNode : public ExprNode
+{
+  public:
+    const Expr cond;
+    const Expr tval;
+    const Expr fval;
+    SelectNode(Expr c, Expr t, Expr f)
+        : ExprNode(ExprKind::kSelect, t->dtype), cond(std::move(c)),
+          tval(std::move(t)), fval(std::move(f))
+    {}
+};
+
+/** Type conversion. */
+class CastNode : public ExprNode
+{
+  public:
+    const Expr value;
+    CastNode(DataType t, Expr v) : ExprNode(ExprKind::kCast, t),
+        value(std::move(v))
+    {}
+};
+
+/**
+ * A multi-dimensional buffer (the paper's first-class multi-dimensional
+ * buffer element). Identity is pointer identity; schedule primitives that
+ * re-layout data create new Buffer objects.
+ */
+class BufferNode
+{
+  public:
+    const std::string name;
+    const DataType dtype;
+    /** Per-dimension extents (usually IntImm). */
+    const std::vector<Expr> shape;
+    /** Storage scope: "global", "shared", "local", "wmma.matrix_a", ... */
+    const std::string scope;
+
+    BufferNode(std::string n, DataType t, std::vector<Expr> s,
+               std::string sc)
+        : name(std::move(n)), dtype(t), shape(std::move(s)),
+          scope(std::move(sc))
+    {}
+
+    /** Number of dimensions. */
+    size_t ndim() const { return shape.size(); }
+
+    /** Total number of elements; requires a constant shape. */
+    int64_t numel() const;
+
+    /** Constant extent of dimension i. */
+    int64_t shapeInt(size_t i) const;
+};
+/** Shared buffer handle (pointer identity). */
+using Buffer = std::shared_ptr<const BufferNode>;
+
+/** Scalar load from a multi-dimensional buffer. */
+class BufferLoadNode : public ExprNode
+{
+  public:
+    const Buffer buffer;
+    const std::vector<Expr> indices;
+    BufferLoadNode(Buffer buf, std::vector<Expr> idx)
+        : ExprNode(ExprKind::kBufferLoad, buf->dtype),
+          buffer(std::move(buf)), indices(std::move(idx))
+    {}
+};
+
+/**
+ * Address of a buffer element, passed to opaque tensor-intrinsic calls
+ * (e.g. wmma::mma_sync receives tile base addresses).
+ */
+class BufferPtrNode : public ExprNode
+{
+  public:
+    const Buffer buffer;
+    const std::vector<Expr> indices;
+    BufferPtrNode(Buffer buf, std::vector<Expr> idx)
+        : ExprNode(ExprKind::kBufferPtr, DataType::handle()),
+          buffer(std::move(buf)), indices(std::move(idx))
+    {}
+};
+
+/** Call to a named pure function or opaque hardware intrinsic. */
+class CallNode : public ExprNode
+{
+  public:
+    const std::string op;
+    const std::vector<Expr> args;
+    CallNode(DataType t, std::string o, std::vector<Expr> a)
+        : ExprNode(ExprKind::kCall, t), op(std::move(o)), args(std::move(a))
+    {}
+};
+
+// --- Constructors -----------------------------------------------------
+
+Expr intImm(int64_t value, DataType dtype = DataType::i32());
+Expr floatImm(double value, DataType dtype = DataType::f32());
+Expr stringImm(std::string value);
+Var var(std::string name, DataType dtype = DataType::i32());
+Expr binary(ExprKind kind, Expr a, Expr b);
+Expr notExpr(Expr a);
+Expr select(Expr cond, Expr tval, Expr fval);
+Expr cast(DataType dtype, Expr value);
+Buffer makeBuffer(std::string name, std::vector<int64_t> shape,
+                  DataType dtype = DataType::f32(),
+                  std::string scope = "global");
+Buffer makeBufferE(std::string name, std::vector<Expr> shape,
+                   DataType dtype = DataType::f32(),
+                   std::string scope = "global");
+Expr bufferLoad(Buffer buffer, std::vector<Expr> indices);
+Expr bufferPtr(Buffer buffer, std::vector<Expr> indices);
+Expr call(DataType dtype, std::string op, std::vector<Expr> args);
+
+// --- Operator sugar (constant folding happens in arith, not here) -----
+
+Expr operator+(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a, const Expr& b);
+Expr operator*(const Expr& a, const Expr& b);
+Expr operator+(const Expr& a, int64_t b);
+Expr operator-(const Expr& a, int64_t b);
+Expr operator*(const Expr& a, int64_t b);
+Expr floordiv(const Expr& a, const Expr& b);
+Expr floormod(const Expr& a, const Expr& b);
+Expr floordiv(const Expr& a, int64_t b);
+Expr floormod(const Expr& a, int64_t b);
+Expr div(const Expr& a, const Expr& b);
+Expr minExpr(const Expr& a, const Expr& b);
+Expr maxExpr(const Expr& a, const Expr& b);
+Expr eq(const Expr& a, const Expr& b);
+Expr ne(const Expr& a, const Expr& b);
+Expr lt(const Expr& a, const Expr& b);
+Expr le(const Expr& a, const Expr& b);
+Expr gt(const Expr& a, const Expr& b);
+Expr ge(const Expr& a, const Expr& b);
+Expr land(const Expr& a, const Expr& b);
+Expr lor(const Expr& a, const Expr& b);
+
+/** True if `e` is an IntImm; writes the value to `out` when non-null. */
+bool isConstInt(const Expr& e, int64_t* out = nullptr);
+/** Constant extent of `e` or -1 when symbolic. */
+int64_t constIntOr(const Expr& e, int64_t fallback);
+
+} // namespace tir
+
+#endif // TENSORIR_IR_EXPR_H

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Visitor and mutator infrastructure over the TensorIR AST. Mutators
+ * preserve sharing: a node is rebuilt only when a child changed.
+ */
+#ifndef TENSORIR_IR_FUNCTOR_H
+#define TENSORIR_IR_FUNCTOR_H
+
+#include "ir/stmt.h"
+
+namespace tir {
+
+/** Read-only traversal over expressions. */
+class ExprVisitor
+{
+  public:
+    virtual ~ExprVisitor() = default;
+
+    /** Dispatch on the expression kind. */
+    virtual void
+    visitExpr(const Expr& e)
+    {
+        TIR_ICHECK(e) << "null expression";
+        switch (e->kind) {
+          case ExprKind::kIntImm:
+          case ExprKind::kFloatImm:
+          case ExprKind::kStringImm:
+            return;
+          case ExprKind::kVar:
+            visitVar(static_cast<const VarNode&>(*e));
+            return;
+          case ExprKind::kNot:
+            visitExpr(static_cast<const NotNode&>(*e).a);
+            return;
+          case ExprKind::kSelect: {
+            const auto& n = static_cast<const SelectNode&>(*e);
+            visitExpr(n.cond);
+            visitExpr(n.tval);
+            visitExpr(n.fval);
+            return;
+          }
+          case ExprKind::kCast:
+            visitExpr(static_cast<const CastNode&>(*e).value);
+            return;
+          case ExprKind::kBufferLoad:
+            visitBufferLoad(static_cast<const BufferLoadNode&>(*e));
+            return;
+          case ExprKind::kBufferPtr:
+            visitBufferPtr(static_cast<const BufferPtrNode&>(*e));
+            return;
+          case ExprKind::kCall:
+            visitCall(static_cast<const CallNode&>(*e));
+            return;
+          default:
+            visitBinary(static_cast<const BinaryNode&>(*e));
+            return;
+        }
+    }
+
+  protected:
+    virtual void visitVar(const VarNode& node) {}
+    virtual void
+    visitBinary(const BinaryNode& node)
+    {
+        visitExpr(node.a);
+        visitExpr(node.b);
+    }
+    virtual void
+    visitBufferLoad(const BufferLoadNode& node)
+    {
+        for (const Expr& idx : node.indices) visitExpr(idx);
+    }
+    virtual void
+    visitBufferPtr(const BufferPtrNode& node)
+    {
+        for (const Expr& idx : node.indices) visitExpr(idx);
+    }
+    virtual void
+    visitCall(const CallNode& node)
+    {
+        for (const Expr& arg : node.args) visitExpr(arg);
+    }
+};
+
+/** Read-only traversal over statements (and contained expressions). */
+class StmtExprVisitor : public ExprVisitor
+{
+  public:
+    /** Dispatch on the statement kind. */
+    virtual void
+    visitStmt(const Stmt& s)
+    {
+        TIR_ICHECK(s) << "null statement";
+        switch (s->kind) {
+          case StmtKind::kBufferStore:
+            visitBufferStore(static_cast<const BufferStoreNode&>(*s));
+            return;
+          case StmtKind::kEvaluate:
+            visitExpr(static_cast<const EvaluateNode&>(*s).value);
+            return;
+          case StmtKind::kSeq:
+            for (const Stmt& sub :
+                 static_cast<const SeqStmtNode&>(*s).seq) {
+                visitStmt(sub);
+            }
+            return;
+          case StmtKind::kIfThenElse: {
+            const auto& n = static_cast<const IfThenElseNode&>(*s);
+            visitExpr(n.cond);
+            visitStmt(n.then_case);
+            if (n.else_case) visitStmt(n.else_case);
+            return;
+          }
+          case StmtKind::kFor:
+            visitFor(static_cast<const ForNode&>(*s));
+            return;
+          case StmtKind::kBlock:
+            visitBlock(static_cast<const BlockNode&>(*s));
+            return;
+          case StmtKind::kBlockRealize:
+            visitBlockRealize(static_cast<const BlockRealizeNode&>(*s));
+            return;
+        }
+    }
+
+  protected:
+    virtual void
+    visitBufferStore(const BufferStoreNode& node)
+    {
+        visitExpr(node.value);
+        for (const Expr& idx : node.indices) visitExpr(idx);
+    }
+    virtual void
+    visitFor(const ForNode& node)
+    {
+        visitExpr(node.min);
+        visitExpr(node.extent);
+        visitStmt(node.body);
+    }
+    virtual void
+    visitBlock(const BlockNode& node)
+    {
+        for (const IterVar& iv : node.iter_vars) {
+            visitExpr(iv.dom.min);
+            visitExpr(iv.dom.extent);
+        }
+        auto visit_regions = [&](const std::vector<BufferRegion>& regions) {
+            for (const BufferRegion& br : regions) {
+                for (const Range& r : br.region) {
+                    visitExpr(r.min);
+                    visitExpr(r.extent);
+                }
+            }
+        };
+        visit_regions(node.reads);
+        visit_regions(node.writes);
+        if (node.init) visitStmt(node.init);
+        visitStmt(node.body);
+    }
+    virtual void
+    visitBlockRealize(const BlockRealizeNode& node)
+    {
+        for (const Expr& v : node.iter_values) visitExpr(v);
+        visitExpr(node.predicate);
+        Stmt block = node.block;
+        visitStmt(block);
+    }
+};
+
+/** Rewriting traversal over expressions. */
+class ExprMutator
+{
+  public:
+    virtual ~ExprMutator() = default;
+
+    /** Dispatch on the expression kind; returns the (possibly new) expr. */
+    virtual Expr
+    mutateExpr(const Expr& e)
+    {
+        TIR_ICHECK(e) << "null expression";
+        switch (e->kind) {
+          case ExprKind::kIntImm:
+          case ExprKind::kFloatImm:
+          case ExprKind::kStringImm:
+            return e;
+          case ExprKind::kVar:
+            return mutateVar(e);
+          case ExprKind::kNot: {
+            const auto& n = static_cast<const NotNode&>(*e);
+            Expr a = mutateExpr(n.a);
+            return a == n.a ? e : notExpr(a);
+          }
+          case ExprKind::kSelect: {
+            const auto& n = static_cast<const SelectNode&>(*e);
+            Expr c = mutateExpr(n.cond);
+            Expr t = mutateExpr(n.tval);
+            Expr f = mutateExpr(n.fval);
+            if (c == n.cond && t == n.tval && f == n.fval) return e;
+            return select(c, t, f);
+          }
+          case ExprKind::kCast: {
+            const auto& n = static_cast<const CastNode&>(*e);
+            Expr v = mutateExpr(n.value);
+            return v == n.value ? e
+                                : std::make_shared<CastNode>(n.dtype, v);
+          }
+          case ExprKind::kBufferLoad:
+            return mutateBufferLoad(e);
+          case ExprKind::kBufferPtr:
+            return mutateBufferPtr(e);
+          case ExprKind::kCall: {
+            const auto& n = static_cast<const CallNode&>(*e);
+            bool changed = false;
+            std::vector<Expr> args = mutateAll(n.args, &changed);
+            return changed ? call(n.dtype, n.op, std::move(args)) : e;
+          }
+          default:
+            return mutateBinary(e);
+        }
+    }
+
+  protected:
+    /** Hook: remap a buffer reference (identity by default). */
+    virtual Buffer mutateBuffer(const Buffer& b) { return b; }
+
+    virtual Expr mutateVar(const Expr& e) { return e; }
+
+    virtual Expr
+    mutateBinary(const Expr& e)
+    {
+        const auto& n = static_cast<const BinaryNode&>(*e);
+        Expr a = mutateExpr(n.a);
+        Expr b = mutateExpr(n.b);
+        if (a == n.a && b == n.b) return e;
+        return binary(n.kind, a, b);
+    }
+
+    virtual Expr
+    mutateBufferLoad(const Expr& e)
+    {
+        const auto& n = static_cast<const BufferLoadNode&>(*e);
+        bool changed = false;
+        std::vector<Expr> idx = mutateAll(n.indices, &changed);
+        Buffer buf = mutateBuffer(n.buffer);
+        if (!changed && buf == n.buffer) return e;
+        return bufferLoad(buf, std::move(idx));
+    }
+
+    virtual Expr
+    mutateBufferPtr(const Expr& e)
+    {
+        const auto& n = static_cast<const BufferPtrNode&>(*e);
+        bool changed = false;
+        std::vector<Expr> idx = mutateAll(n.indices, &changed);
+        Buffer buf = mutateBuffer(n.buffer);
+        if (!changed && buf == n.buffer) return e;
+        return bufferPtr(buf, std::move(idx));
+    }
+
+    /** Mutate each element; sets *changed if any element changed. */
+    std::vector<Expr>
+    mutateAll(const std::vector<Expr>& exprs, bool* changed)
+    {
+        std::vector<Expr> result;
+        result.reserve(exprs.size());
+        for (const Expr& e : exprs) {
+            Expr m = mutateExpr(e);
+            if (m != e) *changed = true;
+            result.push_back(std::move(m));
+        }
+        return result;
+    }
+};
+
+/** Rewriting traversal over statements (and contained expressions). */
+class StmtExprMutator : public ExprMutator
+{
+  public:
+    /** Dispatch on the statement kind; returns the (possibly new) stmt. */
+    virtual Stmt
+    mutateStmt(const Stmt& s)
+    {
+        TIR_ICHECK(s) << "null statement";
+        switch (s->kind) {
+          case StmtKind::kBufferStore:
+            return mutateBufferStore(s);
+          case StmtKind::kEvaluate: {
+            const auto& n = static_cast<const EvaluateNode&>(*s);
+            Expr v = mutateExpr(n.value);
+            return v == n.value ? s : evaluate(v);
+          }
+          case StmtKind::kSeq: {
+            const auto& n = static_cast<const SeqStmtNode&>(*s);
+            bool changed = false;
+            std::vector<Stmt> stmts;
+            stmts.reserve(n.seq.size());
+            for (const Stmt& sub : n.seq) {
+                Stmt m = mutateStmt(sub);
+                if (m != sub) changed = true;
+                if (m) stmts.push_back(std::move(m));
+            }
+            if (!changed) return s;
+            if (stmts.empty()) return nullptr;
+            return seq(std::move(stmts));
+          }
+          case StmtKind::kIfThenElse: {
+            const auto& n = static_cast<const IfThenElseNode&>(*s);
+            Expr c = mutateExpr(n.cond);
+            Stmt t = mutateStmt(n.then_case);
+            Stmt e = n.else_case ? mutateStmt(n.else_case) : nullptr;
+            if (c == n.cond && t == n.then_case && e == n.else_case) {
+                return s;
+            }
+            return ifThenElse(c, t, e);
+          }
+          case StmtKind::kFor:
+            return mutateFor(s);
+          case StmtKind::kBlock: {
+            const auto& n = static_cast<const BlockNode&>(*s);
+            BlockPtr result = mutateBlockNode(
+                std::static_pointer_cast<const BlockNode>(s));
+            return result.get() == &n ? s : Stmt(result);
+          }
+          case StmtKind::kBlockRealize:
+            return mutateBlockRealize(s);
+        }
+        TIR_PANIC << "unreachable stmt kind";
+    }
+
+  protected:
+    virtual Stmt
+    mutateBufferStore(const Stmt& s)
+    {
+        const auto& n = static_cast<const BufferStoreNode&>(*s);
+        Expr v = mutateExpr(n.value);
+        bool changed = false;
+        std::vector<Expr> idx = mutateAll(n.indices, &changed);
+        Buffer buf = mutateBuffer(n.buffer);
+        if (v == n.value && !changed && buf == n.buffer) return s;
+        return bufferStore(buf, v, std::move(idx));
+    }
+
+    virtual Stmt
+    mutateFor(const Stmt& s)
+    {
+        const auto& n = static_cast<const ForNode&>(*s);
+        Expr mn = mutateExpr(n.min);
+        Expr ext = mutateExpr(n.extent);
+        Stmt body = mutateStmt(n.body);
+        if (mn == n.min && ext == n.extent && body == n.body) return s;
+        return makeFor(n.loop_var, mn, ext, body, n.for_kind, n.thread_tag,
+                       n.annotations);
+    }
+
+    virtual BlockPtr
+    mutateBlockNode(const BlockPtr& block)
+    {
+        const BlockNode& n = *block;
+        bool changed = false;
+        std::vector<IterVar> iters;
+        iters.reserve(n.iter_vars.size());
+        for (const IterVar& iv : n.iter_vars) {
+            Expr mn = mutateExpr(iv.dom.min);
+            Expr ext = mutateExpr(iv.dom.extent);
+            if (mn != iv.dom.min || ext != iv.dom.extent) changed = true;
+            iters.emplace_back(iv.var, Range(mn, ext), iv.type);
+        }
+        auto mutate_regions = [&](const std::vector<BufferRegion>& regions) {
+            std::vector<BufferRegion> result;
+            result.reserve(regions.size());
+            for (const BufferRegion& br : regions) {
+                std::vector<Range> ranges;
+                ranges.reserve(br.region.size());
+                for (const Range& r : br.region) {
+                    Expr mn = mutateExpr(r.min);
+                    Expr ext = mutateExpr(r.extent);
+                    if (mn != r.min || ext != r.extent) changed = true;
+                    ranges.emplace_back(mn, ext);
+                }
+                Buffer buf = mutateBuffer(br.buffer);
+                if (buf != br.buffer) changed = true;
+                result.emplace_back(buf, std::move(ranges));
+            }
+            return result;
+        };
+        std::vector<BufferRegion> reads = mutate_regions(n.reads);
+        std::vector<BufferRegion> writes = mutate_regions(n.writes);
+        Stmt init = n.init ? mutateStmt(n.init) : nullptr;
+        if (init != n.init) changed = true;
+        Stmt body = mutateStmt(n.body);
+        if (body != n.body) changed = true;
+        std::vector<Buffer> allocs;
+        allocs.reserve(n.alloc_buffers.size());
+        for (const Buffer& b : n.alloc_buffers) {
+            Buffer nb = mutateBuffer(b);
+            if (nb != b) changed = true;
+            allocs.push_back(std::move(nb));
+        }
+        if (!changed) return block;
+        return makeBlock(n.name, std::move(iters), std::move(reads),
+                         std::move(writes), body, init, std::move(allocs),
+                         n.annotations);
+    }
+
+    virtual Stmt
+    mutateBlockRealize(const Stmt& s)
+    {
+        const auto& n = static_cast<const BlockRealizeNode&>(*s);
+        bool changed = false;
+        std::vector<Expr> values = mutateAll(n.iter_values, &changed);
+        Expr pred = mutateExpr(n.predicate);
+        BlockPtr block = mutateBlockNode(n.block);
+        if (!changed && pred == n.predicate && block == n.block) return s;
+        return blockRealize(std::move(values), pred, block);
+    }
+};
+
+} // namespace tir
+
+#endif // TENSORIR_IR_FUNCTOR_H

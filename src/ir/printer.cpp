@@ -1,0 +1,350 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "ir/functor.h"
+
+namespace tir {
+
+namespace {
+
+const char*
+binaryOpName(ExprKind kind)
+{
+    switch (kind) {
+      case ExprKind::kAdd: return "+";
+      case ExprKind::kSub: return "-";
+      case ExprKind::kMul: return "*";
+      case ExprKind::kDiv: return "/";
+      case ExprKind::kEQ: return "==";
+      case ExprKind::kNE: return "!=";
+      case ExprKind::kLT: return "<";
+      case ExprKind::kLE: return "<=";
+      case ExprKind::kGT: return ">";
+      case ExprKind::kGE: return ">=";
+      case ExprKind::kAnd: return "and";
+      case ExprKind::kOr: return "or";
+      default: return nullptr;
+    }
+}
+
+void
+printExpr(std::ostream& os, const Expr& e)
+{
+    switch (e->kind) {
+      case ExprKind::kIntImm:
+        os << static_cast<const IntImmNode&>(*e).value;
+        return;
+      case ExprKind::kFloatImm:
+        os << static_cast<const FloatImmNode&>(*e).value;
+        return;
+      case ExprKind::kStringImm:
+        os << '"' << static_cast<const StringImmNode&>(*e).value << '"';
+        return;
+      case ExprKind::kVar:
+        os << static_cast<const VarNode&>(*e).name;
+        return;
+      case ExprKind::kNot: {
+        os << "not (";
+        printExpr(os, static_cast<const NotNode&>(*e).a);
+        os << ")";
+        return;
+      }
+      case ExprKind::kSelect: {
+        const auto& n = static_cast<const SelectNode&>(*e);
+        os << "select(";
+        printExpr(os, n.cond);
+        os << ", ";
+        printExpr(os, n.tval);
+        os << ", ";
+        printExpr(os, n.fval);
+        os << ")";
+        return;
+      }
+      case ExprKind::kCast: {
+        const auto& n = static_cast<const CastNode&>(*e);
+        os << n.dtype.str() << "(";
+        printExpr(os, n.value);
+        os << ")";
+        return;
+      }
+      case ExprKind::kBufferLoad:
+      case ExprKind::kBufferPtr: {
+        const Buffer* buf;
+        const std::vector<Expr>* idx;
+        if (e->kind == ExprKind::kBufferLoad) {
+            const auto& n = static_cast<const BufferLoadNode&>(*e);
+            buf = &n.buffer;
+            idx = &n.indices;
+        } else {
+            const auto& n = static_cast<const BufferPtrNode&>(*e);
+            os << "addr_of ";
+            buf = &n.buffer;
+            idx = &n.indices;
+        }
+        os << (*buf)->name << "[";
+        for (size_t i = 0; i < idx->size(); ++i) {
+            if (i) os << ", ";
+            printExpr(os, (*idx)[i]);
+        }
+        os << "]";
+        return;
+      }
+      case ExprKind::kCall: {
+        const auto& n = static_cast<const CallNode&>(*e);
+        os << n.op << "(";
+        for (size_t i = 0; i < n.args.size(); ++i) {
+            if (i) os << ", ";
+            printExpr(os, n.args[i]);
+        }
+        os << ")";
+        return;
+      }
+      case ExprKind::kFloorDiv:
+      case ExprKind::kFloorMod:
+      case ExprKind::kMin:
+      case ExprKind::kMax: {
+        const auto& n = static_cast<const BinaryNode&>(*e);
+        const char* name = e->kind == ExprKind::kFloorDiv ? "floordiv"
+                           : e->kind == ExprKind::kFloorMod ? "floormod"
+                           : e->kind == ExprKind::kMin ? "min"
+                                                       : "max";
+        os << name << "(";
+        printExpr(os, n.a);
+        os << ", ";
+        printExpr(os, n.b);
+        os << ")";
+        return;
+      }
+      default: {
+        const auto& n = static_cast<const BinaryNode&>(*e);
+        os << "(";
+        printExpr(os, n.a);
+        os << " " << binaryOpName(e->kind) << " ";
+        printExpr(os, n.b);
+        os << ")";
+        return;
+      }
+    }
+}
+
+class StmtPrinter
+{
+  public:
+    StmtPrinter(std::ostream& os, int indent) : os_(os), indent_(indent) {}
+
+    void
+    print(const Stmt& s)
+    {
+        switch (s->kind) {
+          case StmtKind::kBufferStore: {
+            const auto& n = static_cast<const BufferStoreNode&>(*s);
+            line() << n.buffer->name << "[" << indices(n.indices)
+                   << "] = " << exprToString(n.value) << "\n";
+            return;
+          }
+          case StmtKind::kEvaluate: {
+            const auto& n = static_cast<const EvaluateNode&>(*s);
+            line() << exprToString(n.value) << "\n";
+            return;
+          }
+          case StmtKind::kSeq: {
+            for (const Stmt& sub :
+                 static_cast<const SeqStmtNode&>(*s).seq) {
+                print(sub);
+            }
+            return;
+          }
+          case StmtKind::kIfThenElse: {
+            const auto& n = static_cast<const IfThenElseNode&>(*s);
+            line() << "if " << exprToString(n.cond) << ":\n";
+            indented([&] { print(n.then_case); });
+            if (n.else_case) {
+                line() << "else:\n";
+                indented([&] { print(n.else_case); });
+            }
+            return;
+          }
+          case StmtKind::kFor: {
+            const auto& n = static_cast<const ForNode&>(*s);
+            auto& out = line();
+            out << "for " << n.loop_var->name << " in ";
+            switch (n.for_kind) {
+              case ForKind::kSerial: out << "range("; break;
+              case ForKind::kParallel: out << "parallel("; break;
+              case ForKind::kVectorized: out << "vectorized("; break;
+              case ForKind::kUnrolled: out << "unrolled("; break;
+              case ForKind::kThreadBinding:
+                out << "thread_binding(\"" << n.thread_tag << "\", ";
+                break;
+            }
+            int64_t min_v = 0;
+            if (!isConstInt(n.min, &min_v) || min_v != 0) {
+                out << exprToString(n.min) << ", ";
+            }
+            out << exprToString(n.extent) << ")";
+            for (const auto& [key, value] : n.annotations) {
+                out << " # " << key << "=" << exprToString(value);
+            }
+            out << ":\n";
+            indented([&] { print(n.body); });
+            return;
+          }
+          case StmtKind::kBlock: {
+            printBlock(static_cast<const BlockNode&>(*s), nullptr);
+            return;
+          }
+          case StmtKind::kBlockRealize: {
+            const auto& n = static_cast<const BlockRealizeNode&>(*s);
+            printBlock(*n.block, &n);
+            return;
+          }
+        }
+    }
+
+  private:
+    std::ostream&
+    line()
+    {
+        for (int i = 0; i < indent_; ++i) os_ << "    ";
+        return os_;
+    }
+
+    template <typename Fn>
+    void
+    indented(Fn fn)
+    {
+        ++indent_;
+        fn();
+        --indent_;
+    }
+
+    std::string
+    indices(const std::vector<Expr>& idx)
+    {
+        std::string result;
+        for (size_t i = 0; i < idx.size(); ++i) {
+            if (i) result += ", ";
+            result += exprToString(idx[i]);
+        }
+        return result;
+    }
+
+    std::string
+    regionToString(const BufferRegion& br)
+    {
+        std::string result = br.buffer->name + "[";
+        for (size_t i = 0; i < br.region.size(); ++i) {
+            if (i) result += ", ";
+            const Range& r = br.region[i];
+            int64_t extent = 0;
+            if (isConstInt(r.extent, &extent) && extent == 1) {
+                result += exprToString(r.min);
+            } else {
+                result += exprToString(r.min) + " : " +
+                          exprToString(r.min + r.extent);
+            }
+        }
+        return result + "]";
+    }
+
+    void
+    printBlock(const BlockNode& block, const BlockRealizeNode* realize)
+    {
+        line() << "with block(\"" << block.name << "\"):\n";
+        indented([&] {
+            for (size_t i = 0; i < block.iter_vars.size(); ++i) {
+                const IterVar& iv = block.iter_vars[i];
+                const char* kind =
+                    iv.type == IterType::kSpatial ? "spatial"
+                    : iv.type == IterType::kReduce ? "reduce"
+                                                   : "opaque";
+                auto& out = line();
+                out << iv.var->name << " = " << kind << "("
+                    << exprToString(iv.dom.extent);
+                if (realize) {
+                    out << ", bind=" <<
+                        exprToString(realize->iter_values[i]);
+                }
+                out << ")\n";
+            }
+            if (realize) {
+                int64_t pred = 0;
+                if (!isConstInt(realize->predicate, &pred) || pred != 1) {
+                    line() << "where "
+                           << exprToString(realize->predicate) << "\n";
+                }
+            }
+            for (const BufferRegion& br : block.reads) {
+                line() << "reads " << regionToString(br) << "\n";
+            }
+            for (const BufferRegion& br : block.writes) {
+                line() << "writes " << regionToString(br) << "\n";
+            }
+            for (const auto& [key, value] : block.annotations) {
+                line() << "annot " << key << " = " << exprToString(value)
+                       << "\n";
+            }
+            for (const Buffer& buf : block.alloc_buffers) {
+                auto& out = line();
+                out << buf->name << " = alloc_buffer((";
+                for (size_t i = 0; i < buf->shape.size(); ++i) {
+                    if (i) out << ", ";
+                    out << exprToString(buf->shape[i]);
+                }
+                out << "), \"" << buf->dtype.str() << "\", scope=\""
+                    << buf->scope << "\")\n";
+            }
+            if (block.init) {
+                line() << "with init():\n";
+                indented([&] { print(block.init); });
+            }
+            print(block.body);
+        });
+    }
+
+    std::ostream& os_;
+    int indent_;
+};
+
+} // namespace
+
+std::string
+exprToString(const Expr& expr)
+{
+    std::ostringstream os;
+    printExpr(os, expr);
+    return os.str();
+}
+
+std::string
+stmtToString(const Stmt& stmt, int indent)
+{
+    std::ostringstream os;
+    StmtPrinter printer(os, indent);
+    printer.print(stmt);
+    return os.str();
+}
+
+std::string
+funcToString(const PrimFunc& func)
+{
+    std::ostringstream os;
+    os << "def " << func->name << "(";
+    for (size_t i = 0; i < func->params.size(); ++i) {
+        if (i) os << ", ";
+        const Buffer& buf = func->params[i];
+        os << buf->name << ": Buffer[(";
+        for (size_t j = 0; j < buf->shape.size(); ++j) {
+            if (j) os << ", ";
+            os << exprToString(buf->shape[j]);
+        }
+        os << "), \"" << buf->dtype.str() << "\"]";
+    }
+    os << "):\n";
+    StmtPrinter printer(os, 1);
+    printer.print(func->body);
+    return os.str();
+}
+
+} // namespace tir

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Script-dialect printer for TensorIR, matching the paper's Figure 4 style.
+ * Printing works at any transformation stage, which is the debugging
+ * workflow §3.2 advocates.
+ */
+#ifndef TENSORIR_IR_PRINTER_H
+#define TENSORIR_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace tir {
+
+/** Render an expression as script text. */
+std::string exprToString(const Expr& expr);
+/** Render a statement as script text. */
+std::string stmtToString(const Stmt& stmt, int indent = 0);
+/** Render a full function as script text. */
+std::string funcToString(const PrimFunc& func);
+
+} // namespace tir
+
+#endif // TENSORIR_IR_PRINTER_H

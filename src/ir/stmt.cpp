@@ -1,0 +1,117 @@
+#include "ir/stmt.h"
+
+namespace tir {
+
+BufferRegion
+BufferRegion::full(const Buffer& b)
+{
+    std::vector<Range> region;
+    region.reserve(b->ndim());
+    for (const Expr& dim : b->shape) region.emplace_back(intImm(0), dim);
+    return {b, std::move(region)};
+}
+
+Stmt
+bufferStore(Buffer buffer, Expr value, std::vector<Expr> indices)
+{
+    TIR_ICHECK(buffer->ndim() == indices.size())
+        << "store to " << buffer->name << ": " << indices.size()
+        << " indices for " << buffer->ndim() << " dims";
+    return std::make_shared<BufferStoreNode>(std::move(buffer),
+                                             std::move(value),
+                                             std::move(indices));
+}
+
+Stmt
+evaluate(Expr value)
+{
+    return std::make_shared<EvaluateNode>(std::move(value));
+}
+
+Stmt
+seq(std::vector<Stmt> stmts)
+{
+    std::vector<Stmt> flat;
+    for (Stmt& s : stmts) {
+        if (!s) continue;
+        if (s->kind == StmtKind::kSeq) {
+            const auto* inner = static_cast<const SeqStmtNode*>(s.get());
+            flat.insert(flat.end(), inner->seq.begin(), inner->seq.end());
+        } else {
+            flat.push_back(std::move(s));
+        }
+    }
+    TIR_ICHECK(!flat.empty()) << "empty statement sequence";
+    if (flat.size() == 1) return flat[0];
+    return std::make_shared<SeqStmtNode>(std::move(flat));
+}
+
+Stmt
+ifThenElse(Expr cond, Stmt then_case, Stmt else_case)
+{
+    return std::make_shared<IfThenElseNode>(std::move(cond),
+                                            std::move(then_case),
+                                            std::move(else_case));
+}
+
+Stmt
+makeFor(Var loop_var, Expr min, Expr extent, Stmt body, ForKind kind,
+        std::string thread_tag, std::map<std::string, Expr> annotations)
+{
+    return std::make_shared<ForNode>(std::move(loop_var), std::move(min),
+                                     std::move(extent), kind,
+                                     std::move(body), std::move(thread_tag),
+                                     std::move(annotations));
+}
+
+BlockPtr
+makeBlock(std::string name, std::vector<IterVar> iter_vars,
+          std::vector<BufferRegion> reads, std::vector<BufferRegion> writes,
+          Stmt body, Stmt init, std::vector<Buffer> allocs,
+          std::map<std::string, Expr> annotations)
+{
+    return std::make_shared<BlockNode>(std::move(name),
+                                       std::move(iter_vars),
+                                       std::move(reads), std::move(writes),
+                                       std::move(init), std::move(body),
+                                       std::move(allocs),
+                                       std::move(annotations));
+}
+
+Stmt
+blockRealize(std::vector<Expr> iter_values, Expr predicate, BlockPtr block)
+{
+    return std::make_shared<BlockRealizeNode>(std::move(iter_values),
+                                              std::move(predicate),
+                                              std::move(block));
+}
+
+PrimFunc
+makeFunc(std::string name, std::vector<Buffer> params, Stmt body,
+         std::map<std::string, Expr> attrs)
+{
+    return std::make_shared<PrimFuncNode>(std::move(name),
+                                          std::move(params),
+                                          std::move(body),
+                                          std::move(attrs));
+}
+
+Stmt
+makeRootBlock(Stmt body, std::vector<Buffer> allocs)
+{
+    BlockPtr root = makeBlock("root", {}, {}, {}, std::move(body), nullptr,
+                              std::move(allocs));
+    return blockRealize({}, intImm(1, DataType::boolean()), std::move(root));
+}
+
+const BlockNode*
+asBlockRealize(const Stmt& stmt, std::vector<Expr>* values)
+{
+    TIR_ICHECK(stmt && stmt->kind == StmtKind::kBlockRealize)
+        << "expected BlockRealize";
+    const auto* realize = static_cast<const BlockRealizeNode*>(stmt.get());
+    if (values) *values = realize->iter_values;
+    return realize->block.get();
+}
+
+} // namespace tir

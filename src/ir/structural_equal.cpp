@@ -1,0 +1,312 @@
+#include "ir/structural_equal.h"
+
+namespace tir {
+
+bool
+StructuralComparator::equalBuffer(const Buffer& a, const Buffer& b)
+{
+    auto it = buffer_map_.find(a.get());
+    if (it != buffer_map_.end()) return it->second == b;
+    if (a->dtype != b->dtype || a->ndim() != b->ndim()) return false;
+    for (size_t i = 0; i < a->ndim(); ++i) {
+        if (!equal(a->shape[i], b->shape[i])) return false;
+    }
+    if (a->scope != b->scope) return false;
+    buffer_map_[a.get()] = b;
+    return true;
+}
+
+bool
+StructuralComparator::equal(const Expr& a, const Expr& b)
+{
+    if (a == b) return true;
+    if (!a || !b) return false;
+    if (a->kind != b->kind) return false;
+    if (a->dtype != b->dtype) return false;
+    switch (a->kind) {
+      case ExprKind::kIntImm:
+        return static_cast<const IntImmNode&>(*a).value ==
+               static_cast<const IntImmNode&>(*b).value;
+      case ExprKind::kFloatImm:
+        return static_cast<const FloatImmNode&>(*a).value ==
+               static_cast<const FloatImmNode&>(*b).value;
+      case ExprKind::kStringImm:
+        return static_cast<const StringImmNode&>(*a).value ==
+               static_cast<const StringImmNode&>(*b).value;
+      case ExprKind::kVar: {
+        const auto* va = static_cast<const VarNode*>(a.get());
+        const auto* vb = static_cast<const VarNode*>(b.get());
+        auto it = var_map_.find(va);
+        if (it != var_map_.end()) return it->second.get() == vb;
+        var_map_[va] = std::static_pointer_cast<const VarNode>(b);
+        return true;
+      }
+      case ExprKind::kNot:
+        return equal(static_cast<const NotNode&>(*a).a,
+                     static_cast<const NotNode&>(*b).a);
+      case ExprKind::kSelect: {
+        const auto& na = static_cast<const SelectNode&>(*a);
+        const auto& nb = static_cast<const SelectNode&>(*b);
+        return equal(na.cond, nb.cond) && equal(na.tval, nb.tval) &&
+               equal(na.fval, nb.fval);
+      }
+      case ExprKind::kCast:
+        return equal(static_cast<const CastNode&>(*a).value,
+                     static_cast<const CastNode&>(*b).value);
+      case ExprKind::kBufferLoad:
+      case ExprKind::kBufferPtr: {
+        const Buffer* buf_a;
+        const Buffer* buf_b;
+        const std::vector<Expr>* idx_a;
+        const std::vector<Expr>* idx_b;
+        if (a->kind == ExprKind::kBufferLoad) {
+            const auto& na = static_cast<const BufferLoadNode&>(*a);
+            const auto& nb = static_cast<const BufferLoadNode&>(*b);
+            buf_a = &na.buffer; buf_b = &nb.buffer;
+            idx_a = &na.indices; idx_b = &nb.indices;
+        } else {
+            const auto& na = static_cast<const BufferPtrNode&>(*a);
+            const auto& nb = static_cast<const BufferPtrNode&>(*b);
+            buf_a = &na.buffer; buf_b = &nb.buffer;
+            idx_a = &na.indices; idx_b = &nb.indices;
+        }
+        if (!equalBuffer(*buf_a, *buf_b)) return false;
+        if (idx_a->size() != idx_b->size()) return false;
+        for (size_t i = 0; i < idx_a->size(); ++i) {
+            if (!equal((*idx_a)[i], (*idx_b)[i])) return false;
+        }
+        return true;
+      }
+      case ExprKind::kCall: {
+        const auto& na = static_cast<const CallNode&>(*a);
+        const auto& nb = static_cast<const CallNode&>(*b);
+        if (na.op != nb.op || na.args.size() != nb.args.size()) {
+            return false;
+        }
+        for (size_t i = 0; i < na.args.size(); ++i) {
+            if (!equal(na.args[i], nb.args[i])) return false;
+        }
+        return true;
+      }
+      default: {
+        const auto& na = static_cast<const BinaryNode&>(*a);
+        const auto& nb = static_cast<const BinaryNode&>(*b);
+        return equal(na.a, nb.a) && equal(na.b, nb.b);
+      }
+    }
+}
+
+bool
+StructuralComparator::equalRegions(const std::vector<BufferRegion>& a,
+                                   const std::vector<BufferRegion>& b)
+{
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (!equalBuffer(a[i].buffer, b[i].buffer)) return false;
+        if (a[i].region.size() != b[i].region.size()) return false;
+        for (size_t j = 0; j < a[i].region.size(); ++j) {
+            if (!equal(a[i].region[j].min, b[i].region[j].min) ||
+                !equal(a[i].region[j].extent, b[i].region[j].extent)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+StructuralComparator::equal(const Stmt& a, const Stmt& b)
+{
+    if (a == b) return true;
+    if (!a || !b) return false;
+    if (a->kind != b->kind) return false;
+    switch (a->kind) {
+      case StmtKind::kBufferStore: {
+        const auto& na = static_cast<const BufferStoreNode&>(*a);
+        const auto& nb = static_cast<const BufferStoreNode&>(*b);
+        if (!equalBuffer(na.buffer, nb.buffer)) return false;
+        if (!equal(na.value, nb.value)) return false;
+        if (na.indices.size() != nb.indices.size()) return false;
+        for (size_t i = 0; i < na.indices.size(); ++i) {
+            if (!equal(na.indices[i], nb.indices[i])) return false;
+        }
+        return true;
+      }
+      case StmtKind::kEvaluate:
+        return equal(static_cast<const EvaluateNode&>(*a).value,
+                     static_cast<const EvaluateNode&>(*b).value);
+      case StmtKind::kSeq: {
+        const auto& na = static_cast<const SeqStmtNode&>(*a);
+        const auto& nb = static_cast<const SeqStmtNode&>(*b);
+        if (na.seq.size() != nb.seq.size()) return false;
+        for (size_t i = 0; i < na.seq.size(); ++i) {
+            if (!equal(na.seq[i], nb.seq[i])) return false;
+        }
+        return true;
+      }
+      case StmtKind::kIfThenElse: {
+        const auto& na = static_cast<const IfThenElseNode&>(*a);
+        const auto& nb = static_cast<const IfThenElseNode&>(*b);
+        if (!equal(na.cond, nb.cond)) return false;
+        if (!equal(na.then_case, nb.then_case)) return false;
+        if (static_cast<bool>(na.else_case) !=
+            static_cast<bool>(nb.else_case)) {
+            return false;
+        }
+        return !na.else_case || equal(na.else_case, nb.else_case);
+      }
+      case StmtKind::kFor: {
+        const auto& na = static_cast<const ForNode&>(*a);
+        const auto& nb = static_cast<const ForNode&>(*b);
+        if (na.for_kind != nb.for_kind || na.thread_tag != nb.thread_tag) {
+            return false;
+        }
+        var_map_[na.loop_var.get()] = nb.loop_var;
+        return equal(na.min, nb.min) && equal(na.extent, nb.extent) &&
+               equal(na.body, nb.body);
+      }
+      case StmtKind::kBlock: {
+        const auto& na = static_cast<const BlockNode&>(*a);
+        const auto& nb = static_cast<const BlockNode&>(*b);
+        if (na.iter_vars.size() != nb.iter_vars.size()) return false;
+        for (size_t i = 0; i < na.iter_vars.size(); ++i) {
+            const IterVar& iva = na.iter_vars[i];
+            const IterVar& ivb = nb.iter_vars[i];
+            if (iva.type != ivb.type) return false;
+            if (!equal(iva.dom.min, ivb.dom.min) ||
+                !equal(iva.dom.extent, ivb.dom.extent)) {
+                return false;
+            }
+            var_map_[iva.var.get()] = ivb.var;
+        }
+        if (!equalRegions(na.reads, nb.reads)) return false;
+        if (!equalRegions(na.writes, nb.writes)) return false;
+        if (static_cast<bool>(na.init) != static_cast<bool>(nb.init)) {
+            return false;
+        }
+        if (na.init && !equal(na.init, nb.init)) return false;
+        return equal(na.body, nb.body);
+      }
+      case StmtKind::kBlockRealize: {
+        const auto& na = static_cast<const BlockRealizeNode&>(*a);
+        const auto& nb = static_cast<const BlockRealizeNode&>(*b);
+        if (na.iter_values.size() != nb.iter_values.size()) return false;
+        for (size_t i = 0; i < na.iter_values.size(); ++i) {
+            if (!equal(na.iter_values[i], nb.iter_values[i])) return false;
+        }
+        if (!equal(na.predicate, nb.predicate)) return false;
+        return equal(Stmt(na.block), Stmt(nb.block));
+      }
+    }
+    TIR_PANIC << "unreachable stmt kind";
+}
+
+bool
+exprDeepEqual(const Expr& a, const Expr& b)
+{
+    if (a == b) return true;
+    if (!a || !b || a->kind != b->kind || a->dtype != b->dtype) {
+        return false;
+    }
+    switch (a->kind) {
+      case ExprKind::kIntImm:
+        return static_cast<const IntImmNode&>(*a).value ==
+               static_cast<const IntImmNode&>(*b).value;
+      case ExprKind::kFloatImm:
+        return static_cast<const FloatImmNode&>(*a).value ==
+               static_cast<const FloatImmNode&>(*b).value;
+      case ExprKind::kStringImm:
+        return static_cast<const StringImmNode&>(*a).value ==
+               static_cast<const StringImmNode&>(*b).value;
+      case ExprKind::kVar:
+        return false; // pointer-distinct vars are different
+      case ExprKind::kNot:
+        return exprDeepEqual(static_cast<const NotNode&>(*a).a,
+                             static_cast<const NotNode&>(*b).a);
+      case ExprKind::kSelect: {
+        const auto& na = static_cast<const SelectNode&>(*a);
+        const auto& nb = static_cast<const SelectNode&>(*b);
+        return exprDeepEqual(na.cond, nb.cond) &&
+               exprDeepEqual(na.tval, nb.tval) &&
+               exprDeepEqual(na.fval, nb.fval);
+      }
+      case ExprKind::kCast:
+        return exprDeepEqual(static_cast<const CastNode&>(*a).value,
+                             static_cast<const CastNode&>(*b).value);
+      case ExprKind::kBufferLoad: {
+        const auto& na = static_cast<const BufferLoadNode&>(*a);
+        const auto& nb = static_cast<const BufferLoadNode&>(*b);
+        if (na.buffer != nb.buffer ||
+            na.indices.size() != nb.indices.size()) {
+            return false;
+        }
+        for (size_t i = 0; i < na.indices.size(); ++i) {
+            if (!exprDeepEqual(na.indices[i], nb.indices[i])) return false;
+        }
+        return true;
+      }
+      case ExprKind::kBufferPtr: {
+        const auto& na = static_cast<const BufferPtrNode&>(*a);
+        const auto& nb = static_cast<const BufferPtrNode&>(*b);
+        if (na.buffer != nb.buffer ||
+            na.indices.size() != nb.indices.size()) {
+            return false;
+        }
+        for (size_t i = 0; i < na.indices.size(); ++i) {
+            if (!exprDeepEqual(na.indices[i], nb.indices[i])) return false;
+        }
+        return true;
+      }
+      case ExprKind::kCall: {
+        const auto& na = static_cast<const CallNode&>(*a);
+        const auto& nb = static_cast<const CallNode&>(*b);
+        if (na.op != nb.op || na.args.size() != nb.args.size()) {
+            return false;
+        }
+        for (size_t i = 0; i < na.args.size(); ++i) {
+            if (!exprDeepEqual(na.args[i], nb.args[i])) return false;
+        }
+        return true;
+      }
+      default: {
+        const auto& na = static_cast<const BinaryNode&>(*a);
+        const auto& nb = static_cast<const BinaryNode&>(*b);
+        return exprDeepEqual(na.a, nb.a) && exprDeepEqual(na.b, nb.b);
+      }
+    }
+}
+
+bool
+structuralEqual(const Expr& a, const Expr& b)
+{
+    StructuralComparator cmp;
+    return cmp.equal(a, b);
+}
+
+bool
+structuralEqual(const Stmt& a, const Stmt& b)
+{
+    StructuralComparator cmp;
+    return cmp.equal(a, b);
+}
+
+bool
+structuralEqual(const PrimFunc& a, const PrimFunc& b)
+{
+    if (a->params.size() != b->params.size()) return false;
+    StructuralComparator cmp;
+    // Parameters correspond positionally; shapes must match structurally.
+    for (size_t i = 0; i < a->params.size(); ++i) {
+        const Buffer& pa = a->params[i];
+        const Buffer& pb = b->params[i];
+        if (pa->dtype != pb->dtype || pa->ndim() != pb->ndim()) {
+            return false;
+        }
+        Expr la = bufferLoad(pa, std::vector<Expr>(pa->ndim(), intImm(0)));
+        Expr lb = bufferLoad(pb, std::vector<Expr>(pb->ndim(), intImm(0)));
+        if (!cmp.equal(la, lb)) return false;
+    }
+    return cmp.equal(a->body, b->body);
+}
+
+} // namespace tir

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Structural (alpha-) equivalence of TensorIR fragments. Two fragments are
+ * equal when they have identical structure modulo a consistent renaming of
+ * variables and buffers. Used by tensorize's description matching (§4.1)
+ * and by tests.
+ */
+#ifndef TENSORIR_IR_STRUCTURAL_EQUAL_H
+#define TENSORIR_IR_STRUCTURAL_EQUAL_H
+
+#include <unordered_map>
+
+#include "ir/stmt.h"
+
+namespace tir {
+
+/** Stateful structural comparator with a var/buffer correspondence map. */
+class StructuralComparator
+{
+  public:
+    /** Compare expressions, extending the correspondence maps. */
+    bool equal(const Expr& a, const Expr& b);
+    /** Compare statements, extending the correspondence maps. */
+    bool equal(const Stmt& a, const Stmt& b);
+
+    /** The buffer correspondence discovered during comparison (a -> b). */
+    const std::unordered_map<const BufferNode*, Buffer>&
+    bufferMap() const
+    {
+        return buffer_map_;
+    }
+    /** The var correspondence discovered during comparison (a -> b). */
+    const std::unordered_map<const VarNode*, Var>&
+    varMap() const
+    {
+        return var_map_;
+    }
+
+  private:
+    bool equalBuffer(const Buffer& a, const Buffer& b);
+    bool equalRegions(const std::vector<BufferRegion>& a,
+                      const std::vector<BufferRegion>& b);
+
+    std::unordered_map<const VarNode*, Var> var_map_;
+    std::unordered_map<const BufferNode*, Buffer> buffer_map_;
+};
+
+/**
+ * Strict deep equality: identical structure with pointer-identical
+ * variables and buffers (no alpha renaming). Used for term merging in the
+ * simplifier.
+ */
+bool exprDeepEqual(const Expr& a, const Expr& b);
+
+/** One-shot structural equality of expressions. */
+bool structuralEqual(const Expr& a, const Expr& b);
+/** One-shot structural equality of statements. */
+bool structuralEqual(const Stmt& a, const Stmt& b);
+/** One-shot structural equality of functions (params matched in order). */
+bool structuralEqual(const PrimFunc& a, const PrimFunc& b);
+
+} // namespace tir
+
+#endif // TENSORIR_IR_STRUCTURAL_EQUAL_H

@@ -1,0 +1,287 @@
+#include "ir/transform.h"
+
+namespace tir {
+
+namespace {
+
+/** Substitutes vars and remaps buffers via the functor hooks. */
+class Substituter : public StmtExprMutator
+{
+  public:
+    Substituter(const VarMap* vmap, const BufferMap* bmap)
+        : vmap_(vmap), bmap_(bmap)
+    {}
+
+  protected:
+    Expr
+    mutateVar(const Expr& e) override
+    {
+        if (!vmap_) return e;
+        auto it = vmap_->find(static_cast<const VarNode*>(e.get()));
+        return it == vmap_->end() ? e : it->second;
+    }
+
+    Buffer
+    mutateBuffer(const Buffer& b) override
+    {
+        if (!bmap_) return b;
+        auto it = bmap_->find(b.get());
+        return it == bmap_->end() ? b : it->second;
+    }
+
+  private:
+    const VarMap* vmap_;
+    const BufferMap* bmap_;
+};
+
+/** Deep copy that freshens every bound variable. */
+class FreshCopier : public StmtExprMutator
+{
+  public:
+    explicit FreshCopier(std::string suffix) : suffix_(std::move(suffix)) {}
+
+    Expr
+    mutateVar(const Expr& e) override
+    {
+        auto it = remap_.find(static_cast<const VarNode*>(e.get()));
+        return it == remap_.end() ? e : Expr(it->second);
+    }
+
+  protected:
+    Stmt
+    mutateFor(const Stmt& s) override
+    {
+        const auto& n = static_cast<const ForNode&>(*s);
+        Var fresh = var(n.loop_var->name + suffix_, n.loop_var->dtype);
+        remap_[n.loop_var.get()] = fresh;
+        Expr mn = mutateExpr(n.min);
+        Expr ext = mutateExpr(n.extent);
+        Stmt body = mutateStmt(n.body);
+        return makeFor(fresh, mn, ext, body, n.for_kind, n.thread_tag,
+                       n.annotations);
+    }
+
+    BlockPtr
+    mutateBlockNode(const BlockPtr& block) override
+    {
+        for (const IterVar& iv : block->iter_vars) {
+            remap_[iv.var.get()] =
+                var(iv.var->name + suffix_, iv.var->dtype);
+        }
+        BlockPtr copied = StmtExprMutator::mutateBlockNode(block);
+        // Force a rebuild with the fresh iterator vars even if nothing in
+        // the ranges changed.
+        std::vector<IterVar> iters;
+        iters.reserve(copied->iter_vars.size());
+        for (size_t i = 0; i < copied->iter_vars.size(); ++i) {
+            const IterVar& iv = copied->iter_vars[i];
+            Var fresh = remap_.at(block->iter_vars[i].var.get());
+            iters.emplace_back(fresh, iv.dom, iv.type);
+        }
+        return makeBlock(copied->name, std::move(iters), copied->reads,
+                         copied->writes, copied->body, copied->init,
+                         copied->alloc_buffers, copied->annotations);
+    }
+
+  private:
+    std::string suffix_;
+    std::unordered_map<const VarNode*, Var> remap_;
+};
+
+class VarCollector : public StmtExprVisitor
+{
+  public:
+    std::set<const VarNode*> vars;
+
+  protected:
+    void
+    visitVar(const VarNode& node) override
+    {
+        vars.insert(&node);
+    }
+};
+
+class BlockCollector : public StmtExprVisitor
+{
+  public:
+    std::vector<BlockPtr> blocks;
+    std::vector<Stmt> realizes;
+
+    void collectFrom(const Stmt& s) { visitStmt(s); }
+
+  protected:
+    void
+    visitBlockRealize(const BlockRealizeNode& node) override
+    {
+        blocks.push_back(node.block);
+        StmtExprVisitor::visitBlockRealize(node);
+    }
+};
+
+class RealizeCollector : public StmtExprVisitor
+{
+  public:
+    std::vector<Stmt> realizes;
+    const Stmt* current = nullptr;
+
+    void
+    visitStmt(const Stmt& s) override
+    {
+        if (s->kind == StmtKind::kBlockRealize) realizes.push_back(s);
+        StmtExprVisitor::visitStmt(s);
+    }
+};
+
+class AccessCollector : public StmtExprVisitor
+{
+  public:
+    std::set<const BufferNode*> reads;
+    std::set<const BufferNode*> writes;
+
+  protected:
+    void
+    visitBufferLoad(const BufferLoadNode& node) override
+    {
+        reads.insert(node.buffer.get());
+        StmtExprVisitor::visitBufferLoad(node);
+    }
+    void
+    visitBufferStore(const BufferStoreNode& node) override
+    {
+        writes.insert(node.buffer.get());
+        StmtExprVisitor::visitBufferStore(node);
+    }
+};
+
+} // namespace
+
+Expr
+substitute(const Expr& expr, const VarMap& vmap)
+{
+    Substituter sub(&vmap, nullptr);
+    return sub.mutateExpr(expr);
+}
+
+Stmt
+substitute(const Stmt& stmt, const VarMap& vmap)
+{
+    Substituter sub(&vmap, nullptr);
+    return sub.mutateStmt(stmt);
+}
+
+Stmt
+substituteBuffers(const Stmt& stmt, const BufferMap& bmap)
+{
+    Substituter sub(nullptr, &bmap);
+    return sub.mutateStmt(stmt);
+}
+
+Stmt
+substitute(const Stmt& stmt, const VarMap& vmap, const BufferMap& bmap)
+{
+    Substituter sub(&vmap, &bmap);
+    return sub.mutateStmt(stmt);
+}
+
+Stmt
+copyWithFreshVars(const Stmt& stmt, const std::string& suffix)
+{
+    FreshCopier copier(suffix);
+    return copier.mutateStmt(stmt);
+}
+
+std::set<const VarNode*>
+collectVars(const Expr& expr)
+{
+    VarCollector collector;
+    collector.visitExpr(expr);
+    return std::move(collector.vars);
+}
+
+bool
+usesVar(const Expr& expr, const VarNode* v)
+{
+    return collectVars(expr).count(v) > 0;
+}
+
+std::vector<BlockPtr>
+collectBlocks(const Stmt& stmt)
+{
+    BlockCollector collector;
+    collector.collectFrom(stmt);
+    return std::move(collector.blocks);
+}
+
+std::vector<Stmt>
+collectBlockRealizes(const Stmt& stmt)
+{
+    RealizeCollector collector;
+    collector.visitStmt(stmt);
+    return std::move(collector.realizes);
+}
+
+BlockPtr
+findBlock(const Stmt& stmt, const std::string& name)
+{
+    for (const BlockPtr& block : collectBlocks(stmt)) {
+        if (block->name == name) return block;
+    }
+    TIR_FATAL << "no block named '" << name << "'";
+}
+
+bool
+hasBlock(const Stmt& stmt, const std::string& name)
+{
+    for (const BlockPtr& block : collectBlocks(stmt)) {
+        if (block->name == name) return true;
+    }
+    return false;
+}
+
+std::set<const BufferNode*>
+buffersRead(const Stmt& stmt)
+{
+    AccessCollector collector;
+    collector.visitStmt(stmt);
+    return std::move(collector.reads);
+}
+
+std::set<const BufferNode*>
+buffersWritten(const Stmt& stmt)
+{
+    AccessCollector collector;
+    collector.visitStmt(stmt);
+    return std::move(collector.writes);
+}
+
+namespace {
+
+class PreOrder : public StmtExprVisitor
+{
+  public:
+    explicit PreOrder(const std::function<void(const StmtNode*)>& fn)
+        : fn_(fn)
+    {}
+
+    void
+    visitStmt(const Stmt& s) override
+    {
+        fn_(s.get());
+        StmtExprVisitor::visitStmt(s);
+    }
+
+  private:
+    const std::function<void(const StmtNode*)>& fn_;
+};
+
+} // namespace
+
+void
+preOrderVisit(const Stmt& stmt,
+              const std::function<void(const StmtNode*)>& fn)
+{
+    PreOrder visitor(fn);
+    visitor.visitStmt(stmt);
+}
+
+} // namespace tir

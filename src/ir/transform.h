@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Common AST manipulation helpers: variable substitution, buffer remapping,
+ * fresh-variable cloning, and collectors used by schedule analysis.
+ */
+#ifndef TENSORIR_IR_TRANSFORM_H
+#define TENSORIR_IR_TRANSFORM_H
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "ir/functor.h"
+
+namespace tir {
+
+/** Mapping from variables to replacement expressions. */
+using VarMap = std::unordered_map<const VarNode*, Expr>;
+/** Mapping from buffers to replacement buffers. */
+using BufferMap = std::unordered_map<const BufferNode*, Buffer>;
+
+/** Substitute variables in an expression. */
+Expr substitute(const Expr& expr, const VarMap& vmap);
+/** Substitute variables in a statement. */
+Stmt substitute(const Stmt& stmt, const VarMap& vmap);
+/** Replace buffer references in a statement (regions included). */
+Stmt substituteBuffers(const Stmt& stmt, const BufferMap& bmap);
+/** Substitute both variables and buffers in one pass. */
+Stmt substitute(const Stmt& stmt, const VarMap& vmap,
+                const BufferMap& bmap);
+
+/**
+ * Deep-copy a statement, giving fresh identities to every variable defined
+ * inside (loop vars, block iter vars). Used when instantiating tensor
+ * intrinsic bodies and duplicating blocks.
+ */
+Stmt copyWithFreshVars(const Stmt& stmt, const std::string& suffix = "");
+
+/** Collect free variables of an expression. */
+std::set<const VarNode*> collectVars(const Expr& expr);
+/** True when `expr` references `v`. */
+bool usesVar(const Expr& expr, const VarNode* v);
+
+/** All blocks in a statement, pre-order. */
+std::vector<BlockPtr> collectBlocks(const Stmt& stmt);
+/** The BlockRealize nodes in a statement, pre-order. */
+std::vector<Stmt> collectBlockRealizes(const Stmt& stmt);
+/** Find the (unique) block named `name`; fatal when absent. */
+BlockPtr findBlock(const Stmt& stmt, const std::string& name);
+/** Whether a block with the given name exists. */
+bool hasBlock(const Stmt& stmt, const std::string& name);
+
+/** Buffers loaded from within a statement (body-level, not signature). */
+std::set<const BufferNode*> buffersRead(const Stmt& stmt);
+/** Buffers stored to within a statement (body-level, not signature). */
+std::set<const BufferNode*> buffersWritten(const Stmt& stmt);
+
+/** Apply `fn` to each statement node, pre-order. */
+void preOrderVisit(const Stmt& stmt,
+                   const std::function<void(const StmtNode*)>& fn);
+
+} // namespace tir
+
+#endif // TENSORIR_IR_TRANSFORM_H

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Scalar data types carried by every TensorIR expression and buffer.
+ */
+#ifndef TENSORIR_IR_TYPE_H
+#define TENSORIR_IR_TYPE_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/logging.h"
+
+namespace tir {
+
+/** Type-code portion of a DataType. */
+enum class DTypeCode : uint8_t { kInt, kUInt, kFloat, kBool, kHandle };
+
+/**
+ * A scalar data type: code + bit width. Mirrors the paper's buffer dtypes
+ * ("float16", "float32", "int8", ...).
+ */
+class DataType
+{
+  public:
+    constexpr DataType() : code_(DTypeCode::kInt), bits_(32) {}
+    constexpr DataType(DTypeCode code, int bits) : code_(code), bits_(bits) {}
+
+    static constexpr DataType f16() { return {DTypeCode::kFloat, 16}; }
+    static constexpr DataType f32() { return {DTypeCode::kFloat, 32}; }
+    static constexpr DataType f64() { return {DTypeCode::kFloat, 64}; }
+    static constexpr DataType i8() { return {DTypeCode::kInt, 8}; }
+    static constexpr DataType u8() { return {DTypeCode::kUInt, 8}; }
+    static constexpr DataType i32() { return {DTypeCode::kInt, 32}; }
+    static constexpr DataType i64() { return {DTypeCode::kInt, 64}; }
+    static constexpr DataType boolean() { return {DTypeCode::kBool, 1}; }
+    static constexpr DataType handle() { return {DTypeCode::kHandle, 64}; }
+
+    constexpr DTypeCode code() const { return code_; }
+    constexpr int bits() const { return bits_; }
+    /** Storage size in bytes (bool counts as one byte). */
+    constexpr int bytes() const { return bits_ <= 8 ? 1 : bits_ / 8; }
+
+    constexpr bool isFloat() const { return code_ == DTypeCode::kFloat; }
+    constexpr bool
+    isInt() const
+    {
+        return code_ == DTypeCode::kInt || code_ == DTypeCode::kUInt;
+    }
+    constexpr bool isBool() const { return code_ == DTypeCode::kBool; }
+    constexpr bool isHandle() const { return code_ == DTypeCode::kHandle; }
+
+    constexpr bool
+    operator==(const DataType& other) const
+    {
+        return code_ == other.code_ && bits_ == other.bits_;
+    }
+    constexpr bool
+    operator!=(const DataType& other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Render as e.g. "float32" / "int8" / "bool". */
+    std::string
+    str() const
+    {
+        switch (code_) {
+          case DTypeCode::kInt:
+            return "int" + std::to_string(bits_);
+          case DTypeCode::kUInt:
+            return "uint" + std::to_string(bits_);
+          case DTypeCode::kFloat:
+            return "float" + std::to_string(bits_);
+          case DTypeCode::kBool:
+            return "bool";
+          case DTypeCode::kHandle:
+            return "handle";
+        }
+        TIR_PANIC << "unreachable dtype code";
+    }
+
+    /** Parse "float32"-style strings. */
+    static DataType
+    parse(const std::string& s)
+    {
+        if (s == "bool") return boolean();
+        if (s == "handle") return handle();
+        auto take = [&](const std::string& prefix, DTypeCode code,
+                        DataType* out) {
+            if (s.rfind(prefix, 0) == 0) {
+                *out = DataType(code, std::stoi(s.substr(prefix.size())));
+                return true;
+            }
+            return false;
+        };
+        DataType result;
+        if (take("uint", DTypeCode::kUInt, &result)) return result;
+        if (take("int", DTypeCode::kInt, &result)) return result;
+        if (take("float", DTypeCode::kFloat, &result)) return result;
+        TIR_FATAL << "cannot parse dtype: " << s;
+    }
+
+  private:
+    DTypeCode code_;
+    int bits_;
+};
+
+} // namespace tir
+
+#endif // TENSORIR_IR_TYPE_H

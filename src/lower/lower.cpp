@@ -1,0 +1,93 @@
+#include "lower/lower.h"
+
+#include "arith/analyzer.h"
+#include "ir/functor.h"
+#include "ir/transform.h"
+
+namespace tir {
+
+namespace {
+
+/** Replaces every BlockRealize with its substituted body. */
+class BlockEraser : public StmtExprMutator
+{
+  public:
+    Stmt
+    mutateBlockRealize(const Stmt& s) override
+    {
+        const auto& n = static_cast<const BlockRealizeNode&>(*s);
+        const BlockNode& block = *n.block;
+
+        // Substitute block iterators with their binding values.
+        VarMap vmap;
+        for (size_t i = 0; i < block.iter_vars.size(); ++i) {
+            vmap[block.iter_vars[i].var.get()] =
+                mutateExpr(n.iter_values[i]);
+        }
+        Stmt body = substitute(block.body, vmap);
+        body = mutateStmt(body); // lower nested blocks
+
+        if (block.init) {
+            // The init runs on the first iteration of every reduction
+            // axis: guard with (binding == dom.min) conjunctions.
+            Expr guard = intImm(1, DataType::boolean());
+            for (size_t i = 0; i < block.iter_vars.size(); ++i) {
+                const IterVar& iv = block.iter_vars[i];
+                if (iv.type != IterType::kReduce) continue;
+                guard = land(guard, eq(vmap.at(iv.var.get()),
+                                       iv.dom.min));
+            }
+            Stmt init = substitute(block.init, vmap);
+            init = mutateStmt(init);
+            arith::Analyzer analyzer;
+            guard = analyzer.simplify(guard);
+            if (constIntOr(guard, 0) == 1) {
+                body = seq({init, body});
+            } else {
+                body = seq({ifThenElse(guard, init), body});
+            }
+        }
+
+        int64_t predicate = constIntOr(n.predicate, -1);
+        if (predicate != 1) {
+            body = ifThenElse(mutateExpr(n.predicate), body);
+        }
+        return body;
+    }
+};
+
+class BlockFinder : public StmtExprVisitor
+{
+  public:
+    bool found = false;
+
+    void
+    visitStmt(const Stmt& s) override
+    {
+        if (s->kind == StmtKind::kBlock ||
+            s->kind == StmtKind::kBlockRealize) {
+            found = true;
+        }
+        if (!found) StmtExprVisitor::visitStmt(s);
+    }
+};
+
+} // namespace
+
+PrimFunc
+lowerToLoops(const PrimFunc& func)
+{
+    BlockEraser eraser;
+    Stmt body = eraser.mutateStmt(func->body);
+    return makeFunc(func->name, func->params, body, func->attrs);
+}
+
+bool
+isBlockFree(const Stmt& stmt)
+{
+    BlockFinder finder;
+    finder.visitStmt(stmt);
+    return !finder.found;
+}
+
+} // namespace tir

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Lowering: erase blocks from a scheduled TensorIR function, producing a
+ * plain imperative loop nest suitable for code generation. Block
+ * iterators are substituted with their binding values, reduction init
+ * statements become first-iteration guards, and realize predicates
+ * become If statements — the "low-level code generation" step the paper
+ * hands programs to after scheduling.
+ */
+#ifndef TENSORIR_LOWER_LOWER_H
+#define TENSORIR_LOWER_LOWER_H
+
+#include "ir/stmt.h"
+
+namespace tir {
+
+/**
+ * Lower a function to block-free imperative form. The result contains
+ * no Block/BlockRealize nodes; it computes exactly the same values
+ * (checked in the test suite via the interpreter).
+ */
+PrimFunc lowerToLoops(const PrimFunc& func);
+
+/** True when a statement tree contains no blocks. */
+bool isBlockFree(const Stmt& stmt);
+
+} // namespace tir
+
+#endif // TENSORIR_LOWER_LOWER_H

@@ -1,0 +1,325 @@
+#include "meta/auto_tensorize.h"
+
+#include <set>
+
+#include "intrin/tensor_intrin.h"
+#include "ir/transform.h"
+
+namespace tir {
+namespace meta {
+
+namespace {
+
+/** Strip casts off an expression. */
+const ExprNode*
+stripCast(const Expr& e)
+{
+    const ExprNode* node = e.get();
+    while (node->kind == ExprKind::kCast) {
+        node = static_cast<const CastNode*>(node)->value.get();
+    }
+    return node;
+}
+
+/** Parsed C[.] += A[.] * B[.] pattern. */
+struct EinsumPattern
+{
+    bool valid = false;
+    const BufferStoreNode* store = nullptr;
+    const BufferLoadNode* lhs = nullptr; // first multiplicand
+    const BufferLoadNode* rhs = nullptr; // second multiplicand
+};
+
+EinsumPattern
+parseEinsum(const BlockNode& block)
+{
+    EinsumPattern result;
+    if (!block.init || block.body->kind != StmtKind::kBufferStore) {
+        return result;
+    }
+    const auto& store = static_cast<const BufferStoreNode&>(*block.body);
+    if (store.value->kind != ExprKind::kAdd) return result;
+    const auto& add = static_cast<const BinaryNode&>(*store.value);
+    // One side must be the self-load of the output.
+    const ExprNode* self = add.a.get();
+    Expr update = add.b;
+    if (self->kind != ExprKind::kBufferLoad ||
+        static_cast<const BufferLoadNode*>(self)->buffer != store.buffer) {
+        self = add.b.get();
+        update = add.a;
+    }
+    if (self->kind != ExprKind::kBufferLoad ||
+        static_cast<const BufferLoadNode*>(self)->buffer != store.buffer) {
+        return result;
+    }
+    const ExprNode* mul = stripCast(update);
+    if (mul->kind != ExprKind::kMul) return result;
+    const auto& product = static_cast<const BinaryNode*>(mul);
+    const ExprNode* lhs = stripCast(product->a);
+    const ExprNode* rhs = stripCast(product->b);
+    if (lhs->kind != ExprKind::kBufferLoad ||
+        rhs->kind != ExprKind::kBufferLoad) {
+        return result;
+    }
+    result.valid = true;
+    result.store = &store;
+    result.lhs = static_cast<const BufferLoadNode*>(lhs);
+    result.rhs = static_cast<const BufferLoadNode*>(rhs);
+    return result;
+}
+
+std::set<const VarNode*>
+indexVars(const std::vector<Expr>& indices)
+{
+    std::set<const VarNode*> vars;
+    for (const Expr& idx : indices) {
+        for (const VarNode* v : collectVars(idx)) vars.insert(v);
+    }
+    return vars;
+}
+
+int64_t
+roundUp(int64_t value, int64_t multiple)
+{
+    return (value + multiple - 1) / multiple * multiple;
+}
+
+} // namespace
+
+std::vector<TensorizeCandidate>
+generateTensorizeCandidates(const PrimFunc& func, const std::string& block,
+                            const std::vector<std::string>& intrins)
+{
+    std::vector<TensorizeCandidate> candidates;
+    BlockPtr b = findBlock(func->body, block);
+    EinsumPattern pattern = parseEinsum(*b);
+    if (!pattern.valid) return candidates;
+
+    std::set<const VarNode*> c_vars = indexVars(pattern.store->indices);
+
+    for (const std::string& intrin_name : intrins) {
+        if (!TensorIntrin::exists(intrin_name)) continue;
+        const TensorIntrin& ti = TensorIntrin::get(intrin_name);
+        // Decide which multiplicand plays the A role (shares iterators
+        // with the output alongside the reduction).
+        const BufferLoadNode* a_load = pattern.lhs;
+        const BufferLoadNode* b_load = pattern.rhs;
+        if (a_load->buffer->dtype != ti.in_dtype ||
+            b_load->buffer->dtype != ti.in_dtype ||
+            pattern.store->buffer->dtype != ti.acc_dtype) {
+            continue;
+        }
+
+        for (int attempt = 0; attempt < 2; ++attempt) {
+            if (attempt == 1) std::swap(a_load, b_load);
+            std::set<const VarNode*> a_vars = indexVars(a_load->indices);
+            std::set<const VarNode*> b_vars = indexVars(b_load->indices);
+
+            // Characteristic vectors (§4.2): membership in (C, A, B).
+            std::vector<int> batch_group;
+            std::vector<int> x_group;
+            std::vector<int> y_group;
+            std::vector<int> k_group;
+            bool classified = true;
+            for (size_t i = 0; i < b->iter_vars.size(); ++i) {
+                const VarNode* v = b->iter_vars[i].var.get();
+                bool in_c = c_vars.count(v);
+                bool in_a = a_vars.count(v);
+                bool in_b = b_vars.count(v);
+                int idx = static_cast<int>(i);
+                if (in_c && in_a && in_b) {
+                    batch_group.push_back(idx);
+                } else if (in_c && in_a) {
+                    x_group.push_back(idx);
+                } else if (in_c && in_b) {
+                    y_group.push_back(idx);
+                } else if (in_a && in_b) {
+                    k_group.push_back(idx);
+                } else {
+                    classified = false;
+                }
+            }
+            if (!classified || x_group.empty() || y_group.empty() ||
+                k_group.empty()) {
+                continue;
+            }
+
+            TensorizeCandidate cand;
+            cand.block = block;
+            cand.intrin = intrin_name;
+            cand.has_batch = !batch_group.empty();
+            if (cand.has_batch) cand.groups.push_back(batch_group);
+            cand.groups.push_back(x_group);
+            cand.groups.push_back(y_group);
+            cand.groups.push_back(k_group);
+
+            auto group_extent = [&](const std::vector<int>& group) {
+                int64_t total = 1;
+                for (int idx : group) {
+                    total *= constIntOr(b->iter_vars[idx].dom.extent, 0);
+                }
+                return total;
+            };
+            int base = cand.has_batch ? 1 : 0;
+            double useful = 1;
+            double padded_total = 1;
+            if (cand.has_batch) {
+                int64_t e = group_extent(batch_group);
+                cand.padded.push_back(e);
+            }
+            int64_t tiles[3] = {ti.tile_m, ti.tile_n, ti.tile_k};
+            const std::vector<int>* groups3[3] = {&x_group, &y_group,
+                                                  &k_group};
+            for (int g = 0; g < 3; ++g) {
+                int64_t e = group_extent(*groups3[g]);
+                int64_t padded = roundUp(e, tiles[g]);
+                cand.padded.push_back(padded);
+                useful *= static_cast<double>(e);
+                padded_total *= static_cast<double>(padded);
+            }
+            cand.padding_waste = padded_total / useful;
+
+            auto order_for = [&](bool uses_batch,
+                                 std::initializer_list<int> roles) {
+                // roles are offsets into (x, y, k) = base+0, base+1,
+                // base+2.
+                std::vector<int> order;
+                if (cand.has_batch && uses_batch) order.push_back(0);
+                for (int role : roles) order.push_back(base + role);
+                return order;
+            };
+            bool a_has_batch = true;
+            bool b_has_batch = true;
+            bool c_has_batch = true;
+            if (cand.has_batch) {
+                // All operands contain batch iterators by construction.
+                a_has_batch = b_has_batch = c_has_batch = true;
+            }
+            cand.c_order = order_for(c_has_batch, {0, 1});
+            cand.a_order = order_for(a_has_batch, {0, 2});
+            cand.b_order = order_for(b_has_batch, {2, 1});
+            cand.a_buffer = a_load->buffer;
+            cand.b_buffer = b_load->buffer;
+            candidates.push_back(std::move(cand));
+            break; // this intrinsic matched; no need to swap roles
+        }
+    }
+    return candidates;
+}
+
+namespace {
+
+/** Index of the block read that touches `buffer`. */
+int
+readIndexOf(const Schedule& sch, const std::string& block,
+            const Buffer& buffer)
+{
+    BlockPtr b = sch.getBlock(block);
+    for (size_t i = 0; i < b->reads.size(); ++i) {
+        if (b->reads[i].buffer == buffer) return static_cast<int>(i);
+    }
+    TIR_FATAL << "block " << block << " does not read " << buffer->name;
+}
+
+} // namespace
+
+namespace {
+
+/**
+ * An operand's ReIndex stage is an identity reshape — the paper's "will
+ * be inlined into consumers and do not affect the performance" case —
+ * when the access indices are exactly the operand's ordered group
+ * iterators (no gather arithmetic) and no padding was added.
+ */
+bool
+isIdentityReindex(const Schedule& sch, const TensorizeCandidate& cand,
+                  const std::vector<int>& operand_order,
+                  const Buffer& buffer, bool is_output)
+{
+    BlockPtr b = sch.getBlock(cand.block);
+    // Padding on any applicable group breaks the identity.
+    for (int g : operand_order) {
+        int64_t original = 1;
+        for (int iter_index : cand.groups[static_cast<size_t>(g)]) {
+            original *= constIntOr(
+                b->iter_vars[iter_index].dom.extent, 0);
+        }
+        if (original != cand.padded[static_cast<size_t>(g)]) return false;
+    }
+    // Access indices must be the ordered plain group iterators.
+    std::vector<const VarNode*> expected;
+    for (int g : operand_order) {
+        for (int iter_index : cand.groups[static_cast<size_t>(g)]) {
+            expected.push_back(b->iter_vars[iter_index].var.get());
+        }
+    }
+    std::vector<Expr> access;
+    if (is_output) {
+        if (b->body->kind != StmtKind::kBufferStore) return false;
+        access = static_cast<const BufferStoreNode&>(*b->body).indices;
+    } else {
+        // Find the load of `buffer` in the body.
+        struct Find : public StmtExprVisitor
+        {
+            const Buffer* target;
+            const BufferLoadNode* found = nullptr;
+            void
+            visitBufferLoad(const BufferLoadNode& node) override
+            {
+                if (node.buffer == *target && !found) found = &node;
+                StmtExprVisitor::visitBufferLoad(node);
+            }
+        } find;
+        find.target = &buffer;
+        find.visitStmt(b->body);
+        if (!find.found) return false;
+        access = find.found->indices;
+    }
+    if (access.size() != expected.size()) return false;
+    for (size_t i = 0; i < access.size(); ++i) {
+        if (access[i]->kind != ExprKind::kVar ||
+            access[i].get() != expected[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+ReindexBlocks
+applyReindexAndLayout(Schedule& sch, const TensorizeCandidate& cand)
+{
+    ReindexBlocks result;
+    bool a_free = isIdentityReindex(sch, cand, cand.a_order,
+                                    cand.a_buffer, false);
+    bool b_free = isIdentityReindex(sch, cand, cand.b_order,
+                                    cand.b_buffer, false);
+    bool c_free = isIdentityReindex(sch, cand, cand.c_order, nullptr,
+                                    true);
+    result.a_copy = sch.reindexFused(
+        cand.block, readIndexOf(sch, cand.block, cand.a_buffer),
+        cand.groups, cand.padded, cand.a_order);
+    result.b_copy = sch.reindexFused(
+        cand.block, readIndexOf(sch, cand.block, cand.b_buffer),
+        cand.groups, cand.padded, cand.b_order);
+    result.c_writeback = sch.reindexFused(cand.block, -1, cand.groups,
+                                          cand.padded, cand.c_order);
+    if (a_free) {
+        sch.annotateBlock(result.a_copy, "layout_free", intImm(1));
+    }
+    if (b_free) {
+        sch.annotateBlock(result.b_copy, "layout_free", intImm(1));
+    }
+    if (c_free) {
+        sch.annotateBlock(result.c_writeback, "layout_free", intImm(1));
+    }
+    result.a_fused = sch.getBlock(result.a_copy)->writes[0].buffer;
+    result.b_fused = sch.getBlock(result.b_copy)->writes[0].buffer;
+    result.c_fused = sch.getBlock(result.c_writeback)->reads[0].buffer;
+    sch.transformBlockLayout(cand.block, cand.groups, cand.padded);
+    return result;
+}
+
+} // namespace meta
+} // namespace tir

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tensorization candidate generation (§4.2). Matches an einsum block's
+ * expression pattern against registered tensor intrinsics, computes the
+ * characteristic vector of every block iterator, groups iterators by
+ * matching characteristic vectors (batch iterators — appearing in all
+ * operands — form their own group), and decides the padded, fused
+ * extents. applyReindexAndLayout then performs the ReIndex + layout
+ * rewrite + iterator-space transformation on a schedule.
+ */
+#ifndef TENSORIR_META_AUTO_TENSORIZE_H
+#define TENSORIR_META_AUTO_TENSORIZE_H
+
+#include <string>
+#include <vector>
+
+#include "tir/schedule.h"
+
+namespace tir {
+namespace meta {
+
+/** One way to tensorize an einsum block with a specific intrinsic. */
+struct TensorizeCandidate
+{
+    std::string block;
+    std::string intrin;
+    /** Iterator groups in [batch?, x, y, k] order. */
+    std::vector<std::vector<int>> groups;
+    /** Fused extent per group, padded to the intrinsic tile. */
+    std::vector<int64_t> padded;
+    bool has_batch = false;
+    /** Group indices in each operand's layout order. */
+    std::vector<int> c_order;
+    std::vector<int> a_order;
+    std::vector<int> b_order;
+    /** The operand buffers (identity survives scheduling). */
+    Buffer a_buffer;
+    Buffer b_buffer;
+    /** Wasted-compute ratio introduced by padding (>= 1). */
+    double padding_waste = 1.0;
+};
+
+/**
+ * Generate tensorization candidates for `block` against each intrinsic
+ * name in `intrins`. Blocks that do not match the C += A * B pattern, or
+ * whose iterators cannot be grouped (e.g. depthwise conv has no y-class
+ * iterator), yield no candidate — the op then falls back to non-
+ * tensorized sketches, mirroring the paper's pipeline.
+ */
+std::vector<TensorizeCandidate> generateTensorizeCandidates(
+    const PrimFunc& func, const std::string& block,
+    const std::vector<std::string>& intrins);
+
+/** Copy blocks created by applyReindexAndLayout. */
+struct ReindexBlocks
+{
+    std::string a_copy;
+    std::string b_copy;
+    std::string c_writeback;
+    Buffer a_fused;
+    Buffer b_fused;
+    Buffer c_fused;
+};
+
+/** Apply the candidate's ReIndex + layout + iterator fusion rewrites. */
+ReindexBlocks applyReindexAndLayout(Schedule& sch,
+                                    const TensorizeCandidate& cand);
+
+} // namespace meta
+} // namespace tir
+
+#endif // TENSORIR_META_AUTO_TENSORIZE_H

@@ -1,0 +1,129 @@
+#include "meta/database.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "ir/structural_hash.h"
+
+namespace tir {
+namespace meta {
+
+void
+TuningDatabase::commit(TuneRecord record)
+{
+    auto it = records_.find(record.workload_hash);
+    if (it == records_.end() || record.latency_us < it->second.latency_us) {
+        records_[record.workload_hash] = std::move(record);
+    }
+}
+
+std::optional<TuneRecord>
+TuningDatabase::lookup(const PrimFunc& workload) const
+{
+    return lookup(structuralHash(workload));
+}
+
+std::optional<TuneRecord>
+TuningDatabase::lookup(uint64_t workload_hash) const
+{
+    auto it = records_.find(workload_hash);
+    if (it == records_.end()) return std::nullopt;
+    return it->second;
+}
+
+namespace {
+
+const char*
+decisionKindName(Decision::Kind kind)
+{
+    return kind == Decision::Kind::kPerfectTile ? "tile" : "cat";
+}
+
+} // namespace
+
+std::string
+TuningDatabase::serialize() const
+{
+    std::ostringstream os;
+    for (const auto& [hash, record] : records_) {
+        os << "record " << hash << " " << record.latency_us << " "
+           << (record.sketch.empty() ? "-" : record.sketch) << " "
+           << (record.workload_name.empty() ? "-"
+                                            : record.workload_name)
+           << "\n";
+        for (const Decision& d : record.decisions) {
+            os << "  " << decisionKindName(d.kind) << " " << d.extent
+               << " " << d.number << " " << d.max_innermost << " "
+               << d.num_candidates;
+            for (int64_t v : d.values) os << " " << v;
+            os << "\n";
+        }
+        os << "end\n";
+    }
+    return os.str();
+}
+
+TuningDatabase
+TuningDatabase::deserialize(const std::string& text)
+{
+    TuningDatabase db;
+    std::istringstream is(text);
+    std::string line;
+    TuneRecord current;
+    bool in_record = false;
+    while (std::getline(is, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "record") {
+            TIR_CHECK(!in_record) << "malformed database: nested record";
+            current = TuneRecord();
+            ls >> current.workload_hash >> current.latency_us >>
+                current.sketch >> current.workload_name;
+            if (current.sketch == "-") current.sketch.clear();
+            if (current.workload_name == "-") {
+                current.workload_name.clear();
+            }
+            in_record = true;
+        } else if (tag == "tile" || tag == "cat") {
+            TIR_CHECK(in_record) << "malformed database: stray decision";
+            Decision d;
+            d.kind = tag == "tile" ? Decision::Kind::kPerfectTile
+                                   : Decision::Kind::kCategorical;
+            ls >> d.extent >> d.number >> d.max_innermost >>
+                d.num_candidates;
+            int64_t v;
+            while (ls >> v) d.values.push_back(v);
+            current.decisions.push_back(std::move(d));
+        } else if (tag == "end") {
+            TIR_CHECK(in_record) << "malformed database: stray end";
+            db.commit(std::move(current));
+            in_record = false;
+        } else if (!tag.empty()) {
+            TIR_FATAL << "malformed database line: " << line;
+        }
+    }
+    TIR_CHECK(!in_record) << "malformed database: unterminated record";
+    return db;
+}
+
+void
+TuningDatabase::save(const std::string& path) const
+{
+    std::ofstream out(path);
+    TIR_CHECK(out.good()) << "cannot open " << path << " for writing";
+    out << serialize();
+}
+
+TuningDatabase
+TuningDatabase::load(const std::string& path)
+{
+    std::ifstream in(path);
+    TIR_CHECK(in.good()) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return deserialize(buffer.str());
+}
+
+} // namespace meta
+} // namespace tir

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tuning database (§5.2: "TensorIR can eliminate search time further by
+ * caching historical cost models and search records. So no search is
+ * needed to build a model for an operator already tuned."). Records map
+ * a workload's structural hash to the best decision trace found; the
+ * tuner replays a hit instead of searching. Records round-trip through
+ * a plain-text format for persistence.
+ */
+#ifndef TENSORIR_META_DATABASE_H
+#define TENSORIR_META_DATABASE_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tir/schedule.h"
+
+namespace tir {
+namespace meta {
+
+/** One tuning record: the winning decisions for a workload. */
+struct TuneRecord
+{
+    uint64_t workload_hash = 0;
+    std::string workload_name;
+    std::vector<Decision> decisions;
+    double latency_us = 0;
+    /** Which sketch family produced it ("tensor" or "loop"). */
+    std::string sketch;
+};
+
+/** In-memory store of tuning records keyed by workload hash. */
+class TuningDatabase
+{
+  public:
+    /** Insert (or improve) the record for a workload. */
+    void commit(TuneRecord record);
+
+    /** Best known record, or nullopt when the workload is unseen. */
+    std::optional<TuneRecord> lookup(const PrimFunc& workload) const;
+    std::optional<TuneRecord> lookup(uint64_t workload_hash) const;
+
+    size_t size() const { return records_.size(); }
+
+    /** Serialize all records to a line-oriented text format. */
+    std::string serialize() const;
+    /** Parse records produced by serialize(); replaces the contents. */
+    static TuningDatabase deserialize(const std::string& text);
+
+    /** Save to / load from a file. */
+    void save(const std::string& path) const;
+    static TuningDatabase load(const std::string& path);
+
+  private:
+    std::map<uint64_t, TuneRecord> records_;
+};
+
+} // namespace meta
+} // namespace tir
+
+#endif // TENSORIR_META_DATABASE_H

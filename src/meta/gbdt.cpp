@@ -1,0 +1,171 @@
+#include "meta/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace tir {
+namespace meta {
+
+namespace {
+
+double
+mean(const std::vector<double>& values, const std::vector<int>& indices)
+{
+    double sum = 0;
+    for (int i : indices) sum += values[static_cast<size_t>(i)];
+    return indices.empty() ? 0 : sum / static_cast<double>(indices.size());
+}
+
+} // namespace
+
+int
+Gbdt::buildNode(Tree& tree, const std::vector<FeatureVec>& features,
+                const std::vector<double>& residuals,
+                std::vector<int>& indices, int depth)
+{
+    int node_id = static_cast<int>(tree.nodes.size());
+    tree.nodes.push_back({});
+    double node_mean = mean(residuals, indices);
+    tree.nodes[node_id].value = node_mean;
+    if (depth >= params_.max_depth ||
+        static_cast<int>(indices.size()) < 2 * params_.min_samples_leaf) {
+        return node_id;
+    }
+
+    // Exact greedy split: minimize total squared error.
+    double base_err = 0;
+    for (int i : indices) {
+        double d = residuals[static_cast<size_t>(i)] - node_mean;
+        base_err += d * d;
+    }
+    int best_feature = -1;
+    double best_threshold = 0;
+    double best_gain = 1e-12;
+    size_t num_features = features[0].size();
+    for (size_t f = 0; f < num_features; ++f) {
+        std::vector<int> sorted = indices;
+        std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+            return features[static_cast<size_t>(a)][f] <
+                   features[static_cast<size_t>(b)][f];
+        });
+        double left_sum = 0;
+        double left_sq = 0;
+        double total_sum = 0;
+        double total_sq = 0;
+        for (int i : sorted) {
+            double v = residuals[static_cast<size_t>(i)];
+            total_sum += v;
+            total_sq += v * v;
+        }
+        for (size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+            double v = residuals[static_cast<size_t>(sorted[pos])];
+            left_sum += v;
+            left_sq += v * v;
+            double x_here =
+                features[static_cast<size_t>(sorted[pos])][f];
+            double x_next =
+                features[static_cast<size_t>(sorted[pos + 1])][f];
+            if (x_here == x_next) continue;
+            size_t n_left = pos + 1;
+            size_t n_right = sorted.size() - n_left;
+            if (static_cast<int>(n_left) < params_.min_samples_leaf ||
+                static_cast<int>(n_right) < params_.min_samples_leaf) {
+                continue;
+            }
+            double right_sum = total_sum - left_sum;
+            double right_sq = total_sq - left_sq;
+            double err = (left_sq - left_sum * left_sum / n_left) +
+                         (right_sq - right_sum * right_sum / n_right);
+            double gain = base_err - err;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = static_cast<int>(f);
+                best_threshold = 0.5 * (x_here + x_next);
+            }
+        }
+    }
+    if (best_feature < 0) return node_id;
+
+    std::vector<int> left;
+    std::vector<int> right;
+    for (int i : indices) {
+        if (features[static_cast<size_t>(i)][
+                static_cast<size_t>(best_feature)] <= best_threshold) {
+            left.push_back(i);
+        } else {
+            right.push_back(i);
+        }
+    }
+    tree.nodes[node_id].feature = best_feature;
+    tree.nodes[node_id].threshold = best_threshold;
+    int left_id = buildNode(tree, features, residuals, left, depth + 1);
+    int right_id = buildNode(tree, features, residuals, right, depth + 1);
+    tree.nodes[node_id].left = left_id;
+    tree.nodes[node_id].right = right_id;
+    return node_id;
+}
+
+double
+Gbdt::treePredict(const Tree& tree, const FeatureVec& x)
+{
+    int node = 0;
+    while (tree.nodes[static_cast<size_t>(node)].feature >= 0) {
+        const Node& n = tree.nodes[static_cast<size_t>(node)];
+        double v = x[static_cast<size_t>(n.feature)];
+        node = v <= n.threshold ? n.left : n.right;
+    }
+    return tree.nodes[static_cast<size_t>(node)].value;
+}
+
+void
+Gbdt::fit(const std::vector<FeatureVec>& features,
+          const std::vector<double>& targets)
+{
+    TIR_CHECK(features.size() == targets.size());
+    trees_.clear();
+    trained_ = false;
+    if (features.size() < 4) return;
+
+    base_ = 0;
+    for (double t : targets) base_ += t;
+    base_ /= static_cast<double>(targets.size());
+
+    std::vector<double> predictions(targets.size(), base_);
+    std::vector<int> all_indices(targets.size());
+    for (size_t i = 0; i < targets.size(); ++i) {
+        all_indices[i] = static_cast<int>(i);
+    }
+    for (int t = 0; t < params_.num_trees; ++t) {
+        std::vector<double> residuals(targets.size());
+        double total_abs = 0;
+        for (size_t i = 0; i < targets.size(); ++i) {
+            residuals[i] = targets[i] - predictions[i];
+            total_abs += std::fabs(residuals[i]);
+        }
+        if (total_abs / static_cast<double>(targets.size()) < 1e-9) break;
+        Tree tree;
+        std::vector<int> indices = all_indices;
+        buildNode(tree, features, residuals, indices, 0);
+        for (size_t i = 0; i < targets.size(); ++i) {
+            predictions[i] += params_.learning_rate *
+                              treePredict(tree, features[i]);
+        }
+        trees_.push_back(std::move(tree));
+    }
+    trained_ = true;
+}
+
+double
+Gbdt::predict(const FeatureVec& features) const
+{
+    double result = base_;
+    for (const Tree& tree : trees_) {
+        result += params_.learning_rate * treePredict(tree, features);
+    }
+    return result;
+}
+
+} // namespace meta
+} // namespace tir

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Gradient-boosted regression trees: the learned cost model backing the
+ * evolutionary search (§4.4), standing in for the paper's XGBoost
+ * ensemble. Squared-loss boosting with exact greedy splits; small and
+ * deterministic.
+ */
+#ifndef TENSORIR_META_GBDT_H
+#define TENSORIR_META_GBDT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tir {
+namespace meta {
+
+/** One feature vector. */
+using FeatureVec = std::vector<double>;
+
+/** Hyper-parameters of the boosted ensemble. */
+struct GbdtParams
+{
+    int num_trees = 50;
+    int max_depth = 3;
+    double learning_rate = 0.3;
+    int min_samples_leaf = 3;
+};
+
+/** Gradient-boosted regression-tree ensemble (squared loss). */
+class Gbdt
+{
+  public:
+    explicit Gbdt(GbdtParams params = {}) : params_(params) {}
+
+    /** Fit to (features, targets); replaces any previous model. */
+    void fit(const std::vector<FeatureVec>& features,
+             const std::vector<double>& targets);
+
+    /** Predict one sample (returns the target mean before fitting). */
+    double predict(const FeatureVec& features) const;
+
+    /** Whether fit() has been called with enough data. */
+    bool trained() const { return trained_; }
+
+  private:
+    struct Node
+    {
+        int feature = -1;      // -1: leaf
+        double threshold = 0;
+        double value = 0;      // leaf prediction
+        int left = -1;
+        int right = -1;
+    };
+    struct Tree
+    {
+        std::vector<Node> nodes;
+    };
+
+    int buildNode(Tree& tree, const std::vector<FeatureVec>& features,
+                  const std::vector<double>& residuals,
+                  std::vector<int>& indices, int depth);
+    static double treePredict(const Tree& tree, const FeatureVec& x);
+
+    GbdtParams params_;
+    std::vector<Tree> trees_;
+    double base_ = 0;
+    bool trained_ = false;
+};
+
+} // namespace meta
+} // namespace tir
+
+#endif // TENSORIR_META_GBDT_H

@@ -1,0 +1,388 @@
+#include "meta/search.h"
+
+#include "intrin/tensor_intrin.h"
+#include "ir/structural_hash.h"
+#include "meta/database.h"
+#include "tir/verify.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tir {
+namespace meta {
+
+FeatureVec
+extractFeatures(const PrimFunc& func)
+{
+    hwsim::ProgramStats stats = hwsim::extractStats(func);
+    auto lg = [](double v) { return std::log1p(std::max(0.0, v)); };
+    double tc = 0;
+    double dot = 0;
+    for (const auto& [unit, macs] : stats.intrin_macs) {
+        if (unit == "tensor_core") {
+            tc += macs;
+        } else {
+            dot += macs;
+        }
+    }
+    double other_read = 0;
+    double other_write = 0;
+    for (const auto& [scope, bytes] : stats.bytes_read) {
+        if (scope != "global" && scope != "shared") other_read += bytes;
+    }
+    for (const auto& [scope, bytes] : stats.bytes_written) {
+        if (scope != "global" && scope != "shared") other_write += bytes;
+    }
+    auto scope_bytes = [&](const std::map<std::string, double>& m,
+                           const char* scope) {
+        auto it = m.find(scope);
+        return it == m.end() ? 0.0 : it->second;
+    };
+    return {
+        lg(stats.scalar_ops),
+        lg(tc),
+        lg(dot),
+        lg(scope_bytes(stats.bytes_read, "global")),
+        lg(scope_bytes(stats.bytes_written, "global")),
+        lg(scope_bytes(stats.bytes_read, "shared")),
+        lg(scope_bytes(stats.bytes_written, "shared")),
+        lg(other_read),
+        lg(other_write),
+        lg(stats.vector_bytes),
+        lg(stats.loop_iterations),
+        lg(stats.unrolled_iterations),
+        lg(stats.grid_blocks),
+        lg(stats.block_threads),
+        lg(stats.parallel_extent),
+        lg(stats.shared_alloc_bytes),
+        stats.uses_gpu_threads ? 1.0 : 0.0,
+    };
+}
+
+namespace {
+
+/** One candidate schedule during search. */
+struct Individual
+{
+    std::vector<Decision> decisions;
+    PrimFunc func;
+    FeatureVec features;
+    double latency_us = std::numeric_limits<double>::infinity();
+    bool measured = false;
+};
+
+/** Instantiate a sketch with decision overrides; nullopt when invalid. */
+bool
+instantiate(const PrimFunc& workload, const SketchApplier& sketch,
+            uint64_t seed, std::vector<Decision> overrides,
+            Individual* out, int* invalid_count)
+{
+    Schedule sch(workload, seed);
+    sch.setDecisionOverrides(std::move(overrides));
+    try {
+        sketch(sch);
+    } catch (const FatalError&) {
+        ++*invalid_count;
+        return false;
+    }
+    // Threading validation (§3.3) filters false positives before they
+    // reach a measurement.
+    VerifyResult threads = verifyThreadBindings(sch.func());
+    if (!threads.ok) {
+        ++*invalid_count;
+        return false;
+    }
+    out->decisions = sch.decisions();
+    out->func = sch.func();
+    out->features = extractFeatures(out->func);
+    return true;
+}
+
+/** Mutate one decision in place (resample it legally). */
+std::vector<Decision>
+mutate(const std::vector<Decision>& decisions, Rng& rng)
+{
+    if (decisions.empty()) return decisions;
+    std::vector<Decision> result = decisions;
+    size_t index = static_cast<size_t>(
+        rng.randInt(static_cast<int64_t>(result.size())));
+    Decision& d = result[index];
+    if (d.kind == Decision::Kind::kPerfectTile) {
+        // Move a factor between two positions (re-balance the tile).
+        if (d.values.size() >= 2) {
+            for (int attempt = 0; attempt < 8; ++attempt) {
+                size_t from = static_cast<size_t>(
+                    rng.randInt(static_cast<int64_t>(d.values.size())));
+                size_t to = static_cast<size_t>(
+                    rng.randInt(static_cast<int64_t>(d.values.size())));
+                if (from == to || d.values[from] == 1) continue;
+                // Move a prime-ish factor.
+                int64_t f = 2;
+                while (d.values[from] % f != 0) ++f;
+                d.values[from] /= f;
+                d.values[to] *= f;
+                break;
+            }
+        }
+    } else {
+        if (d.num_candidates > 1) {
+            int64_t next = rng.randInt(d.num_candidates);
+            d.values = {next};
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+TuneResult
+evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
+                   const hwsim::DeviceModel& device,
+                   const TuneOptions& options)
+{
+    TuneResult result;
+    Rng rng(options.seed);
+    Gbdt cost_model;
+    std::vector<FeatureVec> train_x;
+    std::vector<double> train_y;
+
+    auto measure = [&](Individual& ind) {
+        hwsim::RunEstimate estimate = device.run(ind.func);
+        ind.measured = true;
+        ++result.trials_measured;
+        result.tuning_cost_us += options.measure_overhead_us +
+                                 estimate.latency_us *
+                                     options.measure_repeats;
+        if (!estimate.valid()) {
+            ++result.invalid_filtered;
+            ind.latency_us = std::numeric_limits<double>::infinity();
+            return;
+        }
+        ind.latency_us = estimate.latency_us;
+        train_x.push_back(ind.features);
+        train_y.push_back(std::log1p(estimate.latency_us));
+        if (estimate.latency_us < result.best_latency_us) {
+            result.best_latency_us = estimate.latency_us;
+            result.best_func = ind.func;
+            result.best_decisions = ind.decisions;
+        }
+    };
+
+    // Initial random population, measured directly.
+    std::vector<Individual> population;
+    int attempts = 0;
+    while (static_cast<int>(population.size()) < options.population &&
+           attempts < options.population * 8) {
+        ++attempts;
+        Individual ind;
+        if (instantiate(workload, sketch, rng.next(), {}, &ind,
+                        &result.invalid_filtered)) {
+            measure(ind);
+            if (std::isfinite(ind.latency_us)) {
+                population.push_back(std::move(ind));
+            }
+        }
+    }
+    TIR_CHECK(!population.empty())
+        << "search could not instantiate any valid schedule";
+    result.history.push_back(result.best_latency_us);
+
+    for (int gen = 0; gen < options.generations; ++gen) {
+        if (options.use_cost_model && train_x.size() >= 8) {
+            cost_model.fit(train_x, train_y);
+        }
+        // Parents weighted by fitness (inverse latency).
+        std::vector<double> weights;
+        for (const Individual& ind : population) {
+            weights.push_back(1.0 / (1e-6 + ind.latency_us));
+        }
+        // Generate children by mutation; screen with the cost model.
+        std::vector<Individual> children;
+        for (int c = 0; c < options.children_per_generation; ++c) {
+            const Individual& parent =
+                population[rng.weightedChoice(weights)];
+            Individual child;
+            if (!instantiate(workload, sketch, rng.next(),
+                             mutate(parent.decisions, rng), &child,
+                             &result.invalid_filtered)) {
+                continue;
+            }
+            children.push_back(std::move(child));
+        }
+        // Rank by predicted latency, measure the most promising.
+        if (cost_model.trained()) {
+            std::stable_sort(children.begin(), children.end(),
+                             [&](const Individual& a,
+                                 const Individual& b) {
+                                 return cost_model.predict(a.features) <
+                                        cost_model.predict(b.features);
+                             });
+        }
+        int to_measure = std::min<int>(
+            options.measured_per_generation,
+            static_cast<int>(children.size()));
+        for (int c = 0; c < to_measure; ++c) {
+            measure(children[static_cast<size_t>(c)]);
+            if (std::isfinite(children[static_cast<size_t>(c)]
+                                  .latency_us)) {
+                population.push_back(
+                    std::move(children[static_cast<size_t>(c)]));
+            }
+        }
+        // Keep the fittest individuals.
+        std::stable_sort(population.begin(), population.end(),
+                         [](const Individual& a, const Individual& b) {
+                             return a.latency_us < b.latency_us;
+                         });
+        if (static_cast<int>(population.size()) > options.population) {
+            population.resize(static_cast<size_t>(options.population));
+        }
+        result.history.push_back(result.best_latency_us);
+    }
+    return result;
+}
+
+TuneResult
+autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
+         const TuneOptions& options, TunerStyle style,
+         TuningDatabase* database)
+{
+    bool gpu = (task.target == "gpu");
+    std::vector<TensorizeCandidate> candidates;
+    if (style != TunerStyle::kLoopOnly) {
+        candidates = generateTensorizeCandidates(
+            task.func, task.einsum_block, task.intrins);
+    }
+
+    SketchOptions sketch_options;
+    if (style == TunerStyle::kAmosLike) {
+        // AMOS maps to intrinsics but schedules data movement with a
+        // fixed policy (no shared staging, no vectorized copies).
+        sketch_options.use_shared_staging = false;
+        sketch_options.vectorize_copies = false;
+    }
+
+    SketchApplier applier;
+    if (!candidates.empty()) {
+        // Prefer the intrinsic that amortizes the most work per call
+        // while wasting the least padding.
+        std::stable_sort(
+            candidates.begin(), candidates.end(),
+            [](const TensorizeCandidate& a, const TensorizeCandidate& b) {
+                double score_a = TensorIntrin::get(a.intrin).macs /
+                                 a.padding_waste;
+                double score_b = TensorIntrin::get(b.intrin).macs /
+                                 b.padding_waste;
+                return score_a > score_b;
+            });
+        TensorizeCandidate cand = candidates.front();
+        applier = [cand, gpu, sketch_options](Schedule& sch) {
+            ReindexBlocks rb = applyReindexAndLayout(sch, cand);
+            if (gpu) {
+                applyGpuTensorSketch(sch, cand, rb, sketch_options);
+            } else {
+                applyCpuTensorSketch(sch, cand, rb, sketch_options);
+            }
+        };
+    } else {
+        std::string block = task.einsum_block;
+        applier = [block, gpu](Schedule& sch) {
+            if (gpu) {
+                applyGpuLoopSketch(sch, block);
+            } else {
+                applyCpuLoopSketch(sch, block);
+            }
+        };
+    }
+    TuneOptions opts = options;
+    if (style == TunerStyle::kAmosLike) {
+        // AMOS explores intrinsic mappings without a transferable cost
+        // model over tensorized programs.
+        opts.use_cost_model = false;
+    }
+    // Database replay (§5.2): a stored record skips the search.
+    if (database) {
+        std::optional<TuneRecord> record = database->lookup(task.func);
+        if (record) {
+            Schedule sch(task.func, opts.seed);
+            sch.setDecisionOverrides(record->decisions);
+            SketchApplier replay = applier;
+            if (record->sketch == "loop") {
+                std::string block = task.einsum_block;
+                replay = [block, gpu](Schedule& s) {
+                    if (gpu) {
+                        applyGpuLoopSketch(s, block);
+                    } else {
+                        applyCpuLoopSketch(s, block);
+                    }
+                };
+            }
+            replay(sch);
+            hwsim::RunEstimate estimate = device.run(sch.func());
+            TIR_CHECK(estimate.valid())
+                << "database record replays to an invalid program";
+            TuneResult replayed;
+            replayed.best_func = sch.func();
+            replayed.best_latency_us = estimate.latency_us;
+            replayed.best_decisions = sch.decisions();
+            replayed.best_sketch = record->sketch;
+            replayed.trials_measured = 1;
+            replayed.tuning_cost_us =
+                options.measure_overhead_us +
+                estimate.latency_us * options.measure_repeats;
+            replayed.from_database = true;
+            return replayed;
+        }
+    }
+
+    TuneResult result = evolutionarySearch(task.func, applier, device,
+                                           opts);
+    result.best_sketch = candidates.empty() ? "loop" : "tensor";
+    if (style == TunerStyle::kTensorIR && !candidates.empty()) {
+        // The full system's search space also contains non-tensorized
+        // sketches; on tiny or layout-bound operators the plain SIMT
+        // schedule can win (no gather kernels, no padding waste).
+        std::string block = task.einsum_block;
+        SketchApplier loop_applier = [block, gpu](Schedule& sch) {
+            if (gpu) {
+                applyGpuLoopSketch(sch, block);
+            } else {
+                applyCpuLoopSketch(sch, block);
+            }
+        };
+        TuneOptions loop_opts = opts;
+        loop_opts.population = std::max(4, opts.population / 2);
+        loop_opts.generations = std::max(1, opts.generations / 2);
+        loop_opts.seed = opts.seed + 7777;
+        TuneResult loop_result = evolutionarySearch(
+            task.func, loop_applier, device, loop_opts);
+        result.trials_measured += loop_result.trials_measured;
+        result.invalid_filtered += loop_result.invalid_filtered;
+        result.tuning_cost_us += loop_result.tuning_cost_us;
+        if (loop_result.best_latency_us < result.best_latency_us) {
+            result.best_latency_us = loop_result.best_latency_us;
+            result.best_func = loop_result.best_func;
+            result.best_decisions = loop_result.best_decisions;
+            result.best_sketch = "loop";
+        }
+    }
+    if (database && result.best_func) {
+        TuneRecord record;
+        record.workload_hash = structuralHash(task.func);
+        record.workload_name = task.func->name;
+        record.decisions = result.best_decisions;
+        record.latency_us = result.best_latency_us;
+        record.sketch = result.best_sketch;
+        database->commit(std::move(record));
+    }
+    if (result.best_func) {
+        VerifyResult cover = verifyRegionCover(result.best_func);
+        TIR_CHECK(cover.ok)
+            << "tuned program failed producer-consumer validation: "
+            << cover.error;
+    }
+    return result;
+}
+
+} // namespace meta
+} // namespace tir

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Evolutionary search over sketch decisions (§4.4) with a learned cost
+ * model and validation filtering, plus the top-level auto-tuner that
+ * wires together candidate generation, sketch generation, and search.
+ */
+#ifndef TENSORIR_META_SEARCH_H
+#define TENSORIR_META_SEARCH_H
+
+#include <functional>
+
+#include "hwsim/device.h"
+#include "meta/auto_tensorize.h"
+#include "meta/gbdt.h"
+#include "meta/sketch.h"
+
+namespace tir {
+namespace meta {
+
+/** Feature vector of a scheduled program (input to the cost model). */
+FeatureVec extractFeatures(const PrimFunc& func);
+
+/** Applies a full sketch to a fresh schedule; throws on invalid. */
+using SketchApplier = std::function<void(Schedule&)>;
+
+/** Search configuration. */
+struct TuneOptions
+{
+    int population = 16;
+    int generations = 5;
+    /** Candidates generated per generation (cost-model pre-screened). */
+    int children_per_generation = 32;
+    /** How many pre-screened children get a simulated measurement. */
+    int measured_per_generation = 8;
+    uint64_t seed = 1;
+    bool use_cost_model = true;
+    /** Simulated cost charged per hardware measurement (compile + run
+     *  repetitions), used for the Table 1 tuning-time accounting. */
+    double measure_overhead_us = 300000.0; // ~0.3 s compile+launch
+    double measure_repeats = 100;
+};
+
+/** Outcome of a tuning run. */
+struct TuneResult
+{
+    PrimFunc best_func;
+    double best_latency_us = std::numeric_limits<double>::infinity();
+    /** Decision trace of the winner (replayable via a TuningDatabase). */
+    std::vector<Decision> best_decisions;
+    /** Sketch family of the winner ("tensor" or "loop"). */
+    std::string best_sketch;
+    int trials_measured = 0;
+    int invalid_filtered = 0;
+    /** Simulated wall-clock tuning cost (profiling dominates). */
+    double tuning_cost_us = 0;
+    /** Best latency after each generation. */
+    std::vector<double> history;
+    /** True when the result was replayed from a database record. */
+    bool from_database = false;
+};
+
+/** Evolutionary search over the decisions of one sketch family. */
+TuneResult evolutionarySearch(const PrimFunc& workload,
+                              const SketchApplier& sketch,
+                              const hwsim::DeviceModel& device,
+                              const TuneOptions& options);
+
+/** Which tuner persona to emulate (for the paper's baselines). */
+enum class TunerStyle
+{
+    /** Full system: auto-tensorization + AutoCopy data movement. */
+    kTensorIR,
+    /** Loop-nest-only search (TVM/Ansor-like baseline). */
+    kLoopOnly,
+    /** Tensorizes but with fixed data-movement policy (AMOS-like). */
+    kAmosLike,
+};
+
+/** A workload to tune. */
+struct TuneTask
+{
+    PrimFunc func;
+    std::string einsum_block;
+    /** "gpu" or "cpu". */
+    std::string target = "gpu";
+    /** Intrinsics available on the target. */
+    std::vector<std::string> intrins;
+};
+
+class TuningDatabase;
+
+/**
+ * Tune one task end to end with the requested persona. When `database`
+ * is given, a hit replays the stored decisions (one measurement, no
+ * search — the paper's §5.2 record caching) and a miss commits the new
+ * winner.
+ */
+TuneResult autoTune(const TuneTask& task,
+                    const hwsim::DeviceModel& device,
+                    const TuneOptions& options,
+                    TunerStyle style = TunerStyle::kTensorIR,
+                    TuningDatabase* database = nullptr);
+
+} // namespace meta
+} // namespace tir
+
+#endif // TENSORIR_META_SEARCH_H

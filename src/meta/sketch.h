@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tensorized program sketch generation (§4.3). A sketch fixes program
+ * structure (tiling levels, staging points, AutoCopy blocks) while
+ * leaving tile sizes and vector widths as sampled decisions. Data
+ * movement is first-class: AutoCopy blocks are inserted by the sketch
+ * and scheduled separately by the data-movement scheduler
+ * (cooperative fetching, vectorization).
+ */
+#ifndef TENSORIR_META_SKETCH_H
+#define TENSORIR_META_SKETCH_H
+
+#include "meta/auto_tensorize.h"
+
+namespace tir {
+namespace meta {
+
+/** Data-movement policy knobs (TensorIR vs the AMOS-like baseline). */
+struct SketchOptions
+{
+    /** Stage operands through shared memory (GPU). */
+    bool use_shared_staging = true;
+    /** Let the data-movement scheduler vectorize copies. */
+    bool vectorize_copies = true;
+};
+
+/**
+ * GPU sketch with tensor-core style tensorization: multi-level tiling,
+ * blockIdx/threadIdx binding, accumulator staging, shared-memory +
+ * fragment AutoCopy blocks, blockize + tensorize, and injective
+ * scheduling of all remaining blocks. Throws FatalError when sampled
+ * decisions produce an invalid program (the search filters these).
+ */
+void applyGpuTensorSketch(Schedule& sch, const TensorizeCandidate& cand,
+                          const ReindexBlocks& rb,
+                          const SketchOptions& options);
+
+/** Ansor-style GPU sketch without tensorization (the TVM baseline). */
+void applyGpuLoopSketch(Schedule& sch, const std::string& einsum_block);
+
+/** CPU sketch with sdot-style tensorization (ARM backend, §5.3). */
+void applyCpuTensorSketch(Schedule& sch, const TensorizeCandidate& cand,
+                          const ReindexBlocks& rb,
+                          const SketchOptions& options);
+
+/** CPU loop-nest sketch without tensorization. */
+void applyCpuLoopSketch(Schedule& sch, const std::string& einsum_block);
+
+/** Schedule one elementwise/copy block for the GPU (fuse/bind/vector). */
+void scheduleInjectiveGpu(Schedule& sch, const std::string& block);
+
+/** Schedule one elementwise/copy block for the CPU (parallel/vector). */
+void scheduleInjectiveCpu(Schedule& sch, const std::string& block);
+
+/** Schedule every block not yet bound/parallelized as injective. */
+void scheduleRemainingBlocks(Schedule& sch, bool gpu);
+
+} // namespace meta
+} // namespace tir
+
+#endif // TENSORIR_META_SKETCH_H

@@ -1,0 +1,286 @@
+#include "runtime/interpreter.h"
+
+#include <cmath>
+
+#include "arith/interval.h"
+
+namespace tir {
+namespace runtime {
+
+std::unordered_map<std::string, IntrinsicImpl>&
+Interpreter::registry()
+{
+    static std::unordered_map<std::string, IntrinsicImpl> impls;
+    return impls;
+}
+
+void
+Interpreter::registerIntrinsic(const std::string& name, IntrinsicImpl impl)
+{
+    registry()[name] = std::move(impl);
+}
+
+bool
+Interpreter::hasIntrinsic(const std::string& name)
+{
+    return registry().count(name) > 0;
+}
+
+void
+Interpreter::run(const PrimFunc& func, const std::vector<NDArray*>& args)
+{
+    TIR_CHECK(args.size() == func->params.size())
+        << func->name << " expects " << func->params.size()
+        << " arguments, got " << args.size();
+    env_.clear();
+    storage_.clear();
+    bound_.clear();
+    for (size_t i = 0; i < args.size(); ++i) {
+        TIR_CHECK(args[i]->numel() == func->params[i]->numel())
+            << "argument " << i << " size mismatch for " << func->name;
+        bound_[func->params[i].get()] = args[i];
+    }
+    exec(func->body);
+}
+
+NDArray*
+Interpreter::getArray(const Buffer& buffer)
+{
+    auto bound_it = bound_.find(buffer.get());
+    if (bound_it != bound_.end()) return bound_it->second;
+    auto it = storage_.find(buffer.get());
+    if (it != storage_.end()) return it->second.get();
+    std::vector<int64_t> shape;
+    shape.reserve(buffer->ndim());
+    for (size_t d = 0; d < buffer->ndim(); ++d) {
+        shape.push_back(buffer->shapeInt(d));
+    }
+    auto array = std::make_unique<NDArray>(buffer->dtype, shape);
+    NDArray* raw = array.get();
+    storage_[buffer.get()] = std::move(array);
+    return raw;
+}
+
+int64_t
+Interpreter::linearOffset(const Buffer& buffer,
+                          const std::vector<Expr>& indices)
+{
+    int64_t offset = 0;
+    for (size_t d = 0; d < indices.size(); ++d) {
+        offset = offset * buffer->shapeInt(d) + evalInt(indices[d]);
+    }
+    return offset;
+}
+
+int64_t
+Interpreter::evalInt(const Expr& expr)
+{
+    switch (expr->kind) {
+      case ExprKind::kIntImm:
+        return static_cast<const IntImmNode&>(*expr).value;
+      case ExprKind::kFloatImm:
+        return static_cast<int64_t>(
+            static_cast<const FloatImmNode&>(*expr).value);
+      case ExprKind::kVar: {
+        auto it = env_.find(static_cast<const VarNode*>(expr.get()));
+        TIR_ICHECK(it != env_.end())
+            << "unbound variable "
+            << static_cast<const VarNode&>(*expr).name;
+        return it->second;
+      }
+      case ExprKind::kCast: {
+        const Expr& inner = static_cast<const CastNode&>(*expr).value;
+        if (inner->dtype.isFloat()) {
+            return static_cast<int64_t>(std::trunc(evalValue(inner)));
+        }
+        return evalInt(inner);
+      }
+      case ExprKind::kBufferLoad: {
+        const auto& n = static_cast<const BufferLoadNode&>(*expr);
+        return static_cast<int64_t>(
+            getArray(n.buffer)->at(linearOffset(n.buffer, n.indices)));
+      }
+      case ExprKind::kNot:
+        return evalInt(static_cast<const NotNode&>(*expr).a) ? 0 : 1;
+      case ExprKind::kSelect: {
+        const auto& n = static_cast<const SelectNode&>(*expr);
+        return evalInt(n.cond) ? evalInt(n.tval) : evalInt(n.fval);
+      }
+      default: {
+        const auto& n = static_cast<const BinaryNode&>(*expr);
+        int64_t a = evalInt(n.a);
+        int64_t b = evalInt(n.b);
+        switch (expr->kind) {
+          case ExprKind::kAdd: return a + b;
+          case ExprKind::kSub: return a - b;
+          case ExprKind::kMul: return a * b;
+          case ExprKind::kFloorDiv: return arith::floorDivInt(a, b);
+          case ExprKind::kFloorMod: return arith::floorModInt(a, b);
+          case ExprKind::kMin: return std::min(a, b);
+          case ExprKind::kMax: return std::max(a, b);
+          case ExprKind::kEQ: return a == b;
+          case ExprKind::kNE: return a != b;
+          case ExprKind::kLT: return a < b;
+          case ExprKind::kLE: return a <= b;
+          case ExprKind::kGT: return a > b;
+          case ExprKind::kGE: return a >= b;
+          case ExprKind::kAnd: return a && b;
+          case ExprKind::kOr: return a || b;
+          default:
+            TIR_PANIC << "cannot integer-evaluate expression kind";
+        }
+      }
+    }
+}
+
+double
+Interpreter::evalValue(const Expr& expr)
+{
+    switch (expr->kind) {
+      case ExprKind::kIntImm:
+        return static_cast<double>(
+            static_cast<const IntImmNode&>(*expr).value);
+      case ExprKind::kFloatImm:
+        return static_cast<const FloatImmNode&>(*expr).value;
+      case ExprKind::kVar:
+        return static_cast<double>(evalInt(expr));
+      case ExprKind::kCast: {
+        const auto& n = static_cast<const CastNode&>(*expr);
+        double v = evalValue(n.value);
+        if (n.dtype.isInt() || n.dtype.isBool()) return std::trunc(v);
+        return v;
+      }
+      case ExprKind::kNot:
+        return evalValue(static_cast<const NotNode&>(*expr).a) == 0.0;
+      case ExprKind::kSelect: {
+        const auto& n = static_cast<const SelectNode&>(*expr);
+        return evalValue(n.cond) != 0.0 ? evalValue(n.tval)
+                                        : evalValue(n.fval);
+      }
+      case ExprKind::kBufferLoad: {
+        const auto& n = static_cast<const BufferLoadNode&>(*expr);
+        return getArray(n.buffer)->at(linearOffset(n.buffer, n.indices));
+      }
+      case ExprKind::kBufferPtr:
+        TIR_PANIC << "BufferPtr evaluated as a value";
+      case ExprKind::kCall: {
+        const auto& n = static_cast<const CallNode&>(*expr);
+        if (n.op == "exp") return std::exp(evalValue(n.args[0]));
+        if (n.op == "sqrt") return std::sqrt(evalValue(n.args[0]));
+        if (n.op == "tanh") return std::tanh(evalValue(n.args[0]));
+        if (n.op == "erf") return std::erf(evalValue(n.args[0]));
+        if (n.op == "sigmoid") {
+            return 1.0 / (1.0 + std::exp(-evalValue(n.args[0])));
+        }
+        if (n.op == "abs") return std::fabs(evalValue(n.args[0]));
+        if (n.op == "log") return std::log(evalValue(n.args[0]));
+        TIR_FATAL << "unknown pure call in value position: " << n.op;
+      }
+      default: {
+        const auto& n = static_cast<const BinaryNode&>(*expr);
+        if (!expr->dtype.isFloat()) {
+            return static_cast<double>(evalInt(expr));
+        }
+        double a = evalValue(n.a);
+        double b = evalValue(n.b);
+        switch (expr->kind) {
+          case ExprKind::kAdd: return a + b;
+          case ExprKind::kSub: return a - b;
+          case ExprKind::kMul: return a * b;
+          case ExprKind::kDiv: return a / b;
+          case ExprKind::kMin: return std::min(a, b);
+          case ExprKind::kMax: return std::max(a, b);
+          default:
+            TIR_PANIC << "cannot value-evaluate expression kind";
+        }
+      }
+    }
+}
+
+BufferRef
+Interpreter::resolvePtr(const Expr& expr)
+{
+    TIR_ICHECK(expr->kind == ExprKind::kBufferPtr)
+        << "intrinsic argument is not a buffer pointer";
+    const auto& n = static_cast<const BufferPtrNode&>(*expr);
+    return {getArray(n.buffer), linearOffset(n.buffer, n.indices),
+            n.buffer.get()};
+}
+
+void
+Interpreter::exec(const Stmt& stmt)
+{
+    switch (stmt->kind) {
+      case StmtKind::kBufferStore: {
+        const auto& n = static_cast<const BufferStoreNode&>(*stmt);
+        double value = n.value->dtype.isFloat()
+                           ? evalValue(n.value)
+                           : static_cast<double>(evalInt(n.value));
+        getArray(n.buffer)->at(linearOffset(n.buffer, n.indices)) = value;
+        return;
+      }
+      case StmtKind::kEvaluate: {
+        const auto& n = static_cast<const EvaluateNode&>(*stmt);
+        TIR_ICHECK(n.value->kind == ExprKind::kCall)
+            << "Evaluate expects an intrinsic call";
+        const auto& c = static_cast<const CallNode&>(*n.value);
+        auto it = registry().find(c.op);
+        TIR_CHECK(it != registry().end())
+            << "no runtime semantics registered for intrinsic " << c.op;
+        it->second(*this, c);
+        return;
+      }
+      case StmtKind::kSeq: {
+        for (const Stmt& s : static_cast<const SeqStmtNode&>(*stmt).seq) {
+            exec(s);
+        }
+        return;
+      }
+      case StmtKind::kIfThenElse: {
+        const auto& n = static_cast<const IfThenElseNode&>(*stmt);
+        if (evalInt(n.cond)) {
+            exec(n.then_case);
+        } else if (n.else_case) {
+            exec(n.else_case);
+        }
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& n = static_cast<const ForNode&>(*stmt);
+        int64_t min_v = evalInt(n.min);
+        int64_t extent = evalInt(n.extent);
+        for (int64_t i = 0; i < extent; ++i) {
+            env_[n.loop_var.get()] = min_v + i;
+            exec(n.body);
+        }
+        env_.erase(n.loop_var.get());
+        return;
+      }
+      case StmtKind::kBlock:
+        TIR_PANIC << "bare Block outside BlockRealize";
+      case StmtKind::kBlockRealize: {
+        const auto& n = static_cast<const BlockRealizeNode&>(*stmt);
+        if (!evalInt(n.predicate)) return;
+        const BlockNode& block = *n.block;
+        bool at_reduction_start = true;
+        for (size_t i = 0; i < block.iter_vars.size(); ++i) {
+            const IterVar& iv = block.iter_vars[i];
+            int64_t value = evalInt(n.iter_values[i]);
+            env_[iv.var.get()] = value;
+            if (iv.type == IterType::kReduce &&
+                value != evalInt(iv.dom.min)) {
+                at_reduction_start = false;
+            }
+        }
+        if (block.init && at_reduction_start) exec(block.init);
+        exec(block.body);
+        for (const IterVar& iv : block.iter_vars) {
+            env_.erase(iv.var.get());
+        }
+        return;
+      }
+    }
+}
+
+} // namespace runtime
+} // namespace tir

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Functional interpreter for TensorIR programs. Executes any stage of the
+ * schedule pipeline — including thread-binding loops and opaque tensor
+ * intrinsic calls — so tests can check numerically that every schedule
+ * transformation preserves semantics, which is the guarantee the paper's
+ * validation machinery (§3.3) provides.
+ */
+#ifndef TENSORIR_RUNTIME_INTERPRETER_H
+#define TENSORIR_RUNTIME_INTERPRETER_H
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "ir/stmt.h"
+#include "runtime/ndarray.h"
+
+namespace tir {
+namespace runtime {
+
+class Interpreter;
+
+/** Semantics callback for an opaque intrinsic call. */
+using IntrinsicImpl =
+    std::function<void(Interpreter&, const CallNode&)>;
+
+/** Resolved buffer address: backing array + linear element offset. */
+struct BufferRef
+{
+    NDArray* array = nullptr;
+    int64_t offset = 0;
+    const BufferNode* buffer = nullptr;
+};
+
+/** Tree-walking evaluator for PrimFuncs. */
+class Interpreter
+{
+  public:
+    /**
+     * Execute `func` with `args` bound to its parameters in order.
+     * Thread-binding and parallel loops run sequentially (valid programs
+     * are race-free, so semantics are preserved).
+     */
+    void run(const PrimFunc& func, const std::vector<NDArray*>& args);
+
+    /** Evaluate a scalar expression in the current environment. */
+    double evalValue(const Expr& expr);
+    /** Evaluate an integer expression (indices, predicates, bounds). */
+    int64_t evalInt(const Expr& expr);
+    /** Resolve a BufferPtr expression to array + offset. */
+    BufferRef resolvePtr(const Expr& expr);
+    /** Backing storage for a buffer, allocating lazily. */
+    NDArray* getArray(const Buffer& buffer);
+
+    /** Register the runtime semantics of an opaque intrinsic. */
+    static void registerIntrinsic(const std::string& name,
+                                  IntrinsicImpl impl);
+    /** Whether an intrinsic implementation is registered. */
+    static bool hasIntrinsic(const std::string& name);
+
+  private:
+    void exec(const Stmt& stmt);
+    int64_t linearOffset(const Buffer& buffer,
+                         const std::vector<Expr>& indices);
+
+    std::unordered_map<const VarNode*, int64_t> env_;
+    std::unordered_map<const BufferNode*, std::unique_ptr<NDArray>>
+        storage_;
+    std::unordered_map<const BufferNode*, NDArray*> bound_;
+
+    static std::unordered_map<std::string, IntrinsicImpl>& registry();
+};
+
+} // namespace runtime
+} // namespace tir
+
+#endif // TENSORIR_RUNTIME_INTERPRETER_H

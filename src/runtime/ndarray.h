@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Dense host tensors used by the functional interpreter and tests. Values
+ * are stored as doubles regardless of the logical dtype, which holds every
+ * dtype we simulate (fp16/fp32 and int8/int32) exactly for the value
+ * ranges the test workloads use.
+ */
+#ifndef TENSORIR_RUNTIME_NDARRAY_H
+#define TENSORIR_RUNTIME_NDARRAY_H
+
+#include <cmath>
+#include <vector>
+
+#include "ir/type.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace tir {
+namespace runtime {
+
+/** A dense row-major tensor. */
+class NDArray
+{
+  public:
+    NDArray(DataType dtype, std::vector<int64_t> shape)
+        : dtype_(dtype), shape_(std::move(shape))
+    {
+        int64_t total = 1;
+        for (int64_t dim : shape_) total *= dim;
+        data_.assign(static_cast<size_t>(total), 0.0);
+    }
+
+    DataType dtype() const { return dtype_; }
+    const std::vector<int64_t>& shape() const { return shape_; }
+    int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+    double&
+    at(int64_t offset)
+    {
+        TIR_ICHECK(offset >= 0 && offset < numel())
+            << "NDArray access out of range: " << offset << " of "
+            << numel();
+        return data_[static_cast<size_t>(offset)];
+    }
+    double
+    at(int64_t offset) const
+    {
+        TIR_ICHECK(offset >= 0 && offset < numel());
+        return data_[static_cast<size_t>(offset)];
+    }
+
+    double* data() { return data_.data(); }
+    const double* data() const { return data_.data(); }
+
+    /** Fill with uniform values; integers when the dtype is integral. */
+    void
+    fillRandom(Rng& rng, double lo = -1.0, double hi = 1.0)
+    {
+        for (double& v : data_) {
+            double r = lo + (hi - lo) * rng.randDouble();
+            v = dtype_.isInt() ? std::floor(r) : r;
+        }
+    }
+
+    void fillZero() { data_.assign(data_.size(), 0.0); }
+
+    /** Max absolute elementwise difference against another array. */
+    double
+    maxAbsDiff(const NDArray& other) const
+    {
+        TIR_ICHECK(numel() == other.numel());
+        double worst = 0;
+        for (size_t i = 0; i < data_.size(); ++i) {
+            worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+        }
+        return worst;
+    }
+
+  private:
+    DataType dtype_;
+    std::vector<int64_t> shape_;
+    std::vector<double> data_;
+};
+
+} // namespace runtime
+} // namespace tir
+
+#endif // TENSORIR_RUNTIME_NDARRAY_H

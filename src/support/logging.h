@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error handling and logging helpers.
+ *
+ * Follows the gem5 convention: fatal() for user errors (bad schedules,
+ * invalid programs), panic() for internal invariant violations.
+ */
+#ifndef TENSORIR_SUPPORT_LOGGING_H
+#define TENSORIR_SUPPORT_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tir {
+
+/** Exception thrown for user-caused errors (invalid schedule, bad input). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown for internal invariant violations. */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string& msg) : std::logic_error(msg) {}
+};
+
+/** Stream-style message builder that throws on destruction. */
+template <typename ErrorT>
+class ErrorStream
+{
+  public:
+    ErrorStream(const char* file, int line)
+    {
+        stream_ << file << ":" << line << ": ";
+    }
+    [[noreturn]] ~ErrorStream() noexcept(false)
+    {
+        throw ErrorT(stream_.str());
+    }
+    template <typename T>
+    ErrorStream&
+    operator<<(const T& value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    std::ostringstream stream_;
+};
+
+} // namespace tir
+
+/** Report a user-caused error (invalid schedule, malformed program). */
+#define TIR_FATAL ::tir::ErrorStream<::tir::FatalError>(__FILE__, __LINE__)
+/** Report an internal bug. */
+#define TIR_PANIC ::tir::ErrorStream<::tir::InternalError>(__FILE__, __LINE__)
+
+/** Internal-consistency check; failure indicates a bug in this library. */
+#define TIR_ICHECK(cond)                                                     \
+    if (!(cond))                                                             \
+    TIR_PANIC << "Check failed: " #cond " "
+
+/** User-facing check; failure indicates invalid input or schedule. */
+#define TIR_CHECK(cond)                                                      \
+    if (!(cond))                                                             \
+    TIR_FATAL << "Check failed: " #cond " "
+
+#endif // TENSORIR_SUPPORT_LOGGING_H

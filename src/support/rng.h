@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic random number generation used by sampling schedule
+ * primitives and the evolutionary search. A small PCG-like generator keeps
+ * results reproducible across platforms.
+ */
+#ifndef TENSORIR_SUPPORT_RNG_H
+#define TENSORIR_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace tir {
+
+/** Deterministic splitmix64-based RNG. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, n). */
+    int64_t
+    randInt(int64_t n)
+    {
+        TIR_ICHECK(n > 0) << "randInt needs positive bound, got " << n;
+        return static_cast<int64_t>(next() % static_cast<uint64_t>(n));
+    }
+
+    /** Uniform integer in [lo, hi). */
+    int64_t
+    randRange(int64_t lo, int64_t hi)
+    {
+        TIR_ICHECK(hi > lo);
+        return lo + randInt(hi - lo);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    randDouble()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Sample an index according to non-negative weights. */
+    size_t
+    weightedChoice(const std::vector<double>& weights)
+    {
+        double total = 0;
+        for (double w : weights) total += w;
+        if (total <= 0) return randInt(static_cast<int64_t>(weights.size()));
+        double r = randDouble() * total;
+        for (size_t i = 0; i < weights.size(); ++i) {
+            r -= weights[i];
+            if (r <= 0) return i;
+        }
+        return weights.size() - 1;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace tir
+
+#endif // TENSORIR_SUPPORT_RNG_H

@@ -1,0 +1,192 @@
+#include "te/te.h"
+
+#include "arith/region.h"
+#include "ir/transform.h"
+
+namespace tir {
+namespace te {
+
+namespace {
+
+/** Wrap a block realize in a serial loop nest binding one var per axis. */
+Stmt
+wrapLoops(Stmt body, const std::vector<Var>& loop_vars,
+          const std::vector<int64_t>& extents)
+{
+    for (size_t i = loop_vars.size(); i > 0; --i) {
+        body = makeFor(loop_vars[i - 1], intImm(0),
+                       intImm(extents[i - 1]), body);
+    }
+    return body;
+}
+
+/** Compute signature regions of a block body over its iterator vars. */
+void
+detectSignature(const Stmt& body, const Stmt& init, const Buffer& output,
+                std::vector<BufferRegion>* reads,
+                std::vector<BufferRegion>* writes)
+{
+    arith::AccessRegions regions =
+        arith::detectRegions(init ? seq({init, body}) : body, {});
+    // The output store is a write; drop it from reads if the reduction
+    // reads its own output (C[i] += ...), as TVM does for update blocks.
+    for (const BufferRegion& br : regions.reads) {
+        if (br.buffer == output) continue;
+        reads->push_back(br);
+    }
+    *writes = regions.writes;
+}
+
+} // namespace
+
+Buffer
+Builder::placeholder(const std::string& name,
+                     const std::vector<int64_t>& shape, DataType dtype)
+{
+    Buffer buf = makeBuffer(name, shape, dtype);
+    params_.push_back(buf);
+    return buf;
+}
+
+Buffer
+Builder::compute(const std::string& name,
+                 const std::vector<int64_t>& shape,
+                 const std::function<Expr(const std::vector<Var>&)>& fn,
+                 DataType dtype)
+{
+    Buffer out = makeBuffer(name, shape, dtype);
+    intermediates_.push_back(out);
+
+    std::vector<Var> loop_vars;
+    std::vector<Var> block_vars;
+    std::vector<IterVar> iter_vars;
+    std::vector<Expr> bindings;
+    std::vector<Expr> store_indices;
+    for (size_t i = 0; i < shape.size(); ++i) {
+        Var lv = var("i" + std::to_string(i));
+        Var bv = var("v" + std::to_string(i));
+        loop_vars.push_back(lv);
+        block_vars.push_back(bv);
+        iter_vars.emplace_back(bv, Range::fromExtent(shape[i]),
+                               IterType::kSpatial);
+        bindings.push_back(lv);
+        store_indices.push_back(bv);
+    }
+    Expr value = fn(block_vars);
+    Stmt store = bufferStore(out, value, store_indices);
+    std::vector<BufferRegion> reads;
+    std::vector<BufferRegion> writes;
+    detectSignature(store, nullptr, out, &reads, &writes);
+    BlockPtr block = makeBlock(name, iter_vars, std::move(reads),
+                               std::move(writes), store);
+    Stmt realize = blockRealize(bindings, intImm(1, DataType::boolean()),
+                                block);
+    stages_.push_back(wrapLoops(realize, loop_vars, shape));
+    return out;
+}
+
+Buffer
+Builder::sumReduce(
+    const std::string& name, const std::vector<int64_t>& shape,
+    const std::vector<int64_t>& reduce_extents,
+    const std::function<Expr(const std::vector<Var>&,
+                             const std::vector<Var>&)>& fn,
+    DataType dtype)
+{
+    return reduceStage(name, shape, reduce_extents, fn, dtype, false);
+}
+
+Buffer
+Builder::maxReduce(
+    const std::string& name, const std::vector<int64_t>& shape,
+    const std::vector<int64_t>& reduce_extents,
+    const std::function<Expr(const std::vector<Var>&,
+                             const std::vector<Var>&)>& fn,
+    DataType dtype)
+{
+    return reduceStage(name, shape, reduce_extents, fn, dtype, true);
+}
+
+Buffer
+Builder::reduceStage(
+    const std::string& name, const std::vector<int64_t>& shape,
+    const std::vector<int64_t>& reduce_extents,
+    const std::function<Expr(const std::vector<Var>&,
+                             const std::vector<Var>&)>& fn,
+    DataType dtype, bool is_max)
+{
+    Buffer out = makeBuffer(name, shape, dtype);
+    intermediates_.push_back(out);
+
+    std::vector<Var> loop_vars;
+    std::vector<Var> spatial_vars;
+    std::vector<Var> reduce_vars;
+    std::vector<IterVar> iter_vars;
+    std::vector<Expr> bindings;
+    std::vector<Expr> store_indices;
+    std::vector<int64_t> all_extents;
+    for (size_t i = 0; i < shape.size(); ++i) {
+        Var lv = var("i" + std::to_string(i));
+        Var bv = var("v" + std::to_string(i));
+        loop_vars.push_back(lv);
+        spatial_vars.push_back(bv);
+        iter_vars.emplace_back(bv, Range::fromExtent(shape[i]),
+                               IterType::kSpatial);
+        bindings.push_back(lv);
+        store_indices.push_back(bv);
+        all_extents.push_back(shape[i]);
+    }
+    for (size_t i = 0; i < reduce_extents.size(); ++i) {
+        Var lv = var("r" + std::to_string(i));
+        Var bv = var("vr" + std::to_string(i));
+        loop_vars.push_back(lv);
+        reduce_vars.push_back(bv);
+        iter_vars.emplace_back(bv, Range::fromExtent(reduce_extents[i]),
+                               IterType::kReduce);
+        bindings.push_back(lv);
+        all_extents.push_back(reduce_extents[i]);
+    }
+
+    Expr rhs = fn(spatial_vars, reduce_vars);
+    Expr current = bufferLoad(out, store_indices);
+    Expr combined = is_max ? maxExpr(current, rhs) : current + rhs;
+    Stmt update = bufferStore(out, combined, store_indices);
+    Expr identity = is_max ? floatImm(-1e30, dtype)
+                           : (dtype.isFloat()
+                                  ? floatImm(0.0, dtype)
+                                  : intImm(0, dtype));
+    Stmt init = bufferStore(out, identity, store_indices);
+
+    std::vector<BufferRegion> reads;
+    std::vector<BufferRegion> writes;
+    detectSignature(update, init, out, &reads, &writes);
+    BlockPtr block = makeBlock(name, iter_vars, std::move(reads),
+                               std::move(writes), update, init);
+    Stmt realize = blockRealize(bindings, intImm(1, DataType::boolean()),
+                                block);
+    stages_.push_back(wrapLoops(realize, loop_vars, all_extents));
+    return out;
+}
+
+PrimFunc
+Builder::build(const std::string& func_name,
+               const std::vector<Buffer>& outputs)
+{
+    TIR_CHECK(!stages_.empty()) << "no compute stages defined";
+    std::vector<Buffer> params = params_;
+    std::vector<Buffer> allocs;
+    for (const Buffer& buf : intermediates_) {
+        bool is_output = false;
+        for (const Buffer& out : outputs) is_output |= (out == buf);
+        if (is_output) {
+            params.push_back(buf);
+        } else {
+            allocs.push_back(buf);
+        }
+    }
+    Stmt body = makeRootBlock(seq(stages_), std::move(allocs));
+    return makeFunc(func_name, std::move(params), body);
+}
+
+} // namespace te
+} // namespace tir

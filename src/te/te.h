@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tensor-expression front end. This is the paper's "import from high-level
+ * operators" path (§3.4): users describe computations as einsum-style
+ * expressions and the builder generates a TensorIR PrimFunc whose stages
+ * are blocks with complete signatures (iterator domains + access regions).
+ */
+#ifndef TENSORIR_TE_TE_H
+#define TENSORIR_TE_TE_H
+
+#include <functional>
+
+#include "ir/stmt.h"
+
+namespace tir {
+namespace te {
+
+/** Builds a PrimFunc out of placeholder/compute/reduce stages. */
+class Builder
+{
+  public:
+    /** Declare an input buffer (becomes a function parameter). */
+    Buffer placeholder(const std::string& name,
+                       const std::vector<int64_t>& shape,
+                       DataType dtype = DataType::f32());
+
+    /**
+     * Spatial compute stage: out[i...] = fn(i...). Creates one block named
+     * after the buffer.
+     */
+    Buffer compute(const std::string& name,
+                   const std::vector<int64_t>& shape,
+                   const std::function<Expr(const std::vector<Var>&)>& fn,
+                   DataType dtype = DataType::f32());
+
+    /**
+     * Sum-reduction stage: out[s...] (+)= fn(s..., r...) with a zero init.
+     * Creates a reduction block with an init statement.
+     */
+    Buffer sumReduce(
+        const std::string& name, const std::vector<int64_t>& shape,
+        const std::vector<int64_t>& reduce_extents,
+        const std::function<Expr(const std::vector<Var>&,
+                                 const std::vector<Var>&)>& fn,
+        DataType dtype = DataType::f32());
+
+    /** Max-reduction stage (used by pooling / softmax). */
+    Buffer maxReduce(
+        const std::string& name, const std::vector<int64_t>& shape,
+        const std::vector<int64_t>& reduce_extents,
+        const std::function<Expr(const std::vector<Var>&,
+                                 const std::vector<Var>&)>& fn,
+        DataType dtype = DataType::f32());
+
+    /**
+     * Finalize: buffers in `outputs` become output parameters, remaining
+     * intermediates become root-block allocations.
+     */
+    PrimFunc build(const std::string& func_name,
+                   const std::vector<Buffer>& outputs);
+
+  private:
+    Buffer reduceStage(
+        const std::string& name, const std::vector<int64_t>& shape,
+        const std::vector<int64_t>& reduce_extents,
+        const std::function<Expr(const std::vector<Var>&,
+                                 const std::vector<Var>&)>& fn,
+        DataType dtype, bool is_max);
+
+    std::vector<Buffer> params_;
+    std::vector<Buffer> intermediates_;
+    std::vector<Stmt> stages_;
+};
+
+} // namespace te
+} // namespace tir
+
+#endif // TENSORIR_TE_TE_H

@@ -1,0 +1,540 @@
+/**
+ * @file
+ * Block-level primitives: blockize (Figure 7) isolates a loop subtree
+ * into a new sub-block; tensorize matches a blockized computation against
+ * a TensorIntrin description and swaps in the opaque implementation,
+ * checking dtype and storage-scope constraints (§4.1).
+ */
+#include "arith/region.h"
+#include "intrin/tensor_intrin.h"
+#include "ir/printer.h"
+#include "ir/structural_equal.h"
+#include "ir/transform.h"
+#include "tir/schedule.h"
+
+namespace tir {
+
+namespace {
+
+/** Collect the single For chain from `root` down to one BlockRealize. */
+bool
+collectChain(const Stmt& root, std::vector<const ForNode*>* loops,
+             Stmt* realize)
+{
+    Stmt cursor = root;
+    while (cursor->kind == StmtKind::kFor) {
+        const auto* f = static_cast<const ForNode*>(cursor.get());
+        loops->push_back(f);
+        cursor = f->body;
+    }
+    if (cursor->kind != StmtKind::kBlockRealize) return false;
+    *realize = cursor;
+    return true;
+}
+
+} // namespace
+
+std::string
+Schedule::blockize(const Var& loop)
+{
+    const ForNode* top = findLoop(loop);
+    std::vector<const ForNode*> inner_loops;
+    Stmt realize_stmt;
+    // Hold the subtree alive via a fresh handle.
+    Stmt top_stmt = makeFor(top->loop_var, top->min, top->extent,
+                            top->body, top->for_kind, top->thread_tag,
+                            top->annotations);
+    TIR_CHECK(collectChain(top_stmt, &inner_loops, &realize_stmt))
+        << "blockize: subtree under " << loop->name
+        << " is not a plain loop nest over a single block";
+    const auto& realize =
+        static_cast<const BlockRealizeNode&>(*realize_stmt);
+    const BlockNode& b = *realize.block;
+    TIR_CHECK(!b.init)
+        << "blockize: decompose the reduction before blockizing";
+    TIR_CHECK(constIntOr(realize.predicate, 0) == 1)
+        << "blockize: predicated blocks are not supported";
+
+    arith::Analyzer analyzer;
+    std::unordered_map<const VarNode*, Expr> inner_zero;
+    std::set<const VarNode*> inner_vars;
+    for (const ForNode* f : inner_loops) {
+        analyzer.bind(f->loop_var, Range(f->min, f->extent));
+        inner_zero[f->loop_var.get()] = f->min;
+        inner_vars.insert(f->loop_var.get());
+    }
+
+    std::vector<IterVar> outer_iters;
+    std::vector<Expr> outer_bindings;
+    std::vector<IterVar> new_inner_iters;
+    std::vector<Expr> inner_bindings;
+    VarMap body_remap; // old block iter -> vo * c + vi'
+    for (size_t i = 0; i < b.iter_vars.size(); ++i) {
+        const IterVar& iv = b.iter_vars[i];
+        int64_t dom_extent = constIntOr(iv.dom.extent, -1);
+        TIR_CHECK(dom_extent > 0 && constIntOr(iv.dom.min, -1) == 0)
+            << "blockize: iterator domains must be constant [0, n)";
+        Expr binding = analyzer.simplify(realize.iter_values[i]);
+        Expr outer_part = analyzer.simplify(
+            substitute(binding, VarMap(inner_zero.begin(),
+                                       inner_zero.end())));
+        Expr delta = analyzer.simplify(binding - outer_part);
+        for (const VarNode* v : collectVars(delta)) {
+            TIR_CHECK(inner_vars.count(v))
+                << "blockize: binding of " << iv.var->name
+                << " does not separate into outer + inner parts";
+        }
+        for (const VarNode* v : collectVars(outer_part)) {
+            TIR_CHECK(!inner_vars.count(v))
+                << "blockize: outer part of " << iv.var->name
+                << " references inner loops";
+        }
+        arith::Interval delta_range = analyzer.evalInterval(delta);
+        TIR_CHECK(delta_range.lo == 0)
+            << "blockize: inner extent of " << iv.var->name
+            << " does not start at 0";
+        int64_t c = delta_range.hi + 1;
+        TIR_CHECK(dom_extent % c == 0)
+            << "blockize: tile size " << c << " does not divide domain "
+            << dom_extent << " of " << iv.var->name;
+        Expr outer_div = analyzer.simplify(floordiv(outer_part, c));
+        TIR_CHECK(constIntOr(
+                      analyzer.simplify(outer_div * c - outer_part), -1) ==
+                  0)
+            << "blockize: outer part of " << iv.var->name
+            << " is not aligned to the tile size " << c;
+
+        Var vo = var(iv.var->name + "_o", iv.var->dtype);
+        Var vi = var(iv.var->name + "_i", iv.var->dtype);
+        outer_iters.emplace_back(vo, Range::fromExtent(dom_extent / c),
+                                 iv.type);
+        outer_bindings.push_back(outer_div);
+        new_inner_iters.emplace_back(vi, Range::fromExtent(c), iv.type);
+        inner_bindings.push_back(delta);
+        // Keep the uniform vo*c + vi shape (even for c == 1) so that
+        // tensorize's offset extraction sees base + tile-iterator terms.
+        body_remap[iv.var.get()] = Expr(vo) * c + vi;
+    }
+
+    // Rebuild the inner block with remapped iterators.
+    Stmt new_body = substitute(b.body, body_remap);
+    std::vector<BufferRegion> new_reads;
+    std::vector<BufferRegion> new_writes;
+    auto remap_regions = [&](const std::vector<BufferRegion>& regions,
+                             std::vector<BufferRegion>* out) {
+        for (const BufferRegion& br : regions) {
+            std::vector<Range> ranges;
+            for (const Range& r : br.region) {
+                ranges.emplace_back(
+                    analyzer.simplify(substitute(r.min, body_remap)),
+                    analyzer.simplify(substitute(r.extent, body_remap)));
+            }
+            out->push_back(BufferRegion(br.buffer, std::move(ranges)));
+        }
+    };
+    remap_regions(b.reads, &new_reads);
+    remap_regions(b.writes, &new_writes);
+    BlockPtr inner_block =
+        makeBlock(b.name, new_inner_iters, new_reads, new_writes,
+                  new_body, nullptr, b.alloc_buffers, b.annotations);
+    Stmt inner_realize = blockRealize(inner_bindings,
+                                      intImm(1, DataType::boolean()),
+                                      inner_block);
+    Stmt inner_nest = inner_realize;
+    for (size_t i = inner_loops.size(); i > 0; --i) {
+        const ForNode* f = inner_loops[i - 1];
+        inner_nest = makeFor(f->loop_var, f->min, f->extent, inner_nest,
+                             f->for_kind, f->thread_tag, f->annotations);
+    }
+
+    // Outer block signature from the rebuilt inner subtree.
+    arith::AccessRegions outer_regions =
+        arith::detectRegions(inner_nest, {});
+    std::string outer_name = uniqueName(b.name + "_o");
+    BlockPtr outer_block =
+        makeBlock(outer_name, outer_iters, outer_regions.reads,
+                  outer_regions.writes, inner_nest);
+    Stmt outer_realize = blockRealize(outer_bindings,
+                                      intImm(1, DataType::boolean()),
+                                      outer_block);
+    replaceNode(top, outer_realize);
+    return outer_name;
+}
+
+namespace {
+
+/**
+ * Structural matcher between a target computation and an intrinsic
+ * description, tolerant to constant base offsets in buffer indices.
+ * Records the desc-param -> actual-buffer mapping and per-dim offsets.
+ */
+class TensorizeComparator
+{
+  public:
+    std::string error;
+    std::unordered_map<const BufferNode*, Buffer> param_map;
+    std::unordered_map<const BufferNode*, std::vector<Expr>> offsets;
+
+    bool
+    match(const Stmt& target, const Stmt& desc)
+    {
+        if (target->kind != desc->kind) {
+            error = "statement kind mismatch";
+            return false;
+        }
+        switch (desc->kind) {
+          case StmtKind::kFor: {
+            const auto& t = static_cast<const ForNode&>(*target);
+            const auto& d = static_cast<const ForNode&>(*desc);
+            if (constIntOr(t.extent, -1) != constIntOr(d.extent, -2)) {
+                error = "loop extent mismatch";
+                return false;
+            }
+            var_map_[d.loop_var.get()] = t.loop_var;
+            mapped_targets_.insert(t.loop_var.get());
+            analyzer_.bind(t.loop_var, Range(t.min, t.extent));
+            return match(t.body, d.body);
+          }
+          case StmtKind::kBlockRealize: {
+            const auto& t = static_cast<const BlockRealizeNode&>(*target);
+            const auto& d = static_cast<const BlockRealizeNode&>(*desc);
+            if (constIntOr(t.predicate, 0) != 1) {
+                error = "target block is predicated";
+                return false;
+            }
+            const BlockNode& tb = *t.block;
+            const BlockNode& db = *d.block;
+            if (tb.iter_vars.size() < db.iter_vars.size()) {
+                error = "iterator count mismatch";
+                return false;
+            }
+            // Extra leading target iterators (e.g. a batch axis) must be
+            // degenerate; they fold to constants during comparison.
+            size_t extra = tb.iter_vars.size() - db.iter_vars.size();
+            for (size_t i = 0; i < extra; ++i) {
+                const IterVar& ti = tb.iter_vars[i];
+                if (constIntOr(ti.dom.extent, -1) != 1) {
+                    error = "iterator count mismatch (non-degenerate "
+                            "extra iterator " +
+                            ti.var->name + ")";
+                    return false;
+                }
+                analyzer_.bind(ti.var, ti.dom);
+            }
+            for (size_t i = 0; i < db.iter_vars.size(); ++i) {
+                const IterVar& ti = tb.iter_vars[extra + i];
+                const IterVar& di = db.iter_vars[i];
+                if (ti.type != di.type ||
+                    constIntOr(ti.dom.extent, -1) !=
+                        constIntOr(di.dom.extent, -2)) {
+                    error = "iterator domain mismatch for " +
+                            ti.var->name;
+                    return false;
+                }
+                var_map_[di.var.get()] = ti.var;
+                mapped_targets_.insert(ti.var.get());
+                analyzer_.bind(ti.var, ti.dom);
+            }
+            for (size_t i = 0; i < db.iter_vars.size(); ++i) {
+                // Bindings must be semantically equal (extent-1 loops
+                // may have been folded to constants by simplification).
+                Expr diff = analyzer_.simplify(binary(
+                    ExprKind::kSub, t.iter_values[extra + i],
+                    substituteDescVars(d.iter_values[i])));
+                if (constIntOr(diff, -1) != 0) {
+                    error = "iterator binding mismatch for " +
+                            tb.iter_vars[extra + i].var->name;
+                    return false;
+                }
+            }
+            if (static_cast<bool>(tb.init) != static_cast<bool>(db.init)) {
+                error = "init statement mismatch";
+                return false;
+            }
+            return match(tb.body, db.body);
+          }
+          case StmtKind::kBufferStore: {
+            const auto& t = static_cast<const BufferStoreNode&>(*target);
+            const auto& d = static_cast<const BufferStoreNode&>(*desc);
+            if (!matchBuffer(t.buffer, d.buffer)) return false;
+            if (!matchIndices(t.indices, d.indices, d.buffer)) {
+                return false;
+            }
+            return matchExpr(t.value, d.value);
+          }
+          case StmtKind::kSeq: {
+            const auto& t = static_cast<const SeqStmtNode&>(*target);
+            const auto& d = static_cast<const SeqStmtNode&>(*desc);
+            if (t.seq.size() != d.seq.size()) {
+                error = "sequence length mismatch";
+                return false;
+            }
+            for (size_t i = 0; i < t.seq.size(); ++i) {
+                if (!match(t.seq[i], d.seq[i])) return false;
+            }
+            return true;
+          }
+          default:
+            error = "unsupported statement in description";
+            return false;
+        }
+    }
+
+  private:
+    bool
+    matchBuffer(const Buffer& target, const Buffer& desc_param)
+    {
+        auto it = param_map.find(desc_param.get());
+        if (it != param_map.end()) {
+            if (it->second != target) {
+                error = "inconsistent buffer mapping for " +
+                        desc_param->name;
+                return false;
+            }
+            return true;
+        }
+        if (target->dtype != desc_param->dtype) {
+            error = "dtype mismatch: " + target->name + " is " +
+                    target->dtype.str() + ", intrinsic wants " +
+                    desc_param->dtype.str();
+            return false;
+        }
+        if (desc_param->scope != "any" &&
+            target->scope != desc_param->scope) {
+            error = "storage scope mismatch: " + target->name +
+                    " lives in '" + target->scope +
+                    "', intrinsic requires '" + desc_param->scope + "'";
+            return false;
+        }
+        if (target->ndim() < desc_param->ndim()) {
+            error = "rank mismatch for " + target->name;
+            return false;
+        }
+        param_map[desc_param.get()] = target;
+        return true;
+    }
+
+    bool
+    matchIndices(const std::vector<Expr>& target,
+                 const std::vector<Expr>& desc, const Buffer& desc_param)
+    {
+        // The target may carry extra *leading* dimensions (e.g. a batch
+        // axis); those must be tile-invariant and become pure offsets.
+        if (target.size() < desc.size()) {
+            error = "index rank mismatch";
+            return false;
+        }
+        size_t lead = target.size() - desc.size();
+        std::vector<Expr>& base = offsets[desc_param.get()];
+        bool first = base.empty();
+        for (size_t d = 0; d < target.size(); ++d) {
+            Expr diff;
+            if (d < lead) {
+                diff = analyzer_.simplify(target[d]);
+            } else {
+                Expr mapped = substituteDescVars(desc[d - lead]);
+                diff = analyzer_.simplify(
+                    binary(ExprKind::kSub, target[d], mapped));
+            }
+            for (const VarNode* v : collectVars(diff)) {
+                if (mapped_targets_.count(v)) {
+                    error = "index offset depends on tile iterators";
+                    return false;
+                }
+            }
+            if (first) {
+                base.push_back(diff);
+            } else if (!exprDeepEqual(base[d], diff)) {
+                error = "inconsistent base offset for " +
+                        desc_param->name;
+                return false;
+            }
+        }
+        return true;
+    }
+
+    Expr
+    substituteDescVars(const Expr& e)
+    {
+        VarMap vmap;
+        for (const auto& [desc_var, target_var] : var_map_) {
+            vmap[desc_var] = target_var;
+        }
+        return substitute(e, vmap);
+    }
+
+    bool
+    matchExpr(const Expr& target, const Expr& desc)
+    {
+        if (desc->kind == ExprKind::kVar) {
+            auto it = var_map_.find(
+                static_cast<const VarNode*>(desc.get()));
+            if (it == var_map_.end()) {
+                error = "unmapped description variable";
+                return false;
+            }
+            if (target->kind != ExprKind::kVar ||
+                target.get() != it->second.get()) {
+                error = "variable mismatch";
+                return false;
+            }
+            return true;
+        }
+        if (target->kind != desc->kind) {
+            error = "expression kind mismatch: " + exprToString(target) +
+                    " vs " + exprToString(desc);
+            return false;
+        }
+        switch (desc->kind) {
+          case ExprKind::kIntImm:
+            return static_cast<const IntImmNode&>(*target).value ==
+                   static_cast<const IntImmNode&>(*desc).value;
+          case ExprKind::kFloatImm:
+            return static_cast<const FloatImmNode&>(*target).value ==
+                   static_cast<const FloatImmNode&>(*desc).value;
+          case ExprKind::kCast: {
+            const auto& t = static_cast<const CastNode&>(*target);
+            const auto& d = static_cast<const CastNode&>(*desc);
+            if (t.dtype != d.dtype) {
+                error = "cast dtype mismatch";
+                return false;
+            }
+            return matchExpr(t.value, d.value);
+          }
+          case ExprKind::kBufferLoad: {
+            const auto& t = static_cast<const BufferLoadNode&>(*target);
+            const auto& d = static_cast<const BufferLoadNode&>(*desc);
+            if (!matchBuffer(t.buffer, d.buffer)) return false;
+            return matchIndices(t.indices, d.indices, d.buffer);
+          }
+          default: {
+            if (target->dtype != desc->dtype) {
+                error = "dtype mismatch";
+                return false;
+            }
+            const auto& t = static_cast<const BinaryNode&>(*target);
+            const auto& d = static_cast<const BinaryNode&>(*desc);
+            return matchExpr(t.a, d.a) && matchExpr(t.b, d.b);
+          }
+        }
+    }
+
+    std::unordered_map<const VarNode*, Var> var_map_;
+    std::set<const VarNode*> mapped_targets_;
+    arith::Analyzer analyzer_;
+};
+
+/** Instantiate an intrinsic implementation onto matched buffers. */
+class ImplInstantiator : public StmtExprMutator
+{
+  public:
+    ImplInstantiator(
+        const std::unordered_map<const BufferNode*, Buffer>* param_map,
+        const std::unordered_map<const BufferNode*, std::vector<Expr>>*
+            offsets)
+        : param_map_(param_map), offsets_(offsets)
+    {}
+
+  protected:
+    Buffer
+    mutateBuffer(const Buffer& b) override
+    {
+        auto it = param_map_->find(b.get());
+        return it == param_map_->end() ? b : it->second;
+    }
+
+    Expr
+    mutateBufferPtr(const Expr& e) override
+    {
+        const auto& n = static_cast<const BufferPtrNode&>(*e);
+        return bufferPtr(mutateBuffer(n.buffer),
+                         shifted(n.buffer, n.indices));
+    }
+
+    Expr
+    mutateBufferLoad(const Expr& e) override
+    {
+        const auto& n = static_cast<const BufferLoadNode&>(*e);
+        return bufferLoad(mutateBuffer(n.buffer),
+                          shifted(n.buffer, n.indices));
+    }
+
+    Stmt
+    mutateBufferStore(const Stmt& s) override
+    {
+        const auto& n = static_cast<const BufferStoreNode&>(*s);
+        return bufferStore(mutateBuffer(n.buffer),
+                           mutateExpr(n.value),
+                           shifted(n.buffer, n.indices));
+    }
+
+  private:
+    std::vector<Expr>
+    shifted(const Buffer& param, const std::vector<Expr>& indices)
+    {
+        auto it = offsets_->find(param.get());
+        arith::Analyzer analyzer;
+        if (it == offsets_->end()) {
+            std::vector<Expr> result;
+            for (const Expr& idx : indices) {
+                result.push_back(mutateExpr(idx));
+            }
+            return result;
+        }
+        // The matched buffer may have extra leading dimensions: the
+        // recorded offsets have the actual rank, the impl indices the
+        // intrinsic-parameter rank.
+        const std::vector<Expr>& base = it->second;
+        TIR_ICHECK(base.size() >= indices.size());
+        size_t lead = base.size() - indices.size();
+        std::vector<Expr> result;
+        result.reserve(base.size());
+        for (size_t d = 0; d < base.size(); ++d) {
+            if (d < lead) {
+                result.push_back(base[d]);
+            } else {
+                Expr idx = mutateExpr(indices[d - lead]);
+                result.push_back(analyzer.simplify(idx + base[d]));
+            }
+        }
+        return result;
+    }
+
+    const std::unordered_map<const BufferNode*, Buffer>* param_map_;
+    const std::unordered_map<const BufferNode*, std::vector<Expr>>*
+        offsets_;
+};
+
+} // namespace
+
+void
+Schedule::tensorize(const std::string& block, const std::string& intrin)
+{
+    const TensorIntrin& ti = TensorIntrin::get(intrin);
+    BlockSite site = findSite(block);
+    const BlockNode* b = asBlockRealize(site.realize);
+
+    TensorizeComparator comparator;
+    TIR_CHECK(comparator.match(b->body, ti.desc))
+        << "tensorize: block '" << block
+        << "' does not match intrinsic '" << intrin
+        << "': " << comparator.error;
+
+    Stmt impl = copyWithFreshVars(ti.impl, "_" + block);
+    ImplInstantiator instantiator(&comparator.param_map,
+                                  &comparator.offsets);
+    Stmt new_body = instantiator.mutateStmt(impl);
+
+    std::map<std::string, Expr> annotations = b->annotations;
+    annotations["tensor_intrin"] = stringImm(intrin);
+    BlockPtr updated =
+        makeBlock(b->name, b->iter_vars, b->reads, b->writes, new_body,
+                  b->init, b->alloc_buffers, std::move(annotations));
+    const auto& realize =
+        static_cast<const BlockRealizeNode&>(*site.realize);
+    replaceNode(site.realize.get(),
+                blockRealize(realize.iter_values, realize.predicate,
+                             updated));
+}
+
+} // namespace tir

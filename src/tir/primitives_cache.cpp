@@ -1,0 +1,594 @@
+/**
+ * @file
+ * Data staging primitives: cache_read / cache_write introduce copy blocks
+ * through faster memory scopes, and reindexFused / transformBlockLayout
+ * implement the paper's §4.2 ReIndex + layout-rewrite + iterator-fusion
+ * pipeline (with padding to divisible shapes).
+ */
+#include "arith/region.h"
+#include "ir/structural_equal.h"
+#include "ir/functor.h"
+#include "ir/transform.h"
+#include "tir/schedule.h"
+
+namespace tir {
+
+namespace {
+
+/** Sanitize a memory scope for use inside identifiers. */
+std::string
+scopeTag(const std::string& scope)
+{
+    std::string tag = scope;
+    for (char& c : tag) {
+        if (c == '.') c = '_';
+    }
+    return tag;
+}
+
+/** Recompute a block's signature regions from its body and init. */
+BlockPtr
+refreshRegions(const BlockNode& block)
+{
+    Stmt probe = block.init ? seq({block.init, block.body}) : block.body;
+    arith::AccessRegions regions = arith::detectRegions(probe, {});
+    std::vector<BufferRegion> reads;
+    for (const BufferRegion& br : regions.reads) {
+        if (block.init) {
+            bool self = false;
+            for (const BufferRegion& w : regions.writes) {
+                self |= (w.buffer == br.buffer);
+            }
+            if (self) continue;
+        }
+        reads.push_back(br);
+    }
+    return makeBlock(block.name, block.iter_vars, std::move(reads),
+                     regions.writes, block.body, block.init,
+                     block.alloc_buffers, block.annotations);
+}
+
+/** Build an identity copy block src -> dst over the full shape. */
+Stmt
+buildCopyNest(const std::string& name, const Buffer& src,
+              const Buffer& dst)
+{
+    TIR_ICHECK(src->ndim() == dst->ndim());
+    std::vector<Var> loop_vars;
+    std::vector<IterVar> iters;
+    std::vector<Expr> bindings;
+    std::vector<Expr> indices;
+    for (size_t d = 0; d < src->ndim(); ++d) {
+        Var lv = var("c" + std::to_string(d));
+        Var bv = var("v" + std::to_string(d));
+        loop_vars.push_back(lv);
+        iters.emplace_back(bv, Range(intImm(0), src->shape[d]),
+                           IterType::kSpatial);
+        bindings.push_back(lv);
+        indices.push_back(bv);
+    }
+    Stmt store = bufferStore(dst, bufferLoad(src, indices), indices);
+    std::vector<Range> point;
+    for (const Expr& idx : indices) point.emplace_back(idx, intImm(1));
+    BlockPtr block = makeBlock(name, iters,
+                               {BufferRegion(src, point)},
+                               {BufferRegion(dst, point)}, store);
+    Stmt body = blockRealize(bindings, intImm(1, DataType::boolean()),
+                             block);
+    for (size_t d = src->ndim(); d > 0; --d) {
+        body = makeFor(loop_vars[d - 1], intImm(0), src->shape[d - 1],
+                       body);
+    }
+    return body;
+}
+
+/** The subtree root of a block: its own private loop chain. */
+Stmt
+privateNest(const Schedule::BlockSite& site)
+{
+    Stmt subtree = site.realize;
+    for (size_t i = site.loops.size(); i > 0; --i) {
+        const auto& loop = static_cast<const ForNode&>(*site.loops[i - 1]);
+        if (loop.body == subtree) {
+            subtree = site.loops[i - 1];
+        } else {
+            break;
+        }
+    }
+    return subtree;
+}
+
+/** Mixed-radix fuse expression over iters with the given extents. */
+Expr
+fuseExpr(const std::vector<Var>& iters,
+         const std::vector<int64_t>& extents)
+{
+    TIR_ICHECK(!iters.empty());
+    Expr result = iters[0];
+    for (size_t j = 1; j < iters.size(); ++j) {
+        result = result * intImm(extents[j], iters[0]->dtype) + iters[j];
+    }
+    return result;
+}
+
+} // namespace
+
+std::string
+Schedule::cacheRead(const std::string& block, int read_index,
+                    const std::string& scope)
+{
+    BlockSite site = findSite(block);
+    const BlockNode* b = asBlockRealize(site.realize);
+    TIR_CHECK(read_index >= 0 &&
+              read_index < static_cast<int>(b->reads.size()))
+        << "cache_read: read index " << read_index << " out of range";
+    const Buffer src = b->reads[read_index].buffer;
+
+    Buffer cache = makeBufferE(src->name + "_" + scopeTag(scope),
+                               src->shape, src->dtype, scope);
+    std::string copy_name = uniqueName(src->name + "_" + scopeTag(scope));
+    Stmt copy_nest = buildCopyNest(copy_name, src, cache);
+
+    // Rewrite the consumer to read from the cache.
+    BufferMap bmap;
+    bmap[src.get()] = cache;
+    const auto& realize =
+        static_cast<const BlockRealizeNode&>(*site.realize);
+    Stmt new_body = substituteBuffers(b->body, bmap);
+    std::vector<BufferRegion> reads = b->reads;
+    reads[read_index] = BufferRegion(cache, reads[read_index].region);
+    BlockPtr updated =
+        makeBlock(b->name, b->iter_vars, std::move(reads), b->writes,
+                  new_body, b->init, b->alloc_buffers, b->annotations);
+    replaceNode(site.realize.get(),
+                blockRealize(realize.iter_values, realize.predicate,
+                             updated));
+
+    // Insert the copy nest directly before the consumer's private nest.
+    BlockSite new_site = findSite(block);
+    Stmt nest = privateNest(new_site);
+    replaceNode(nest.get(), seq({copy_nest, nest}));
+    addRootAlloc(cache);
+    return copy_name;
+}
+
+std::string
+Schedule::cacheWrite(const std::string& block, const std::string& scope)
+{
+    BlockSite site = findSite(block);
+    const BlockNode* b = asBlockRealize(site.realize);
+    TIR_CHECK(b->writes.size() == 1)
+        << "cache_write expects a single-output block";
+    const Buffer out = b->writes[0].buffer;
+
+    Buffer cache = makeBufferE(out->name + "_" + scopeTag(scope),
+                               out->shape, out->dtype, scope);
+    std::string copy_name = uniqueName(out->name + "_" + scopeTag(scope));
+    Stmt copy_nest = buildCopyNest(copy_name, cache, out);
+
+    // Redirect the producer (stores and self-reads) to the cache.
+    BufferMap bmap;
+    bmap[out.get()] = cache;
+    const auto& realize =
+        static_cast<const BlockRealizeNode&>(*site.realize);
+    Stmt new_body = substituteBuffers(b->body, bmap);
+    Stmt new_init = b->init ? substituteBuffers(b->init, bmap) : nullptr;
+    std::vector<BufferRegion> writes = b->writes;
+    writes[0] = BufferRegion(cache, writes[0].region);
+    BlockPtr updated =
+        makeBlock(b->name, b->iter_vars, b->reads, std::move(writes),
+                  new_body, new_init, b->alloc_buffers, b->annotations);
+    replaceNode(site.realize.get(),
+                blockRealize(realize.iter_values, realize.predicate,
+                             updated));
+
+    BlockSite new_site = findSite(block);
+    Stmt nest = privateNest(new_site);
+    replaceNode(nest.get(), seq({nest, copy_nest}));
+    addRootAlloc(cache);
+    return copy_name;
+}
+
+namespace {
+
+/** All loads of `buffer` in a statement. */
+class LoadFinder : public StmtExprVisitor
+{
+  public:
+    explicit LoadFinder(const Buffer& buffer) : buffer_(buffer) {}
+    std::vector<const BufferLoadNode*> loads;
+
+  protected:
+    void
+    visitBufferLoad(const BufferLoadNode& node) override
+    {
+        if (node.buffer == buffer_) loads.push_back(&node);
+        StmtExprVisitor::visitBufferLoad(node);
+    }
+
+  private:
+    const Buffer& buffer_;
+};
+
+/** Replace loads of one buffer with a load of another at fixed indices. */
+class LoadSwapper : public StmtExprMutator
+{
+  public:
+    LoadSwapper(const Buffer& from, Buffer to, std::vector<Expr> indices)
+        : from_(from), to_(std::move(to)), indices_(std::move(indices))
+    {}
+
+  protected:
+    Expr
+    mutateBufferLoad(const Expr& e) override
+    {
+        const auto& n = static_cast<const BufferLoadNode&>(*e);
+        if (n.buffer == from_) return bufferLoad(to_, indices_);
+        return StmtExprMutator::mutateBufferLoad(e);
+    }
+
+  private:
+    const Buffer& from_;
+    Buffer to_;
+    std::vector<Expr> indices_;
+};
+
+} // namespace
+
+std::string
+Schedule::reindexFused(const std::string& block, int operand,
+                       const std::vector<std::vector<int>>& groups,
+                       const std::vector<int64_t>& padded_extents,
+                       const std::vector<int>& operand_groups)
+{
+    BlockSite site = findSite(block);
+    const BlockNode* b = asBlockRealize(site.realize);
+    TIR_ICHECK(groups.size() == padded_extents.size());
+    const bool is_output = (operand < 0);
+    TIR_CHECK(is_output || operand < static_cast<int>(b->reads.size()))
+        << "reindexFused: operand out of range";
+    const Buffer src = is_output ? b->writes[0].buffer
+                                 : b->reads[operand].buffer;
+
+    // The operand's access expression inside the block body.
+    std::vector<Expr> access;
+    if (is_output) {
+        TIR_CHECK(b->body->kind == StmtKind::kBufferStore)
+            << "reindexFused expects a single-store einsum block";
+        access = static_cast<const BufferStoreNode&>(*b->body).indices;
+    } else {
+        LoadFinder finder(src);
+        finder.visitStmt(b->body);
+        TIR_CHECK(!finder.loads.empty())
+            << "reindexFused: block does not read " << src->name;
+        access = finder.loads[0]->indices;
+        for (const BufferLoadNode* load : finder.loads) {
+            TIR_CHECK(load->indices.size() == access.size());
+            for (size_t d = 0; d < access.size(); ++d) {
+                TIR_CHECK(exprDeepEqual(load->indices[d], access[d]))
+                    << "reindexFused: multiple access patterns for "
+                    << src->name;
+            }
+        }
+    }
+
+    // Which groups index this operand: those whose iters appear in the
+    // access expression (the characteristic-vector criterion of §4.2).
+    std::set<const VarNode*> access_vars;
+    for (const Expr& idx : access) {
+        for (const VarNode* v : collectVars(idx)) access_vars.insert(v);
+    }
+    std::vector<int> applicable;
+    for (size_t g = 0; g < groups.size(); ++g) {
+        bool any = false;
+        bool all = true;
+        for (int iter_index : groups[g]) {
+            bool used = access_vars.count(
+                b->iter_vars[iter_index].var.get());
+            any |= used;
+            all &= used;
+        }
+        TIR_CHECK(any == all)
+            << "reindexFused: group " << g
+            << " is partially used by operand " << src->name
+            << " (characteristic vectors are inconsistent)";
+        if (any) applicable.push_back(static_cast<int>(g));
+    }
+    TIR_CHECK(!applicable.empty())
+        << "reindexFused: operand uses no iterator group";
+    if (!operand_groups.empty()) {
+        // Caller-specified dimension order (e.g. B laid out [k, y] for a
+        // matmul intrinsic). Must cover exactly the applicable groups.
+        std::set<int> want(operand_groups.begin(), operand_groups.end());
+        std::set<int> have(applicable.begin(), applicable.end());
+        TIR_CHECK(want == have)
+            << "reindexFused: operand group order does not match the "
+               "groups this operand uses";
+        applicable = operand_groups;
+    }
+
+    // Fused buffer, one dim per applicable group (padded extent).
+    std::vector<int64_t> shape;
+    for (int g : applicable) shape.push_back(padded_extents[g]);
+    Buffer fused = makeBuffer(src->name + "_t", shape, src->dtype,
+                              "global");
+
+    // Copy block: iterate the padded fused space, extract digit
+    // iterators, and gather from the source (zero outside bounds).
+    std::vector<Var> copy_loop_vars;
+    std::vector<IterVar> copy_iters;
+    std::vector<Expr> copy_bindings;
+    std::vector<Expr> fused_indices;
+    VarMap digit_map; // original block iter -> digit expression
+    Expr in_bounds = intImm(1, DataType::boolean());
+    arith::Analyzer analyzer;
+    for (size_t a = 0; a < applicable.size(); ++a) {
+        int g = applicable[a];
+        Var lv = var("u" + std::to_string(a));
+        Var bv = var("vu" + std::to_string(a));
+        copy_loop_vars.push_back(lv);
+        copy_iters.emplace_back(
+            bv, Range::fromExtent(padded_extents[g]), IterType::kSpatial);
+        copy_bindings.push_back(lv);
+        fused_indices.push_back(bv);
+        analyzer.bind(bv, Range::fromExtent(padded_extents[g]));
+        // Digits, last iterator fastest.
+        int64_t original = 1;
+        const std::vector<int>& group = groups[g];
+        std::vector<int64_t> extents;
+        for (int iter_index : group) {
+            int64_t e = constIntOr(
+                b->iter_vars[iter_index].dom.extent, -1);
+            TIR_CHECK(e > 0) << "reindexFused: symbolic iterator extent";
+            extents.push_back(e);
+            original *= e;
+        }
+        int64_t stride = 1;
+        for (size_t j = group.size(); j > 0; --j) {
+            Expr digit = stride == 1 ? Expr(bv)
+                                     : floordiv(Expr(bv), stride);
+            if (j != 1) digit = floormod(digit, extents[j - 1]);
+            digit_map[b->iter_vars[group[j - 1]].var.get()] =
+                analyzer.simplify(digit);
+            stride *= extents[j - 1];
+        }
+        if (original < padded_extents[g]) {
+            in_bounds = land(in_bounds,
+                             lt(bv, intImm(original, bv->dtype)));
+        }
+    }
+    in_bounds = analyzer.simplify(in_bounds);
+
+    std::vector<Expr> gather_indices;
+    for (const Expr& idx : access) {
+        gather_indices.push_back(
+            analyzer.simplify(substitute(idx, digit_map)));
+    }
+
+    std::string copy_name;
+    Stmt copy_body;
+    if (is_output) {
+        // Write-back: iterate the ORIGINAL space; no padding involved.
+        copy_name = uniqueName(src->name + "_t_writeback");
+        std::vector<Var> wb_loop_vars;
+        std::vector<IterVar> wb_iters;
+        std::vector<Expr> wb_bindings;
+        VarMap wb_map; // original block iter -> writeback iter
+        for (size_t i = 0; i < b->iter_vars.size(); ++i) {
+            const IterVar& iv = b->iter_vars[i];
+            if (!access_vars.count(iv.var.get())) continue;
+            Var lv = var("w" + std::to_string(i));
+            Var bv = var("vw" + std::to_string(i));
+            wb_loop_vars.push_back(lv);
+            wb_iters.emplace_back(bv, iv.dom, IterType::kSpatial);
+            wb_bindings.push_back(lv);
+            wb_map[iv.var.get()] = bv;
+        }
+        // Destination indices: original access; source: fused indices.
+        std::vector<Expr> dst_indices;
+        for (const Expr& idx : access) {
+            dst_indices.push_back(substitute(idx, wb_map));
+        }
+        std::vector<Expr> src_indices;
+        for (int g : applicable) {
+            std::vector<Var> group_iters;
+            std::vector<int64_t> extents;
+            for (int iter_index : groups[g]) {
+                const IterVar& iv = b->iter_vars[iter_index];
+                group_iters.push_back(std::static_pointer_cast<
+                                      const VarNode>(
+                    substitute(Expr(iv.var), wb_map)));
+                extents.push_back(constIntOr(iv.dom.extent, -1));
+            }
+            src_indices.push_back(fuseExpr(group_iters, extents));
+        }
+        Stmt store = bufferStore(src, bufferLoad(fused, src_indices),
+                                 dst_indices);
+        arith::AccessRegions regions = arith::detectRegions(store, {});
+        BlockPtr wb_block = makeBlock(copy_name, wb_iters, regions.reads,
+                                      regions.writes, store);
+        copy_body = blockRealize(wb_bindings,
+                                 intImm(1, DataType::boolean()), wb_block);
+        for (size_t i = wb_loop_vars.size(); i > 0; --i) {
+            copy_body = makeFor(wb_loop_vars[i - 1], intImm(0),
+                                wb_iters[i - 1].dom.extent, copy_body);
+        }
+    } else {
+        copy_name = uniqueName(src->name + "_t");
+        Stmt gather = bufferStore(fused, bufferLoad(src, gather_indices),
+                                  fused_indices);
+        Stmt zero = bufferStore(
+            fused,
+            src->dtype.isFloat() ? floatImm(0.0, src->dtype)
+                                 : intImm(0, src->dtype),
+            fused_indices);
+        int64_t truth = constIntOr(in_bounds, 0);
+        Stmt body = truth == 1 ? gather
+                               : ifThenElse(in_bounds, gather, zero);
+        arith::AccessRegions regions = arith::detectRegions(body, {});
+        BlockPtr copy_block = makeBlock(copy_name, copy_iters,
+                                        regions.reads, regions.writes,
+                                        body);
+        copy_body = blockRealize(copy_bindings,
+                                 intImm(1, DataType::boolean()),
+                                 copy_block);
+        for (size_t i = copy_loop_vars.size(); i > 0; --i) {
+            copy_body = makeFor(copy_loop_vars[i - 1], intImm(0),
+                                copy_iters[i - 1].dom.extent, copy_body);
+        }
+    }
+
+    // Rewrite the einsum block to address the fused buffer.
+    std::vector<Expr> block_fused_indices;
+    for (int g : applicable) {
+        std::vector<Var> group_iters;
+        std::vector<int64_t> extents;
+        for (int iter_index : groups[g]) {
+            group_iters.push_back(b->iter_vars[iter_index].var);
+            extents.push_back(
+                constIntOr(b->iter_vars[iter_index].dom.extent, -1));
+        }
+        block_fused_indices.push_back(fuseExpr(group_iters, extents));
+    }
+    Stmt new_body = b->body;
+    Stmt new_init = b->init;
+    if (is_output) {
+        const auto& store = static_cast<const BufferStoreNode&>(*b->body);
+        Expr new_value =
+            LoadSwapper(src, fused, block_fused_indices)
+                .mutateExpr(store.value);
+        new_body = bufferStore(fused, new_value, block_fused_indices);
+        if (new_init) {
+            const auto& istore =
+                static_cast<const BufferStoreNode&>(*b->init);
+            new_init = bufferStore(fused, istore.value,
+                                   block_fused_indices);
+        }
+    } else {
+        LoadSwapper swapper(src, fused, block_fused_indices);
+        new_body = swapper.mutateStmt(b->body);
+    }
+    BlockPtr updated = refreshRegions(
+        *makeBlock(b->name, b->iter_vars, {}, {}, new_body, new_init,
+                   b->alloc_buffers, b->annotations));
+    const auto& realize =
+        static_cast<const BlockRealizeNode&>(*site.realize);
+    replaceNode(site.realize.get(),
+                blockRealize(realize.iter_values, realize.predicate,
+                             updated));
+
+    // Insert the copy nest before (input) or after (output) the block.
+    BlockSite new_site = findSite(block);
+    Stmt nest = privateNest(new_site);
+    if (is_output) {
+        replaceNode(nest.get(), seq({nest, copy_body}));
+    } else {
+        replaceNode(nest.get(), seq({copy_body, nest}));
+    }
+    addRootAlloc(fused);
+    return copy_name;
+}
+
+void
+Schedule::transformBlockLayout(const std::string& block,
+                               const std::vector<std::vector<int>>& groups,
+                               const std::vector<int64_t>& padded_extents)
+{
+    BlockSite site = findSite(block);
+    const BlockNode* b = asBlockRealize(site.realize);
+    const auto& realize =
+        static_cast<const BlockRealizeNode&>(*site.realize);
+
+    // Old loops must bind iterators one-to-one.
+    TIR_CHECK(site.loops.size() >= b->iter_vars.size())
+        << "transformBlockLayout: loops were already restructured";
+    size_t loop_base = site.loops.size() - b->iter_vars.size();
+    for (size_t i = 0; i < b->iter_vars.size(); ++i) {
+        const auto& loop = static_cast<const ForNode&>(
+            *site.loops[loop_base + i]);
+        TIR_CHECK(realize.iter_values[i]->kind == ExprKind::kVar &&
+                  realize.iter_values[i].get() == loop.loop_var.get())
+            << "transformBlockLayout expects trivial loop bindings";
+    }
+
+    // Build fused iterators, replacement expressions, and new loops.
+    std::vector<IterVar> new_iters;
+    std::vector<Var> new_loop_vars;
+    std::vector<Expr> new_bindings;
+    std::vector<std::pair<Expr, Var>> replacements;
+    for (size_t g = 0; g < groups.size(); ++g) {
+        IterType type = b->iter_vars[groups[g][0]].type;
+        std::vector<Var> group_iters;
+        std::vector<int64_t> extents;
+        for (int iter_index : groups[g]) {
+            TIR_CHECK(b->iter_vars[iter_index].type == type)
+                << "transformBlockLayout: mixed iterator types in group";
+            group_iters.push_back(b->iter_vars[iter_index].var);
+            extents.push_back(
+                constIntOr(b->iter_vars[iter_index].dom.extent, -1));
+        }
+        Var fused_iter = var("vg" + std::to_string(g));
+        Var fused_loop = var("g" + std::to_string(g));
+        new_iters.emplace_back(fused_iter,
+                               Range::fromExtent(padded_extents[g]), type);
+        new_loop_vars.push_back(fused_loop);
+        new_bindings.push_back(fused_loop);
+        replacements.emplace_back(fuseExpr(group_iters, extents),
+                                  fused_iter);
+    }
+
+    // Replace fuse expressions (and lone iterator vars) in the body.
+    struct FuseReplacer : public StmtExprMutator
+    {
+        const std::vector<std::pair<Expr, Var>>* replacements;
+        Expr
+        mutateExpr(const Expr& e) override
+        {
+            for (const auto& [pattern, fused] : *replacements) {
+                if (exprDeepEqual(e, pattern)) return fused;
+            }
+            return StmtExprMutator::mutateExpr(e);
+        }
+    } replacer;
+    replacer.replacements = &replacements;
+    Stmt new_body = replacer.mutateStmt(b->body);
+    Stmt new_init = b->init ? replacer.mutateStmt(b->init) : nullptr;
+
+    // Validation: no original iterator may survive the rewrite.
+    std::set<const VarNode*> old_iters;
+    for (const IterVar& iv : b->iter_vars) old_iters.insert(iv.var.get());
+    Stmt probe = new_init ? seq({new_init, new_body}) : new_body;
+    arith::AccessRegions probe_regions = arith::detectRegions(probe, {});
+    auto contains_old = [&](const Expr& e) {
+        for (const VarNode* v : collectVars(e)) {
+            if (old_iters.count(v)) return true;
+        }
+        return false;
+    };
+    for (const auto& regions :
+         {probe_regions.reads, probe_regions.writes}) {
+        for (const BufferRegion& br : regions) {
+            for (const Range& r : br.region) {
+                TIR_CHECK(!contains_old(r.min) && !contains_old(r.extent))
+                    << "transformBlockLayout: body is not expressible in "
+                       "the fused iterators";
+            }
+        }
+    }
+
+    BlockPtr updated = refreshRegions(
+        *makeBlock(b->name, new_iters, {}, {}, new_body, new_init,
+                   b->alloc_buffers, b->annotations));
+    Stmt new_realize = blockRealize(new_bindings,
+                                    intImm(1, DataType::boolean()),
+                                    updated);
+    Stmt nest = new_realize;
+    for (size_t g = groups.size(); g > 0; --g) {
+        nest = makeFor(new_loop_vars[g - 1], intImm(0),
+                       intImm(padded_extents[g - 1]), nest);
+    }
+    // Replace the original loop nest (outermost iterator loop).
+    replaceNode(site.loops[loop_base].get(), nest);
+}
+
+} // namespace tir

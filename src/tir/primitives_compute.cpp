@@ -1,0 +1,644 @@
+/**
+ * @file
+ * Compute-location primitives: compute_at, reverse_compute_at,
+ * compute_inline, reverse_compute_inline and decompose_reduction. All of
+ * them reason purely about block signatures (iterator domains and access
+ * regions) per the paper's isolation principle.
+ */
+#include "arith/iter_map.h"
+#include "arith/region.h"
+#include "ir/functor.h"
+#include "ir/transform.h"
+#include "tir/schedule.h"
+
+namespace tir {
+
+namespace {
+
+/** Recompute a block's signature regions from its body and init. */
+BlockPtr
+refreshSignature(const BlockNode& block)
+{
+    Stmt probe = block.init ? seq({block.init, block.body}) : block.body;
+    arith::AccessRegions regions = arith::detectRegions(probe, {});
+    std::vector<BufferRegion> reads;
+    for (const BufferRegion& br : regions.reads) {
+        if (block.init) {
+            bool self = false;
+            for (const BufferRegion& w : regions.writes) {
+                self |= (w.buffer == br.buffer);
+            }
+            if (self) continue;
+        }
+        reads.push_back(br);
+    }
+    return makeBlock(block.name, block.iter_vars, std::move(reads),
+                     regions.writes, block.body, block.init,
+                     block.alloc_buffers, block.annotations);
+}
+
+/** True when the region is the identity over the given iter vars. */
+bool
+isIdentityRegion(const std::vector<Range>& region,
+                 const std::vector<IterVar>& iters,
+                 std::vector<size_t>* iter_index_per_dim)
+{
+    std::vector<size_t> mapping;
+    for (const Range& r : region) {
+        if (constIntOr(r.extent, -1) != 1) return false;
+        if (r.min->kind != ExprKind::kVar) return false;
+        const auto* v = static_cast<const VarNode*>(r.min.get());
+        bool found = false;
+        for (size_t i = 0; i < iters.size(); ++i) {
+            if (iters[i].var.get() == v) {
+                mapping.push_back(i);
+                found = true;
+                break;
+            }
+        }
+        if (!found) return false;
+    }
+    if (iter_index_per_dim) *iter_index_per_dim = mapping;
+    return true;
+}
+
+/** The subtree root of a block: its own private loop chain (or realize). */
+Stmt
+privateSubtree(const Schedule::BlockSite& site)
+{
+    Stmt subtree = site.realize;
+    for (size_t i = site.loops.size(); i > 0; --i) {
+        const auto& loop = static_cast<const ForNode&>(*site.loops[i - 1]);
+        if (loop.body == subtree) {
+            subtree = site.loops[i - 1];
+        } else {
+            break;
+        }
+    }
+    return subtree;
+}
+
+/** Find region of `buffer` in detected regions; null when absent. */
+const BufferRegion*
+findRegion(const std::vector<BufferRegion>& regions, const Buffer& buffer)
+{
+    for (const BufferRegion& br : regions) {
+        if (br.buffer == buffer) return &br;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+void
+Schedule::computeAt(const std::string& block, const Var& loop)
+{
+    BlockSite site = findSite(block);
+    const BlockNode* b = asBlockRealize(site.realize);
+    TIR_CHECK(b->writes.size() == 1)
+        << "compute_at expects a single-output block";
+    const Buffer out = b->writes[0].buffer;
+    std::vector<size_t> dim_to_iter;
+    TIR_CHECK(isIdentityRegion(b->writes[0].region, b->iter_vars,
+                               &dim_to_iter))
+        << "compute_at: block " << block
+        << " does not write an identity region";
+
+    // Remove the producer's private subtree, then locate the target loop.
+    Stmt subtree = privateSubtree(site);
+    eraseNode(subtree.get());
+    const ForNode* target = findLoop(loop);
+
+    // Required region of `out` per iteration of `loop`.
+    arith::AccessRegions needed = arith::detectRegions(target->body, {});
+    const BufferRegion* required = findRegion(needed.reads, out);
+    TIR_CHECK(required) << "compute_at: no consumer of " << out->name
+                        << " under loop " << loop->name;
+
+    // Build fresh loops: spatial iters over the required region, reduce
+    // iters over their full domain.
+    arith::Analyzer analyzer;
+    {
+        // Bind domains of loops enclosing the insertion point.
+        BlockSite dummy;
+        preOrderVisit(func_->body, [&](const StmtNode* node) {
+            if (node->kind == StmtKind::kFor) {
+                const auto* f = static_cast<const ForNode*>(node);
+                analyzer.bind(f->loop_var, Range(f->min, f->extent));
+            }
+        });
+        (void)dummy;
+    }
+
+    std::vector<Expr> bindings(b->iter_vars.size());
+    std::vector<std::pair<Var, Expr>> new_loops; // (var, extent)
+    Expr guard = intImm(1, DataType::boolean());
+    // Map: which region dim corresponds to each spatial iter.
+    std::vector<int> iter_to_dim(b->iter_vars.size(), -1);
+    for (size_t d = 0; d < dim_to_iter.size(); ++d) {
+        iter_to_dim[dim_to_iter[d]] = static_cast<int>(d);
+    }
+    for (size_t i = 0; i < b->iter_vars.size(); ++i) {
+        const IterVar& iv = b->iter_vars[i];
+        Var nv = var(iv.var->name + "_c", iv.var->dtype);
+        Expr extent;
+        Expr base;
+        if (iv.type == IterType::kSpatial && iter_to_dim[i] >= 0) {
+            const Range& r = required->region[iter_to_dim[i]];
+            extent = r.extent;
+            base = r.min;
+        } else {
+            extent = iv.dom.extent;
+            base = iv.dom.min;
+        }
+        analyzer.bind(nv, Range(intImm(0), extent));
+        bindings[i] = analyzer.simplify(base + nv);
+        new_loops.emplace_back(nv, extent);
+        // Guard if the shifted instance may leave the iterator domain.
+        Expr upper = analyzer.simplify(
+            lt(bindings[i], iv.dom.min + iv.dom.extent));
+        Expr lower = analyzer.simplify(ge(bindings[i], iv.dom.min));
+        if (!constIntOr(upper, 0)) guard = land(guard, upper);
+        if (!constIntOr(lower, 0)) guard = land(guard, lower);
+    }
+    Stmt realize = blockRealize(bindings, analyzer.simplify(guard),
+                                static_cast<const BlockRealizeNode&>(
+                                    *site.realize)
+                                    .block);
+    Stmt body = realize;
+    for (size_t i = new_loops.size(); i > 0; --i) {
+        body = makeFor(new_loops[i - 1].first, intImm(0),
+                       new_loops[i - 1].second, body);
+    }
+    // Re-locate the target (tree was rebuilt by eraseNode).
+    target = findLoop(loop);
+    Stmt new_body = seq({body, target->body});
+    replaceNode(target, makeFor(target->loop_var, target->min,
+                                target->extent, new_body,
+                                target->for_kind, target->thread_tag,
+                                target->annotations));
+}
+
+void
+Schedule::reverseComputeAt(const std::string& block, const Var& loop)
+{
+    BlockSite site = findSite(block);
+    const BlockNode* b = asBlockRealize(site.realize);
+    for (const IterVar& iv : b->iter_vars) {
+        TIR_CHECK(iv.type == IterType::kSpatial)
+            << "reverse_compute_at expects a spatial consumer block";
+    }
+
+    // The producer buffer: a buffer read by `block` and written under
+    // `loop`.
+    Stmt subtree = privateSubtree(site);
+    eraseNode(subtree.get());
+    const ForNode* target = findLoop(loop);
+    arith::AccessRegions produced_regions =
+        arith::detectRegions(target->body, {});
+
+    const BufferRegion* provided = nullptr;
+    const BufferRegion* consumer_read = nullptr;
+    for (const BufferRegion& r : b->reads) {
+        if (const BufferRegion* w =
+                findRegion(produced_regions.writes, r.buffer)) {
+            provided = w;
+            consumer_read = &r;
+            break;
+        }
+    }
+    TIR_CHECK(provided)
+        << "reverse_compute_at: block " << block
+        << " consumes nothing produced under loop " << loop->name;
+    std::vector<size_t> dim_to_iter;
+    TIR_CHECK(isIdentityRegion(consumer_read->region, b->iter_vars,
+                               &dim_to_iter))
+        << "reverse_compute_at: consumer read is not an identity region";
+
+    arith::Analyzer analyzer;
+    preOrderVisit(func_->body, [&](const StmtNode* node) {
+        if (node->kind == StmtKind::kFor) {
+            const auto* f = static_cast<const ForNode*>(node);
+            analyzer.bind(f->loop_var, Range(f->min, f->extent));
+        }
+    });
+
+    std::vector<Expr> bindings(b->iter_vars.size());
+    std::vector<std::pair<Var, Expr>> new_loops;
+    Expr guard = intImm(1, DataType::boolean());
+    std::vector<int> iter_to_dim(b->iter_vars.size(), -1);
+    for (size_t d = 0; d < dim_to_iter.size(); ++d) {
+        iter_to_dim[dim_to_iter[d]] = static_cast<int>(d);
+    }
+    for (size_t i = 0; i < b->iter_vars.size(); ++i) {
+        const IterVar& iv = b->iter_vars[i];
+        Var nv = var(iv.var->name + "_rc", iv.var->dtype);
+        Expr extent = iv.dom.extent;
+        Expr base = iv.dom.min;
+        if (iter_to_dim[i] >= 0) {
+            const Range& r = provided->region[iter_to_dim[i]];
+            extent = r.extent;
+            base = r.min;
+        }
+        analyzer.bind(nv, Range(intImm(0), extent));
+        bindings[i] = analyzer.simplify(base + nv);
+        new_loops.emplace_back(nv, extent);
+        Expr upper = analyzer.simplify(
+            lt(bindings[i], iv.dom.min + iv.dom.extent));
+        Expr lower = analyzer.simplify(ge(bindings[i], iv.dom.min));
+        if (!constIntOr(upper, 0)) guard = land(guard, upper);
+        if (!constIntOr(lower, 0)) guard = land(guard, lower);
+    }
+    Stmt realize = blockRealize(bindings, analyzer.simplify(guard),
+                                static_cast<const BlockRealizeNode&>(
+                                    *site.realize)
+                                    .block);
+    Stmt body = realize;
+    for (size_t i = new_loops.size(); i > 0; --i) {
+        body = makeFor(new_loops[i - 1].first, intImm(0),
+                       new_loops[i - 1].second, body);
+    }
+    target = findLoop(loop);
+    Stmt new_body = seq({target->body, body});
+    replaceNode(target, makeFor(target->loop_var, target->min,
+                                target->extent, new_body,
+                                target->for_kind, target->thread_tag,
+                                target->annotations));
+}
+
+namespace {
+
+/** Replaces loads of one buffer with an inlined expression. */
+class LoadInliner : public StmtExprMutator
+{
+  public:
+    LoadInliner(const Buffer& buffer, const std::vector<IterVar>& iters,
+                Expr value)
+        : buffer_(buffer), iters_(iters), value_(std::move(value))
+    {}
+
+    bool changedAnything() const { return changed_; }
+
+  protected:
+    Expr
+    mutateBufferLoad(const Expr& e) override
+    {
+        Expr base = StmtExprMutator::mutateBufferLoad(e);
+        const auto& n = static_cast<const BufferLoadNode&>(*base);
+        if (n.buffer != buffer_) return base;
+        VarMap vmap;
+        for (size_t i = 0; i < iters_.size(); ++i) {
+            vmap[iters_[i].var.get()] = n.indices[i];
+        }
+        changed_ = true;
+        return substitute(value_, vmap);
+    }
+
+    BlockPtr
+    mutateBlockNode(const BlockPtr& block) override
+    {
+        BlockPtr result = StmtExprMutator::mutateBlockNode(block);
+        if (result != block) {
+            // Body changed: recompute the signature regions.
+            return refreshSignature(*result);
+        }
+        return result;
+    }
+
+  private:
+    const Buffer& buffer_;
+    const std::vector<IterVar>& iters_;
+    Expr value_;
+    bool changed_ = false;
+};
+
+} // namespace
+
+void
+Schedule::computeInline(const std::string& block)
+{
+    BlockSite site = findSite(block);
+    const BlockNode* b = asBlockRealize(site.realize);
+    TIR_CHECK(!b->init) << "cannot inline a reduction block";
+    for (const IterVar& iv : b->iter_vars) {
+        TIR_CHECK(iv.type == IterType::kSpatial)
+            << "cannot inline a block with reduce iterators";
+    }
+    TIR_CHECK(b->body->kind == StmtKind::kBufferStore)
+        << "compute_inline expects a single-store block body";
+    const auto& store = static_cast<const BufferStoreNode&>(*b->body);
+    std::vector<size_t> mapping;
+    std::vector<Range> store_region;
+    for (const Expr& idx : store.indices) {
+        store_region.emplace_back(idx, intImm(1));
+    }
+    TIR_CHECK(isIdentityRegion(store_region, b->iter_vars, &mapping))
+        << "compute_inline: store indices must be the block iterators";
+    const Buffer out = store.buffer;
+    const BlockNode* root = asBlockRealize(func_->body);
+    bool is_intermediate = false;
+    for (const Buffer& alloc : root->alloc_buffers) {
+        is_intermediate |= (alloc == out);
+    }
+    TIR_CHECK(is_intermediate)
+        << "cannot inline block writing output parameter " << out->name;
+
+    // Reorder value iterators to store order.
+    std::vector<IterVar> iters_in_store_order;
+    for (size_t m : mapping) iters_in_store_order.push_back(b->iter_vars[m]);
+
+    Stmt subtree = privateSubtree(site);
+    eraseNode(subtree.get());
+
+    LoadInliner inliner(out, iters_in_store_order, store.value);
+    Stmt new_body = inliner.mutateStmt(func_->body);
+    TIR_CHECK(inliner.changedAnything())
+        << "compute_inline: no consumer reads " << out->name;
+    func_ = makeFunc(func_->name, func_->params, new_body, func_->attrs);
+    removeRootAlloc(out);
+}
+
+void
+Schedule::reverseComputeInline(const std::string& block)
+{
+    BlockSite site = findSite(block);
+    const BlockNode* b = asBlockRealize(site.realize);
+    TIR_CHECK(!b->init && b->body->kind == StmtKind::kBufferStore)
+        << "reverse_compute_inline expects a simple spatial block";
+    const auto& store = static_cast<const BufferStoreNode&>(*b->body);
+    const Buffer out = store.buffer;
+    TIR_CHECK(b->reads.size() == 1)
+        << "reverse_compute_inline expects exactly one input";
+    const Buffer in = b->reads[0].buffer;
+    std::vector<size_t> mapping;
+    TIR_CHECK(isIdentityRegion(b->reads[0].region, b->iter_vars, &mapping))
+        << "reverse_compute_inline: consumer read must be identity";
+
+    // Find the unique producer block of `in`.
+    std::string producer_name;
+    for (const BlockPtr& candidate : collectBlocks(func_->body)) {
+        if (candidate->name == b->name) continue;
+        for (const BufferRegion& w : candidate->writes) {
+            if (w.buffer == in) {
+                TIR_CHECK(producer_name.empty())
+                    << "multiple producers write " << in->name;
+                producer_name = candidate->name;
+            }
+        }
+    }
+    TIR_CHECK(!producer_name.empty()) << "no producer for " << in->name;
+    BlockSite producer_site = findSite(producer_name);
+    const BlockNode* p = asBlockRealize(producer_site.realize);
+    TIR_CHECK(!p->init) << "cannot reverse-inline into a reduction block";
+
+    // Rewrite the producer body: every store in[idx] = g becomes
+    // out[idx] = f(g) where f is the consumer computation.
+    struct StoreRewriter : public StmtExprMutator
+    {
+        const Buffer* in;
+        const Buffer* out;
+        const BlockNode* consumer;
+        const std::vector<size_t>* mapping;
+
+        Stmt
+        mutateBufferStore(const Stmt& s) override
+        {
+            Stmt base = StmtExprMutator::mutateBufferStore(s);
+            const auto& n = static_cast<const BufferStoreNode&>(*base);
+            if (n.buffer != *in) return base;
+            const auto& cstore =
+                static_cast<const BufferStoreNode&>(*consumer->body);
+            // Map consumer iterators to the producer's store indices.
+            VarMap vmap;
+            for (size_t d = 0; d < n.indices.size(); ++d) {
+                vmap[consumer->iter_vars[(*mapping)[d]].var.get()] =
+                    n.indices[d];
+            }
+            Expr f = substitute(cstore.value, vmap);
+            // Replace the load of `in` inside f with the produced value.
+            struct Replace : public ExprMutator
+            {
+                const Buffer* in;
+                Expr g;
+                Expr
+                mutateBufferLoad(const Expr& e) override
+                {
+                    const auto& ln =
+                        static_cast<const BufferLoadNode&>(*e);
+                    if (ln.buffer == *in) return g;
+                    return ExprMutator::mutateBufferLoad(e);
+                }
+            } replace;
+            replace.in = in;
+            replace.g = n.value;
+            f = replace.mutateExpr(f);
+            std::vector<Expr> out_indices;
+            const auto& cidx =
+                static_cast<const BufferStoreNode&>(*consumer->body)
+                    .indices;
+            VarMap vmap2 = vmap;
+            for (const Expr& idx : cidx) {
+                out_indices.push_back(substitute(idx, vmap2));
+            }
+            return bufferStore(*out, f, out_indices);
+        }
+    } rewriter;
+    rewriter.in = &in;
+    rewriter.out = &out;
+    rewriter.consumer = b;
+    rewriter.mapping = &mapping;
+
+    Stmt new_producer_body = rewriter.mutateStmt(p->body);
+    BlockPtr new_producer = refreshSignature(
+        *makeBlock(p->name, p->iter_vars, {}, {}, new_producer_body,
+                   p->init, p->alloc_buffers, p->annotations));
+    const auto& prealize =
+        static_cast<const BlockRealizeNode&>(*producer_site.realize);
+    replaceNode(producer_site.realize.get(),
+                blockRealize(prealize.iter_values, prealize.predicate,
+                             new_producer));
+
+    // Remove the consumer and the intermediate buffer.
+    BlockSite consumer_site = findSite(block);
+    eraseNode(privateSubtree(consumer_site).get());
+    removeRootAlloc(in);
+}
+
+std::string
+Schedule::decomposeReduction(const std::string& block, const Var& loop)
+{
+    BlockSite site = findSite(block);
+    const BlockNode* b = asBlockRealize(site.realize);
+    TIR_CHECK(b->init) << "block " << block << " has no init statement";
+    const auto& realize =
+        static_cast<const BlockRealizeNode&>(*site.realize);
+
+    // Locate `loop` among the enclosing loops.
+    int loop_pos = -1;
+    for (size_t i = 0; i < site.loops.size(); ++i) {
+        if (static_cast<const ForNode&>(*site.loops[i]).loop_var == loop) {
+            loop_pos = static_cast<int>(i);
+        }
+    }
+    TIR_CHECK(loop_pos >= 0)
+        << "loop " << loop->name << " does not enclose block " << block;
+
+    // Reduce bindings must not reference loops above the split point.
+    std::set<const VarNode*> outer_vars;
+    for (int i = 0; i < loop_pos; ++i) {
+        outer_vars.insert(
+            static_cast<const ForNode&>(*site.loops[i]).loop_var.get());
+    }
+    for (size_t i = 0; i < b->iter_vars.size(); ++i) {
+        if (b->iter_vars[i].type != IterType::kReduce) continue;
+        for (const VarNode* v : collectVars(realize.iter_values[i])) {
+            TIR_CHECK(!outer_vars.count(v))
+                << "reduction iterator bound above the decompose point";
+        }
+    }
+
+    // Spatial bindings referencing loops at/below the split point need
+    // replicated loops for the init block.
+    std::vector<const ForNode*> inner_loops;
+    for (size_t i = loop_pos; i < site.loops.size(); ++i) {
+        inner_loops.push_back(
+            static_cast<const ForNode*>(site.loops[i].get()));
+    }
+    std::set<const VarNode*> used;
+    std::vector<Expr> init_bindings;
+    std::vector<IterVar> init_iters;
+    VarMap iter_remap;   // reduction block iter var -> init block iter var
+    VarMap loop_remap;   // inner loop var -> replicated loop var
+    std::vector<std::pair<Var, const ForNode*>> replicated;
+    for (size_t i = 0; i < b->iter_vars.size(); ++i) {
+        if (b->iter_vars[i].type != IterType::kSpatial) continue;
+        for (const VarNode* v : collectVars(realize.iter_values[i])) {
+            used.insert(v);
+        }
+    }
+    for (const ForNode* f : inner_loops) {
+        if (used.count(f->loop_var.get())) {
+            Var fresh = var(f->loop_var->name + "_i", f->loop_var->dtype);
+            loop_remap[f->loop_var.get()] = fresh;
+            replicated.emplace_back(fresh, f);
+        }
+    }
+    for (size_t i = 0; i < b->iter_vars.size(); ++i) {
+        const IterVar& iv = b->iter_vars[i];
+        if (iv.type != IterType::kSpatial) continue;
+        Var fresh = var(iv.var->name + "_i", iv.var->dtype);
+        iter_remap[iv.var.get()] = fresh;
+        init_iters.emplace_back(fresh, iv.dom, IterType::kSpatial);
+        init_bindings.push_back(
+            substitute(realize.iter_values[i], loop_remap));
+    }
+
+    // Keep predicate conjuncts whose inner-loop vars were replicated;
+    // drop conjuncts over reduction-only loops (vacuous for the init).
+    std::set<const VarNode*> inner_vars;
+    for (const ForNode* f : inner_loops) inner_vars.insert(
+        f->loop_var.get());
+    Expr init_pred = intImm(1, DataType::boolean());
+    for (const Expr& conj : arith::splitConjunction(realize.predicate)) {
+        bool ok = true;
+        for (const VarNode* v : collectVars(conj)) {
+            if (inner_vars.count(v) && !loop_remap.count(v)) ok = false;
+        }
+        if (ok) init_pred = land(init_pred, substitute(conj, loop_remap));
+    }
+    arith::Analyzer simplifier;
+    init_pred = simplifier.simplify(init_pred);
+
+    Stmt init_body = substitute(b->init, iter_remap);
+    arith::AccessRegions init_regions =
+        arith::detectRegions(init_body, {});
+    BlockPtr init_block = makeBlock(
+        uniqueName(block + "_init"), init_iters, init_regions.reads,
+        init_regions.writes, init_body, nullptr, {}, b->annotations);
+    Stmt init_realize = blockRealize(init_bindings, init_pred, init_block);
+    Stmt init_nest = init_realize;
+    for (size_t i = replicated.size(); i > 0; --i) {
+        const ForNode* proto = replicated[i - 1].second;
+        init_nest = makeFor(replicated[i - 1].first, proto->min,
+                            proto->extent, init_nest);
+    }
+
+    // Update block: drop the init; it now reads its own output.
+    BlockPtr update_block = refreshSignature(
+        *makeBlock(b->name, b->iter_vars, {}, {}, b->body, nullptr,
+                   b->alloc_buffers, b->annotations));
+    replaceNode(site.realize.get(),
+                blockRealize(realize.iter_values, realize.predicate,
+                             update_block));
+
+    // Insert the init nest right before `loop`.
+    const ForNode* split_loop = findLoop(loop);
+    Stmt loop_copy =
+        makeFor(split_loop->loop_var, split_loop->min, split_loop->extent,
+                split_loop->body, split_loop->for_kind,
+                split_loop->thread_tag, split_loop->annotations);
+    replaceNode(split_loop, seq({init_nest, loop_copy}));
+    return init_block->name;
+}
+
+} // namespace tir
+
+namespace tir {
+
+void
+Schedule::mergeReduction(const std::string& init_block,
+                         const std::string& update_block)
+{
+    BlockSite init_site = findSite(init_block);
+    const BlockNode* init = asBlockRealize(init_site.realize);
+    BlockSite update_site = findSite(update_block);
+    const BlockNode* update = asBlockRealize(update_site.realize);
+    TIR_CHECK(!update->init)
+        << "update block already carries an init statement";
+    TIR_CHECK(!init->init && init->body->kind == StmtKind::kBufferStore)
+        << "init block must be a plain store block";
+    for (const IterVar& iv : init->iter_vars) {
+        TIR_CHECK(iv.type == IterType::kSpatial)
+            << "init block must be spatial";
+    }
+    const auto& init_store =
+        static_cast<const BufferStoreNode&>(*init->body);
+    TIR_CHECK(update->writes.size() == 1 &&
+              update->writes[0].buffer == init_store.buffer)
+        << "init and update blocks must write the same buffer";
+
+    // Map the init block's iterators onto the update block's spatial
+    // iterators through the shared store indices.
+    TIR_CHECK(update->body->kind == StmtKind::kBufferStore)
+        << "update block must be a single-store einsum";
+    const auto& update_store =
+        static_cast<const BufferStoreNode&>(*update->body);
+    TIR_CHECK(update_store.indices.size() == init_store.indices.size());
+    VarMap remap;
+    for (size_t d = 0; d < init_store.indices.size(); ++d) {
+        TIR_CHECK(init_store.indices[d]->kind == ExprKind::kVar &&
+                  update_store.indices[d]->kind == ExprKind::kVar)
+            << "mergeReduction expects identity store indices";
+        remap[static_cast<const VarNode*>(
+            init_store.indices[d].get())] = update_store.indices[d];
+    }
+    Stmt new_init = substitute(init->body, remap);
+
+    // Rebuild the update block with the init attached; its signature no
+    // longer self-reads the output.
+    BlockPtr merged = refreshSignature(
+        *makeBlock(update->name, update->iter_vars, {}, {}, update->body,
+                   new_init, update->alloc_buffers,
+                   update->annotations));
+    const auto& realize =
+        static_cast<const BlockRealizeNode&>(*update_site.realize);
+    replaceNode(update_site.realize.get(),
+                blockRealize(realize.iter_values, realize.predicate,
+                             merged));
+
+    // Remove the init block's private nest.
+    BlockSite stale = findSite(init_block);
+    eraseNode(privateSubtree(stale).get());
+}
+
+} // namespace tir

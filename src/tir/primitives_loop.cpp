@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Loop transformation primitives: split, fuse, reorder (Figure 6). These
+ * mutate loop nests outside blocks and never change block bodies; the
+ * quasi-affine validator re-checks bindings after each rewrite.
+ */
+#include "arith/iter_map.h"
+#include "ir/functor.h"
+#include "ir/transform.h"
+#include "tir/schedule.h"
+
+namespace tir {
+
+namespace {
+
+/** AND a guard onto the predicate of every realize in a subtree. */
+class GuardAdder : public StmtExprMutator
+{
+  public:
+    explicit GuardAdder(Expr guard) : guard_(std::move(guard)) {}
+
+  protected:
+    Stmt
+    mutateBlockRealize(const Stmt& s) override
+    {
+        const auto& n = static_cast<const BlockRealizeNode&>(*s);
+        arith::Analyzer analyzer;
+        Expr pred = analyzer.simplify(land(n.predicate, guard_));
+        // Do not descend: nested blocks are already covered by the outer
+        // block instance being skipped.
+        return blockRealize(n.iter_values, pred, n.block);
+    }
+
+  private:
+    Expr guard_;
+};
+
+} // namespace
+
+std::vector<Var>
+Schedule::split(const Var& loop, const std::vector<int64_t>& factors_in)
+{
+    const ForNode* node = findLoop(loop);
+    TIR_CHECK(node->for_kind == ForKind::kSerial)
+        << "can only split serial loops (" << loop->name << ")";
+    int64_t extent = loopExtent(loop);
+
+    std::vector<int64_t> factors = factors_in;
+    int64_t known = 1;
+    int infer_at = -1;
+    for (size_t i = 0; i < factors.size(); ++i) {
+        if (factors[i] == -1) {
+            TIR_CHECK(infer_at < 0) << "only one factor may be -1";
+            infer_at = static_cast<int>(i);
+        } else {
+            TIR_CHECK(factors[i] > 0) << "factors must be positive";
+            known *= factors[i];
+        }
+    }
+    if (infer_at >= 0) factors[infer_at] = (extent + known - 1) / known;
+    int64_t product = 1;
+    for (int64_t f : factors) product *= f;
+    TIR_CHECK(product >= extent)
+        << "split factors cover only " << product << " of " << extent;
+
+    std::vector<Var> new_vars;
+    for (size_t i = 0; i < factors.size(); ++i) {
+        new_vars.push_back(
+            var(loop->name + "_" + std::to_string(i), loop->dtype));
+    }
+    // old = sum_i v_i * stride_i
+    Expr binding = nullptr;
+    int64_t stride = 1;
+    for (size_t i = factors.size(); i > 0; --i) {
+        Expr piece = stride == 1
+                         ? Expr(new_vars[i - 1])
+                         : Expr(new_vars[i - 1]) * stride;
+        binding = binding ? binding + piece : piece;
+        stride *= factors[i - 1];
+    }
+    arith::Analyzer analyzer;
+    for (size_t i = 0; i < factors.size(); ++i) {
+        analyzer.bind(new_vars[i], Range::fromExtent(factors[i]));
+    }
+    binding = analyzer.simplify(binding);
+
+    VarMap vmap;
+    vmap[loop.get()] = binding;
+    Stmt body = substitute(node->body, vmap);
+    if (product > extent) {
+        GuardAdder guard(
+            analyzer.simplify(lt(binding, intImm(extent, loop->dtype))));
+        body = guard.mutateStmt(body);
+    }
+    for (size_t i = factors.size(); i > 0; --i) {
+        body = makeFor(new_vars[i - 1], intImm(0),
+                       intImm(factors[i - 1]), body);
+    }
+    replaceNode(node, body);
+    return new_vars;
+}
+
+Var
+Schedule::fuse(const std::vector<Var>& loops)
+{
+    TIR_CHECK(loops.size() >= 1) << "fuse needs at least one loop";
+    if (loops.size() == 1) return loops[0];
+    // Verify perfect nesting outer-to-inner.
+    std::vector<const ForNode*> nodes;
+    nodes.push_back(findLoop(loops[0]));
+    std::string fused_name = loops[0]->name;
+    for (size_t i = 1; i < loops.size(); ++i) {
+        const Stmt& body = nodes.back()->body;
+        TIR_CHECK(body->kind == StmtKind::kFor)
+            << "fuse: loops are not perfectly nested";
+        const auto* inner = static_cast<const ForNode*>(body.get());
+        TIR_CHECK(inner->loop_var == loops[i])
+            << "fuse: loop " << loops[i]->name
+            << " is not directly inside " << loops[i - 1]->name;
+        nodes.push_back(inner);
+        fused_name += "_" + loops[i]->name;
+    }
+    for (const ForNode* n : nodes) {
+        TIR_CHECK(n->for_kind == ForKind::kSerial)
+            << "can only fuse serial loops";
+        TIR_CHECK(constIntOr(n->min, -1) == 0)
+            << "fuse expects loops starting at 0";
+    }
+
+    int64_t product = 1;
+    std::vector<int64_t> extents;
+    for (const ForNode* n : nodes) {
+        int64_t e = constIntOr(n->extent, -1);
+        TIR_CHECK(e > 0) << "fuse expects constant extents";
+        extents.push_back(e);
+        product *= e;
+    }
+    Var fused = var(fused_name + "_fused", loops[0]->dtype);
+    VarMap vmap;
+    int64_t stride = 1;
+    arith::Analyzer analyzer;
+    analyzer.bind(fused, Range::fromExtent(product));
+    for (size_t i = loops.size(); i > 0; --i) {
+        Expr value = stride == 1 ? Expr(fused)
+                                 : floordiv(Expr(fused), stride);
+        if (i != 1) value = floormod(value, extents[i - 1]);
+        vmap[loops[i - 1].get()] = analyzer.simplify(value);
+        stride *= extents[i - 1];
+    }
+    Stmt body = substitute(nodes.back()->body, vmap);
+    replaceNode(nodes.front(), makeFor(fused, intImm(0), intImm(product),
+                                       body));
+    return fused;
+}
+
+void
+Schedule::reorder(const std::vector<Var>& order)
+{
+    TIR_CHECK(order.size() >= 2) << "reorder needs at least two loops";
+    // Find the outermost of the given loops: the one whose subtree
+    // contains all the others.
+    const ForNode* top = nullptr;
+    for (const Var& v : order) {
+        const ForNode* candidate = findLoop(v);
+        bool contains_all = true;
+        for (const Var& other : order) {
+            if (other == v) continue;
+            bool found = false;
+            preOrderVisit(candidate->body, [&](const StmtNode* node) {
+                if (node->kind == StmtKind::kFor &&
+                    static_cast<const ForNode*>(node)->loop_var == other) {
+                    found = true;
+                }
+            });
+            contains_all &= found;
+        }
+        if (contains_all) {
+            top = candidate;
+            break;
+        }
+    }
+    TIR_CHECK(top) << "reorder: loops do not form a single nest";
+
+    // Collect the single-child For chain from `top` down to the innermost
+    // requested loop.
+    std::vector<const ForNode*> chain;
+    std::set<const VarNode*> wanted;
+    for (const Var& v : order) wanted.insert(v.get());
+    size_t seen = 0;
+    const ForNode* cursor = top;
+    while (true) {
+        chain.push_back(cursor);
+        if (wanted.count(cursor->loop_var.get())) ++seen;
+        if (seen == order.size()) break;
+        TIR_CHECK(cursor->body->kind == StmtKind::kFor)
+            << "reorder: loops are separated by non-loop statements";
+        cursor = static_cast<const ForNode*>(cursor->body.get());
+    }
+
+    // Rebuild inside-out, substituting requested loops in the new order.
+    size_t next_ordered = order.size();
+    Stmt body = chain.back()->body;
+    for (size_t i = chain.size(); i > 0; --i) {
+        const ForNode* slot = chain[i - 1];
+        const ForNode* placed = slot;
+        if (wanted.count(slot->loop_var.get())) {
+            placed = findLoop(order[--next_ordered]);
+        }
+        body = makeFor(placed->loop_var, placed->min, placed->extent, body,
+                       placed->for_kind, placed->thread_tag,
+                       placed->annotations);
+    }
+    replaceNode(top, body);
+}
+
+} // namespace tir

@@ -1,0 +1,209 @@
+#include "tir/verify.h"
+
+#include <map>
+#include <set>
+
+#include "arith/region.h"
+#include "intrin/tensor_intrin.h"
+#include "ir/functor.h"
+
+namespace tir {
+
+namespace {
+
+/** Walks launches and checks thread-binding structure. */
+class ThreadChecker : public StmtExprVisitor
+{
+  public:
+    explicit ThreadChecker(int64_t max_threads)
+        : max_threads_(max_threads)
+    {}
+
+    VerifyResult result = VerifyResult::pass();
+
+  protected:
+    void
+    visitFor(const ForNode& node) override
+    {
+        if (!result.ok) return;
+        if (node.for_kind != ForKind::kThreadBinding) {
+            StmtExprVisitor::visitFor(node);
+            return;
+        }
+        bool launch_root = active_tags_.empty();
+        if (launch_root) thread_product_ = 1;
+        bool is_block_axis = node.thread_tag.rfind("blockIdx", 0) == 0;
+        if (active_tags_.count(node.thread_tag)) {
+            result = VerifyResult::fail(
+                "thread tag " + node.thread_tag +
+                " bound twice in one launch");
+            return;
+        }
+        if (is_block_axis && saw_thread_axis_) {
+            result = VerifyResult::fail(
+                "blockIdx binding nested inside threadIdx scope");
+            return;
+        }
+        bool saved_thread_axis = saw_thread_axis_;
+        if (!is_block_axis) {
+            saw_thread_axis_ = true;
+            thread_product_ *= constIntOr(node.extent, 1);
+            if (thread_product_ > max_threads_) {
+                result = VerifyResult::fail(
+                    "thread block exceeds " +
+                    std::to_string(max_threads_) + " threads");
+                return;
+            }
+        }
+        active_tags_.insert(node.thread_tag);
+        StmtExprVisitor::visitFor(node);
+        active_tags_.erase(node.thread_tag);
+        saw_thread_axis_ = saved_thread_axis;
+        if (!is_block_axis && !result.ok) return;
+        if (launch_root) thread_product_ = 1;
+    }
+
+    void
+    visitBlock(const BlockNode& node) override
+    {
+        if (!result.ok) return;
+        // Cooperative fetches must not claim more threads than the
+        // enclosing launch provides (32 lanes per warp are implicit).
+        auto coop = node.annotations.find("cooperative_fetch");
+        if (coop != node.annotations.end()) {
+            int64_t claimed = constIntOr(coop->second, 1);
+            int64_t available = thread_product_ * 32;
+            if (active_tags_.empty()) {
+                result = VerifyResult::fail(
+                    "cooperative fetch outside any thread launch");
+                return;
+            }
+            if (claimed > available) {
+                result = VerifyResult::fail(
+                    "cooperative fetch claims " +
+                    std::to_string(claimed) + " threads but only " +
+                    std::to_string(available) + " are launched");
+                return;
+            }
+        }
+        auto it = node.annotations.find("tensor_intrin");
+        if (it != node.annotations.end() &&
+            it->second->kind == ExprKind::kStringImm) {
+            const std::string& name =
+                static_cast<const StringImmNode&>(*it->second).value;
+            if (TensorIntrin::exists(name)) {
+                const TensorIntrin& ti = TensorIntrin::get(name);
+                if (ti.exec_scope == "warp" && active_tags_.empty()) {
+                    result = VerifyResult::fail(
+                        "warp-scope intrinsic " + name +
+                        " outside any GPU thread launch");
+                    return;
+                }
+            }
+        }
+        StmtExprVisitor::visitBlock(node);
+    }
+
+  private:
+    int64_t max_threads_;
+    std::set<std::string> active_tags_;
+    bool saw_thread_axis_ = false;
+    int64_t thread_product_ = 1;
+};
+
+} // namespace
+
+VerifyResult
+verifyThreadBindings(const PrimFunc& func, int64_t max_threads_per_block)
+{
+    ThreadChecker checker(max_threads_per_block);
+    checker.visitStmt(func->body);
+    return checker.result;
+}
+
+namespace {
+
+/** Stage-ordered cover check over root-level statements. */
+class CoverChecker
+{
+  public:
+    VerifyResult
+    check(const PrimFunc& func)
+    {
+        const auto& realize =
+            static_cast<const BlockRealizeNode&>(*func->body);
+        const BlockNode& root = *realize.block;
+        std::set<const BufferNode*> params;
+        for (const Buffer& p : func->params) params.insert(p.get());
+
+        // Walk top-level stages in order; track per-buffer coverage.
+        std::vector<Stmt> stages;
+        if (root.body->kind == StmtKind::kSeq) {
+            stages = static_cast<const SeqStmtNode&>(*root.body).seq;
+        } else {
+            stages = {root.body};
+        }
+        arith::Analyzer analyzer;
+        std::map<const BufferNode*, BufferRegion> written;
+        for (const Stmt& stage : stages) {
+            arith::AccessRegions regions =
+                arith::detectRegions(stage, {});
+            // Register this stage's writes first: staging copies moved
+            // inside a consumer's loop nest (compute_at) produce within
+            // the same stage, before their consumers.
+            for (const BufferRegion& write : regions.writes) {
+                auto it = written.find(write.buffer.get());
+                if (it == written.end()) {
+                    written.emplace(write.buffer.get(), write);
+                } else {
+                    it->second = arith::regionUnion(it->second, write,
+                                                    analyzer);
+                }
+            }
+            for (const BufferRegion& read : regions.reads) {
+                if (params.count(read.buffer.get())) continue;
+                auto it = written.find(read.buffer.get());
+                if (it == written.end()) {
+                    return VerifyResult::fail(
+                        "buffer " + read.buffer->name +
+                        " is read before any producer wrote it");
+                }
+                // Conservative index analysis may widen gather regions
+                // past the buffer: actual accesses are in bounds, so
+                // clamp before comparing.
+                BufferRegion clamped = read;
+                std::vector<Range> ranges;
+                for (size_t d = 0; d < read.region.size(); ++d) {
+                    Expr lo = analyzer.simplify(
+                        maxExpr(read.region[d].min, intImm(0)));
+                    Expr hi = analyzer.simplify(minExpr(
+                        read.region[d].min + read.region[d].extent,
+                        read.buffer->shape[d]));
+                    ranges.emplace_back(lo,
+                                        analyzer.simplify(hi - lo));
+                }
+                clamped = BufferRegion(read.buffer, std::move(ranges));
+                if (!arith::regionCovers(it->second, clamped,
+                                         analyzer)) {
+                    return VerifyResult::fail(
+                        "producers of " + read.buffer->name +
+                        " do not cover a consumer's read region");
+                }
+            }
+        }
+        return VerifyResult::pass();
+    }
+};
+
+} // namespace
+
+VerifyResult
+verifyRegionCover(const PrimFunc& func)
+{
+    TIR_CHECK(func->body->kind == StmtKind::kBlockRealize)
+        << "verifyRegionCover expects a root-block function";
+    CoverChecker checker;
+    return checker.check(func);
+}
+
+} // namespace tir

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Whole-program validators (§3.3) beyond the per-block quasi-affine
+ * binding check: threading validation (binding consistency, launch
+ * constraints, execution scopes) and producer-consumer region cover.
+ * These are the checks that filter false positives out of the search.
+ */
+#ifndef TENSORIR_TIR_VERIFY_H
+#define TENSORIR_TIR_VERIFY_H
+
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace tir {
+
+/** Result of a verification pass. */
+struct VerifyResult
+{
+    bool ok = true;
+    std::string error;
+
+    static VerifyResult pass() { return {true, ""}; }
+    static VerifyResult
+    fail(std::string message)
+    {
+        return {false, std::move(message)};
+    }
+};
+
+/**
+ * Threading validation:
+ *  - within one kernel launch, every thread tag is bound at most once
+ *    and blockIdx.* loops enclose threadIdx.* loops;
+ *  - the threadIdx product respects `max_threads_per_block`;
+ *  - warp-scope tensor intrinsics ("tensor_intrin" blocks whose
+ *    intrinsic declares warp execution scope) only appear inside
+ *    GPU-threaded launches.
+ */
+VerifyResult verifyThreadBindings(const PrimFunc& func,
+                                  int64_t max_threads_per_block = 1024);
+
+/**
+ * Producer-consumer cover validation: for every intermediate buffer,
+ * the union of regions written before a consumer must cover the region
+ * that consumer reads (conservatively, at whole-buffer granularity per
+ * root-level stage ordering).
+ */
+VerifyResult verifyRegionCover(const PrimFunc& func);
+
+} // namespace tir
+
+#endif // TENSORIR_TIR_VERIFY_H

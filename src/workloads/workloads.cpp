@@ -1,0 +1,466 @@
+#include "workloads/workloads.h"
+
+#include <cmath>
+
+#include "te/te.h"
+
+namespace tir {
+namespace workloads {
+
+namespace {
+
+/** Zero value of the given dtype. */
+Expr
+zero(DataType dtype)
+{
+    return dtype.isFloat() ? floatImm(0.0, dtype) : intImm(0, dtype);
+}
+
+/** Multiply two loads, casting to the accumulator dtype when needed. */
+Expr
+mac(Expr a, Expr b, DataType acc)
+{
+    if (a->dtype != acc) a = cast(acc, a);
+    if (b->dtype != acc) b = cast(acc, b);
+    return a * b;
+}
+
+} // namespace
+
+OpSpec
+gmm(int64_t n, int64_t m, int64_t k, DataType in_dtype, DataType acc)
+{
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {n, k}, in_dtype);
+    Buffer b = builder.placeholder("B", {k, m}, in_dtype);
+    Buffer c = builder.sumReduce(
+        "C", {n, m}, {k},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return mac(bufferLoad(a, {s[0], r[0]}),
+                       bufferLoad(b, {r[0], s[1]}), acc);
+        },
+        acc);
+    return {"GMM", builder.build("gmm", {c}), "C",
+            static_cast<double>(n * m * k)};
+}
+
+OpSpec
+batchMatmul(int64_t bsz, int64_t n, int64_t m, int64_t k,
+            DataType in_dtype, DataType acc)
+{
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {bsz, n, k}, in_dtype);
+    Buffer b = builder.placeholder("B", {bsz, k, m}, in_dtype);
+    Buffer c = builder.sumReduce(
+        "C", {bsz, n, m}, {k},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return mac(bufferLoad(a, {s[0], s[1], r[0]}),
+                       bufferLoad(b, {s[0], r[0], s[2]}), acc);
+        },
+        acc);
+    return {"BMM", builder.build("batch_matmul", {c}), "C",
+            static_cast<double>(bsz * n * m * k)};
+}
+
+OpSpec
+conv1d(int64_t n, int64_t l, int64_t ci, int64_t co, int64_t k,
+       int64_t stride, int64_t pad, DataType in_dtype, DataType acc)
+{
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {n, l, ci}, in_dtype);
+    Buffer w = builder.placeholder("W", {k, ci, co}, in_dtype);
+    int64_t lp = l + 2 * pad;
+    Buffer apad = builder.compute(
+        "Apad", {n, lp, ci},
+        [&](const std::vector<Var>& v) {
+            Expr in_bounds = land(ge(v[1], intImm(pad)),
+                                  lt(v[1], intImm(l + pad)));
+            return select(in_bounds,
+                          bufferLoad(a, {v[0], v[1] - pad, v[2]}),
+                          zero(in_dtype));
+        },
+        in_dtype);
+    int64_t lo = (lp - k) / stride + 1;
+    Buffer c = builder.sumReduce(
+        "C", {n, lo, co}, {k, ci},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return mac(bufferLoad(apad, {s[0], Expr(s[1]) * stride + r[0],
+                                         r[1]}),
+                       bufferLoad(w, {r[0], r[1], s[2]}), acc);
+        },
+        acc);
+    return {"C1D", builder.build("conv1d", {c}), "C",
+            static_cast<double>(n * lo * co * k * ci)};
+}
+
+OpSpec
+conv2d(int64_t n, int64_t h, int64_t w_, int64_t ci, int64_t co,
+       int64_t k, int64_t stride, int64_t pad, int64_t dilation,
+       DataType in_dtype, DataType acc)
+{
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {n, h, w_, ci}, in_dtype);
+    Buffer w = builder.placeholder("W", {k, k, ci, co}, in_dtype);
+    int64_t hp = h + 2 * pad;
+    int64_t wp = w_ + 2 * pad;
+    Buffer apad = builder.compute(
+        "Apad", {n, hp, wp, ci},
+        [&](const std::vector<Var>& v) {
+            Expr in_bounds =
+                land(land(ge(v[1], intImm(pad)),
+                          lt(v[1], intImm(h + pad))),
+                     land(ge(v[2], intImm(pad)),
+                          lt(v[2], intImm(w_ + pad))));
+            return select(in_bounds,
+                          bufferLoad(a, {v[0], v[1] - pad, v[2] - pad,
+                                         v[3]}),
+                          zero(in_dtype));
+        },
+        in_dtype);
+    int64_t keff = (k - 1) * dilation + 1;
+    int64_t ho = (hp - keff) / stride + 1;
+    int64_t wo = (wp - keff) / stride + 1;
+    Buffer c = builder.sumReduce(
+        "C", {n, ho, wo, co}, {k, k, ci},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return mac(
+                bufferLoad(apad,
+                           {s[0], Expr(s[1]) * stride + Expr(r[0]) *
+                                                            dilation,
+                            Expr(s[2]) * stride + Expr(r[1]) * dilation,
+                            r[2]}),
+                bufferLoad(w, {r[0], r[1], r[2], s[3]}), acc);
+        },
+        acc);
+    const char* name = dilation > 1 ? "DIL" : "C2D";
+    return {name, builder.build("conv2d", {c}), "C",
+            static_cast<double>(n * ho * wo * co * k * k * ci)};
+}
+
+OpSpec
+conv3d(int64_t n, int64_t d, int64_t h, int64_t w_, int64_t ci,
+       int64_t co, int64_t k, int64_t stride, int64_t pad,
+       DataType in_dtype, DataType acc)
+{
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {n, d, h, w_, ci}, in_dtype);
+    Buffer w = builder.placeholder("W", {k, k, k, ci, co}, in_dtype);
+    int64_t dp = d + 2 * pad;
+    int64_t hp = h + 2 * pad;
+    int64_t wp = w_ + 2 * pad;
+    Buffer apad = builder.compute(
+        "Apad", {n, dp, hp, wp, ci},
+        [&](const std::vector<Var>& v) {
+            auto within = [&](const Var& x, int64_t extent) {
+                return land(ge(x, intImm(pad)),
+                            lt(x, intImm(extent + pad)));
+            };
+            Expr in_bounds = land(within(v[1], d),
+                                  land(within(v[2], h), within(v[3], w_)));
+            return select(in_bounds,
+                          bufferLoad(a, {v[0], v[1] - pad, v[2] - pad,
+                                         v[3] - pad, v[4]}),
+                          zero(in_dtype));
+        },
+        in_dtype);
+    int64_t do_ = (dp - k) / stride + 1;
+    int64_t ho = (hp - k) / stride + 1;
+    int64_t wo = (wp - k) / stride + 1;
+    Buffer c = builder.sumReduce(
+        "C", {n, do_, ho, wo, co}, {k, k, k, ci},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return mac(
+                bufferLoad(apad, {s[0], Expr(s[1]) * stride + r[0],
+                                  Expr(s[2]) * stride + r[1],
+                                  Expr(s[3]) * stride + r[2], r[3]}),
+                bufferLoad(w, {r[0], r[1], r[2], r[3], s[4]}), acc);
+        },
+        acc);
+    return {"C3D", builder.build("conv3d", {c}), "C",
+            static_cast<double>(n * do_ * ho * wo * co * k * k * k * ci)};
+}
+
+OpSpec
+depthwiseConv2d(int64_t n, int64_t h, int64_t w_, int64_t c, int64_t k,
+                int64_t stride, int64_t pad, DataType in_dtype,
+                DataType acc)
+{
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {n, h, w_, c}, in_dtype);
+    Buffer w = builder.placeholder("W", {k, k, c}, in_dtype);
+    int64_t hp = h + 2 * pad;
+    int64_t wp = w_ + 2 * pad;
+    Buffer apad = builder.compute(
+        "Apad", {n, hp, wp, c},
+        [&](const std::vector<Var>& v) {
+            Expr in_bounds =
+                land(land(ge(v[1], intImm(pad)),
+                          lt(v[1], intImm(h + pad))),
+                     land(ge(v[2], intImm(pad)),
+                          lt(v[2], intImm(w_ + pad))));
+            return select(in_bounds,
+                          bufferLoad(a, {v[0], v[1] - pad, v[2] - pad,
+                                         v[3]}),
+                          zero(in_dtype));
+        },
+        in_dtype);
+    int64_t ho = (hp - k) / stride + 1;
+    int64_t wo = (wp - k) / stride + 1;
+    Buffer out = builder.sumReduce(
+        "C", {n, ho, wo, c}, {k, k},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return mac(bufferLoad(apad, {s[0], Expr(s[1]) * stride + r[0],
+                                         Expr(s[2]) * stride + r[1],
+                                         s[3]}),
+                       bufferLoad(w, {r[0], r[1], s[3]}), acc);
+        },
+        acc);
+    return {"DEP", builder.build("depthwise_conv2d", {out}), "C",
+            static_cast<double>(n * ho * wo * c * k * k)};
+}
+
+OpSpec
+groupConv2d(int64_t n, int64_t h, int64_t w_, int64_t ci, int64_t co,
+            int64_t groups, int64_t k, int64_t stride, int64_t pad,
+            DataType in_dtype, DataType acc)
+{
+    TIR_CHECK(ci % groups == 0 && co % groups == 0);
+    int64_t cig = ci / groups;
+    int64_t cog = co / groups;
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {n, h, w_, groups, cig},
+                                   in_dtype);
+    Buffer w = builder.placeholder("W", {k, k, groups, cig, cog},
+                                   in_dtype);
+    int64_t hp = h + 2 * pad;
+    int64_t wp = w_ + 2 * pad;
+    Buffer apad = builder.compute(
+        "Apad", {n, hp, wp, groups, cig},
+        [&](const std::vector<Var>& v) {
+            Expr in_bounds =
+                land(land(ge(v[1], intImm(pad)),
+                          lt(v[1], intImm(h + pad))),
+                     land(ge(v[2], intImm(pad)),
+                          lt(v[2], intImm(w_ + pad))));
+            return select(in_bounds,
+                          bufferLoad(a, {v[0], v[1] - pad, v[2] - pad,
+                                         v[3], v[4]}),
+                          zero(in_dtype));
+        },
+        in_dtype);
+    int64_t ho = (hp - k) / stride + 1;
+    int64_t wo = (wp - k) / stride + 1;
+    Buffer c = builder.sumReduce(
+        "C", {n, ho, wo, groups, cog}, {k, k, cig},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return mac(
+                bufferLoad(apad, {s[0], Expr(s[1]) * stride + r[0],
+                                  Expr(s[2]) * stride + r[1], s[3],
+                                  r[2]}),
+                bufferLoad(w, {r[0], r[1], s[3], r[2], s[4]}), acc);
+        },
+        acc);
+    return {"GRP", builder.build("group_conv2d", {c}), "C",
+            static_cast<double>(n * ho * wo * co * k * k * cig)};
+}
+
+OpSpec
+transposedConv2d(int64_t n, int64_t h, int64_t w_, int64_t ci,
+                 int64_t co, int64_t k, int64_t stride,
+                 DataType in_dtype, DataType acc)
+{
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {n, h, w_, ci}, in_dtype);
+    Buffer w = builder.placeholder("W", {k, k, ci, co}, in_dtype);
+    // Zero-insertion dilation + (k-1) halo padding.
+    int64_t hd = (h - 1) * stride + 1 + 2 * (k - 1);
+    int64_t wd = (w_ - 1) * stride + 1 + 2 * (k - 1);
+    int64_t off = k - 1;
+    Buffer adil = builder.compute(
+        "Adil", {n, hd, wd, ci},
+        [&](const std::vector<Var>& v) {
+            Expr hh = v[1] - off;
+            Expr ww = v[2] - off;
+            Expr in_bounds = land(
+                land(land(ge(hh, intImm(0)),
+                          lt(hh, intImm((h - 1) * stride + 1))),
+                     land(ge(ww, intImm(0)),
+                          lt(ww, intImm((w_ - 1) * stride + 1)))),
+                land(eq(floormod(hh, stride), intImm(0)),
+                     eq(floormod(ww, stride), intImm(0))));
+            return select(
+                in_bounds,
+                bufferLoad(a, {v[0],
+                               floordiv(maxExpr(hh, intImm(0)), stride),
+                               floordiv(maxExpr(ww, intImm(0)), stride),
+                               v[3]}),
+                zero(in_dtype));
+        },
+        in_dtype);
+    int64_t ho = hd - k + 1;
+    int64_t wo = wd - k + 1;
+    Buffer c = builder.sumReduce(
+        "C", {n, ho, wo, co}, {k, k, ci},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return mac(bufferLoad(adil, {s[0], s[1] + r[0], s[2] + r[1],
+                                         r[2]}),
+                       bufferLoad(w, {r[0], r[1], r[2], s[3]}), acc);
+        },
+        acc);
+    return {"T2D", builder.build("transposed_conv2d", {c}), "C",
+            static_cast<double>(n * ho * wo * co * k * k * ci)};
+}
+
+OpSpec
+matmulRelu(int64_t n, int64_t m, int64_t k, DataType dtype)
+{
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {n, k}, dtype);
+    Buffer b = builder.placeholder("B", {k, m}, dtype);
+    Buffer c = builder.sumReduce(
+        "C", {n, m}, {k},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return bufferLoad(a, {s[0], r[0]}) *
+                   bufferLoad(b, {r[0], s[1]});
+        },
+        dtype);
+    Buffer d = builder.compute(
+        "D", {n, m},
+        [&](const std::vector<Var>& v) {
+            return maxExpr(bufferLoad(c, {v[0], v[1]}), zero(dtype));
+        },
+        dtype);
+    return {"GEMM+ReLU", builder.build("matmul_relu", {d}), "C",
+            static_cast<double>(n * m * k)};
+}
+
+OpSpec
+softmax(int64_t rows, int64_t cols, DataType dtype)
+{
+    te::Builder builder;
+    Buffer x = builder.placeholder("X", {rows, cols}, dtype);
+    Buffer rowmax = builder.maxReduce(
+        "RowMax", {rows}, {cols},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return bufferLoad(x, {s[0], r[0]});
+        },
+        dtype);
+    Buffer exps = builder.compute(
+        "Exp", {rows, cols},
+        [&](const std::vector<Var>& v) {
+            return call(dtype, "exp",
+                        {bufferLoad(x, {v[0], v[1]}) -
+                         bufferLoad(rowmax, {v[0]})});
+        },
+        dtype);
+    Buffer rowsum = builder.sumReduce(
+        "RowSum", {rows}, {cols},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return bufferLoad(exps, {s[0], r[0]});
+        },
+        dtype);
+    Buffer out = builder.compute(
+        "Softmax", {rows, cols},
+        [&](const std::vector<Var>& v) {
+            return div(bufferLoad(exps, {v[0], v[1]}),
+                       bufferLoad(rowsum, {v[0]}));
+        },
+        dtype);
+    return {"SOFTMAX", builder.build("softmax", {out}), "RowSum",
+            static_cast<double>(rows * cols)};
+}
+
+OpSpec
+attention(int64_t seq, int64_t dim, DataType dtype)
+{
+    te::Builder builder;
+    Buffer q = builder.placeholder("Q", {seq, dim}, dtype);
+    Buffer k = builder.placeholder("K", {seq, dim}, dtype);
+    Buffer v = builder.placeholder("V", {seq, dim}, dtype);
+    double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(dim));
+    Buffer scores = builder.sumReduce(
+        "Scores", {seq, seq}, {dim},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return bufferLoad(q, {s[0], r[0]}) *
+                   bufferLoad(k, {s[1], r[0]});
+        },
+        dtype);
+    Buffer rowmax = builder.maxReduce(
+        "RowMax", {seq}, {seq},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return bufferLoad(scores, {s[0], r[0]}) *
+                   floatImm(inv_sqrt_d, dtype);
+        },
+        dtype);
+    Buffer exps = builder.compute(
+        "Exp", {seq, seq},
+        [&](const std::vector<Var>& vv) {
+            return call(dtype, "exp",
+                        {bufferLoad(scores, {vv[0], vv[1]}) *
+                             floatImm(inv_sqrt_d, dtype) -
+                         bufferLoad(rowmax, {vv[0]})});
+        },
+        dtype);
+    Buffer rowsum = builder.sumReduce(
+        "RowSum", {seq}, {seq},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return bufferLoad(exps, {s[0], r[0]});
+        },
+        dtype);
+    Buffer out = builder.sumReduce(
+        "Out", {seq, dim}, {seq},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return div(bufferLoad(exps, {s[0], r[0]}),
+                       bufferLoad(rowsum, {s[0]})) *
+                   bufferLoad(v, {r[0], s[1]});
+        },
+        dtype);
+    return {"ATTN", builder.build("attention", {out}), "Out",
+            static_cast<double>(2 * seq * seq * dim)};
+}
+
+std::vector<OpSpec>
+gpuSuite()
+{
+    DataType f16 = DataType::f16();
+    return {
+        conv1d(8, 256, 64, 128, 3, 2, 1, f16, f16),
+        conv2d(8, 28, 28, 128, 128, 3, 1, 1, 1, f16, f16),
+        conv3d(2, 16, 16, 16, 64, 64, 3, 1, 1, f16, f16),
+        depthwiseConv2d(8, 28, 28, 128, 3, 1, 1, f16, f16),
+        conv2d(8, 28, 28, 128, 128, 3, 1, 2, 2, f16, f16),
+        gmm(1024, 1024, 1024, f16, f16),
+        groupConv2d(8, 28, 28, 128, 128, 4, 3, 1, 1, f16, f16),
+        transposedConv2d(8, 14, 14, 256, 128, 4, 2, f16, f16),
+    };
+}
+
+std::vector<OpSpec>
+gpuSuiteSmall()
+{
+    DataType f16 = DataType::f16();
+    return {
+        conv1d(1, 32, 8, 16, 3, 2, 1, f16, f16),
+        conv2d(1, 8, 8, 16, 16, 3, 1, 1, 1, f16, f16),
+        conv3d(1, 4, 4, 4, 8, 16, 3, 1, 1, f16, f16),
+        depthwiseConv2d(1, 8, 8, 16, 3, 1, 1, f16, f16),
+        conv2d(1, 8, 8, 16, 16, 3, 1, 2, 2, f16, f16),
+        gmm(32, 32, 32, f16, f16),
+        groupConv2d(1, 8, 8, 16, 16, 2, 3, 1, 1, f16, f16),
+        transposedConv2d(1, 6, 6, 16, 16, 4, 2, f16, f16),
+    };
+}
+
+std::vector<OpSpec>
+armSuite()
+{
+    DataType i8 = DataType::i8();
+    DataType i32 = DataType::i32();
+    return {
+        conv2d(1, 28, 28, 128, 128, 3, 1, 1, 1, i8, i32),
+        gmm(512, 512, 512, i8, i32),
+    };
+}
+
+} // namespace workloads
+} // namespace tir

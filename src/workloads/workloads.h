@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The paper's operator benchmark suite (§5.1): C1D, C2D, C3D, DEP, DIL,
+ * GMM, GRP, T2D, plus elementwise epilogues. Convolutions are NHWC with
+ * explicit padding stages; the transposed convolution is expressed via
+ * zero-insertion dilation followed by a stride-1 convolution, which is
+ * the standard einsum-isable formulation.
+ */
+#ifndef TENSORIR_WORKLOADS_WORKLOADS_H
+#define TENSORIR_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace tir {
+namespace workloads {
+
+/** A named benchmark workload. */
+struct OpSpec
+{
+    std::string name;
+    PrimFunc func;
+    /** Name of the einsum (reduction) block to tensorize. */
+    std::string einsum_block;
+    /** Useful multiply-accumulate count (for GFLOPS reporting). */
+    double macs = 0;
+};
+
+/** Dense matmul C[n,m] = A[n,k] x B[k,m]. */
+OpSpec gmm(int64_t n, int64_t m, int64_t k,
+           DataType in_dtype = DataType::f16(),
+           DataType acc_dtype = DataType::f16());
+
+/** Batched matmul C[b,n,m] = A[b,n,k] x B[b,k,m]. */
+OpSpec batchMatmul(int64_t b, int64_t n, int64_t m, int64_t k,
+                   DataType in_dtype = DataType::f16(),
+                   DataType acc_dtype = DataType::f16());
+
+/** 1D convolution, NWC layout. */
+OpSpec conv1d(int64_t n, int64_t l, int64_t ci, int64_t co, int64_t k,
+              int64_t stride, int64_t pad,
+              DataType in_dtype = DataType::f16(),
+              DataType acc_dtype = DataType::f16());
+
+/** 2D convolution, NHWC layout (dilation > 1 gives the DIL workload). */
+OpSpec conv2d(int64_t n, int64_t h, int64_t w, int64_t ci, int64_t co,
+              int64_t k, int64_t stride, int64_t pad,
+              int64_t dilation = 1,
+              DataType in_dtype = DataType::f16(),
+              DataType acc_dtype = DataType::f16());
+
+/** 3D convolution, NDHWC layout. */
+OpSpec conv3d(int64_t n, int64_t d, int64_t h, int64_t w, int64_t ci,
+              int64_t co, int64_t k, int64_t stride, int64_t pad,
+              DataType in_dtype = DataType::f16(),
+              DataType acc_dtype = DataType::f16());
+
+/** Depthwise 2D convolution, NHWC layout. */
+OpSpec depthwiseConv2d(int64_t n, int64_t h, int64_t w, int64_t c,
+                       int64_t k, int64_t stride, int64_t pad,
+                       DataType in_dtype = DataType::f16(),
+                       DataType acc_dtype = DataType::f16());
+
+/** Grouped 2D convolution, NHWC layout with [G, C/G] channel split. */
+OpSpec groupConv2d(int64_t n, int64_t h, int64_t w, int64_t ci,
+                   int64_t co, int64_t groups, int64_t k, int64_t stride,
+                   int64_t pad, DataType in_dtype = DataType::f16(),
+                   DataType acc_dtype = DataType::f16());
+
+/** Transposed 2D convolution via zero-insertion + stride-1 conv. */
+OpSpec transposedConv2d(int64_t n, int64_t h, int64_t w, int64_t ci,
+                        int64_t co, int64_t k, int64_t stride,
+                        DataType in_dtype = DataType::f16(),
+                        DataType acc_dtype = DataType::f16());
+
+/** Matmul followed by ReLU (the Figure 8 workload). */
+OpSpec matmulRelu(int64_t n, int64_t m, int64_t k,
+                  DataType dtype = DataType::f32());
+
+/**
+ * Numerically-stable row softmax: rowmax -> exp(x - max) -> rowsum ->
+ * normalize. A four-stage mixed pipeline (max-reduction, elementwise
+ * transcendental, sum-reduction, division) exercising the "mixture of
+ * irregular computations" the abstraction supports beyond einsums.
+ */
+OpSpec softmax(int64_t rows, int64_t cols,
+               DataType dtype = DataType::f32());
+
+/**
+ * Single-head scaled dot-product attention, one function:
+ * scores = (Q x K^T) / sqrt(d); P = softmax(scores); Out = P x V.
+ * The attention core of BERT/ViT as a mixed einsum + irregular
+ * pipeline.
+ */
+OpSpec attention(int64_t seq, int64_t dim,
+                 DataType dtype = DataType::f32());
+
+/**
+ * The paper's GPU single-operator suite at representative shapes
+ * (fp16 in/accum as in §5.1). Names: C1D, C2D, C3D, DEP, DIL, GMM,
+ * GRP, T2D.
+ */
+std::vector<OpSpec> gpuSuite();
+
+/** Small-shape version of the suite for correctness tests. */
+std::vector<OpSpec> gpuSuiteSmall();
+
+/** The ARM CPU suite (§5.3): int8 C2D and GMM. */
+std::vector<OpSpec> armSuite();
+
+} // namespace workloads
+} // namespace tir
+
+#endif // TENSORIR_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Unit tests for the arithmetic layer: simplifier, interval analysis,
+ * symbolic region detection, and quasi-affine iterator-map validation.
+ */
+#include <gtest/gtest.h>
+
+#include "arith/analyzer.h"
+#include "arith/iter_map.h"
+#include "arith/region.h"
+#include "ir/printer.h"
+
+namespace tir {
+namespace arith {
+namespace {
+
+TEST(SimplifyTest, ConstantFolding)
+{
+    Analyzer an;
+    EXPECT_EQ(constIntOr(an.simplify(intImm(2) + intImm(3)), -1), 5);
+    EXPECT_EQ(constIntOr(an.simplify(intImm(7) * intImm(6)), -1), 42);
+    EXPECT_EQ(constIntOr(an.simplify(floordiv(intImm(-7), intImm(2))), 0),
+              -4);
+    EXPECT_EQ(constIntOr(an.simplify(floormod(intImm(-7), intImm(2))), -1),
+              1);
+}
+
+TEST(SimplifyTest, Identities)
+{
+    Analyzer an;
+    Var x = var("x");
+    EXPECT_EQ(an.simplify(Expr(x) + 0), Expr(x));
+    EXPECT_EQ(an.simplify(Expr(x) * 1), Expr(x));
+    EXPECT_EQ(constIntOr(an.simplify(Expr(x) * 0), -1), 0);
+    EXPECT_EQ(constIntOr(an.simplify(Expr(x) - x), -1), 0);
+    EXPECT_EQ(exprToString(an.simplify((Expr(x) + 2) + 3)), "(x + 5)");
+    EXPECT_EQ(exprToString(an.simplify((Expr(x) * 2) * 3)), "(x * 6)");
+}
+
+TEST(SimplifyTest, DivModOfAffineSums)
+{
+    Analyzer an;
+    Var a = var("a");
+    Var b = var("b");
+    an.bind(b, Range::fromExtent(8));
+    // floordiv(a*8 + b, 8) == a because 0 <= b < 8
+    Expr e = floordiv(Expr(a) * 8 + b, 8);
+    EXPECT_EQ(an.simplify(e), Expr(a));
+    // floormod(a*8 + b, 8) == b
+    EXPECT_EQ(an.simplify(floormod(Expr(a) * 8 + b, 8)), Expr(b));
+    // Partial divisibility: floordiv(a*16 + b, 8) = a*2 + floordiv(b, 8)
+    Expr partial = an.simplify(floordiv(Expr(a) * 16 + b, 8));
+    EXPECT_EQ(exprToString(partial), "(a * 2)"); // fd(b,8)==0 since b<8
+}
+
+TEST(SimplifyTest, NestedDivMod)
+{
+    Analyzer an;
+    Var x = var("x");
+    an.bind(x, Range::fromExtent(256));
+    EXPECT_EQ(exprToString(an.simplify(floordiv(floordiv(x, 4), 8))),
+              "floordiv(x, 32)");
+    EXPECT_EQ(exprToString(an.simplify(floormod(floormod(x, 16), 4))),
+              "floormod(x, 4)");
+}
+
+TEST(SimplifyTest, BoundBasedComparisons)
+{
+    Analyzer an;
+    Var x = var("x");
+    an.bind(x, Range::fromExtent(16));
+    EXPECT_EQ(constIntOr(an.simplify(lt(x, intImm(16))), -1), 1);
+    EXPECT_EQ(constIntOr(an.simplify(lt(x, intImm(10))), -1), -1);
+    EXPECT_EQ(constIntOr(an.simplify(ge(x, intImm(0))), -1), 1);
+    EXPECT_EQ(constIntOr(an.simplify(minExpr(x, intImm(20))), -1), -1);
+    EXPECT_EQ(an.simplify(minExpr(x, intImm(20))), Expr(x));
+}
+
+TEST(SimplifyTest, BooleanShortCircuits)
+{
+    Analyzer an;
+    Var x = var("x");
+    Expr t = intImm(1, DataType::boolean());
+    Expr f = intImm(0, DataType::boolean());
+    EXPECT_EQ(exprToString(an.simplify(land(t, lt(x, intImm(3))))),
+              exprToString(an.simplify(lt(x, intImm(3)))));
+    EXPECT_EQ(constIntOr(an.simplify(land(f, lt(x, intImm(3)))), -1), 0);
+    EXPECT_EQ(constIntOr(an.simplify(lor(t, lt(x, intImm(3)))), -1), 1);
+}
+
+TEST(IntervalTest, ArithmeticAndSaturation)
+{
+    Interval a(2, 5);
+    Interval b(-1, 3);
+    Interval sum = a + b;
+    EXPECT_EQ(sum.lo, 1);
+    EXPECT_EQ(sum.hi, 8);
+    Interval prod = a * b;
+    EXPECT_EQ(prod.lo, -5);
+    EXPECT_EQ(prod.hi, 15);
+    Interval top = Interval::everything();
+    EXPECT_FALSE((top + a).bounded());
+}
+
+TEST(IntervalTest, EvalOverEnvironment)
+{
+    Analyzer an;
+    Var i = var("i");
+    Var j = var("j");
+    an.bind(i, Range::fromExtent(8));
+    an.bind(j, Range::fromExtent(4));
+    Interval r = an.evalInterval(Expr(i) * 4 + j);
+    EXPECT_EQ(r.lo, 0);
+    EXPECT_EQ(r.hi, 31);
+    Interval m = an.evalInterval(floormod(Expr(i), intImm(3)));
+    EXPECT_EQ(m.lo, 0);
+    EXPECT_EQ(m.hi, 2);
+}
+
+TEST(RegionTest, DetectsLoopWidenedRegions)
+{
+    Buffer a = makeBuffer("A", {64, 64});
+    Buffer c = makeBuffer("C", {64});
+    Var i = var("i");
+    Var k = var("k");
+    // for k in 16: C[i] += A[i, k*4]
+    Stmt body = bufferStore(
+        c, bufferLoad(c, {Expr(i)}) + bufferLoad(a, {Expr(i),
+                                                     Expr(k) * 4}),
+        {Expr(i)});
+    Stmt loop = makeFor(k, intImm(0), intImm(16), body);
+    AccessRegions regions = detectRegions(loop, {});
+    ASSERT_EQ(regions.writes.size(), 1u);
+    EXPECT_EQ(regions.writes[0].buffer, c);
+    // A's second dim: k*4 over k in [0,16) -> [0, 61) extent 61.
+    const BufferRegion* a_region = nullptr;
+    for (const auto& r : regions.reads) {
+        if (r.buffer == a) a_region = &r;
+    }
+    ASSERT_NE(a_region, nullptr);
+    EXPECT_EQ(exprToString(a_region->region[0].min), "i");
+    EXPECT_EQ(constIntOr(a_region->region[0].extent, -1), 1);
+    EXPECT_EQ(constIntOr(a_region->region[1].min, -1), 0);
+    EXPECT_EQ(constIntOr(a_region->region[1].extent, -1), 61);
+}
+
+TEST(RegionTest, SummarizesNestedBlockBySignature)
+{
+    Buffer a = makeBuffer("A", {32, 32});
+    Buffer b = makeBuffer("B", {32, 32});
+    Var vi = var("vi");
+    // Block with signature read A[vi*4 : vi*4+4] over full second dim.
+    BlockPtr block = makeBlock(
+        "inner",
+        {IterVar(vi, Range::fromExtent(8), IterType::kSpatial)},
+        {BufferRegion(a, {Range(Expr(vi) * 4, intImm(4)),
+                          Range(intImm(0), intImm(32))})},
+        {BufferRegion(b, {Range(Expr(vi) * 4, intImm(4)),
+                          Range(intImm(0), intImm(32))})},
+        evaluate(call(DataType::handle(), "opaque", {})));
+    Var io = var("io");
+    Stmt realize = blockRealize({Expr(io)},
+                                intImm(1, DataType::boolean()), block);
+    Stmt loop = makeFor(io, intImm(0), intImm(8), realize);
+    AccessRegions regions = detectRegions(loop, {});
+    ASSERT_EQ(regions.reads.size(), 1u);
+    EXPECT_EQ(constIntOr(regions.reads[0].region[0].min, -1), 0);
+    EXPECT_EQ(constIntOr(regions.reads[0].region[0].extent, -1), 32);
+}
+
+TEST(RegionTest, CoverCheck)
+{
+    Analyzer an;
+    Buffer a = makeBuffer("A", {64});
+    Var i = var("i");
+    BufferRegion big(a, {Range(Expr(i) * 8, intImm(8))});
+    BufferRegion small(a, {Range(Expr(i) * 8 + 2, intImm(4))});
+    EXPECT_TRUE(regionCovers(big, small, an));
+    EXPECT_FALSE(regionCovers(small, big, an));
+    EXPECT_TRUE(regionCovers(big, big, an));
+}
+
+TEST(RegionTest, UnionHull)
+{
+    Analyzer an;
+    Buffer a = makeBuffer("A", {64});
+    BufferRegion r1(a, {Range(intImm(0), intImm(8))});
+    BufferRegion r2(a, {Range(intImm(16), intImm(8))});
+    BufferRegion u = regionUnion(r1, r2, an);
+    EXPECT_EQ(constIntOr(u.region[0].min, -1), 0);
+    EXPECT_EQ(constIntOr(u.region[0].extent, -1), 24);
+}
+
+// --- Iterator-map validation (the paper's §3.3 examples) ----------------
+
+class IterMapTest : public ::testing::Test
+{
+  protected:
+    DomMap
+    doms(std::initializer_list<std::pair<Var, int64_t>> entries)
+    {
+        DomMap result;
+        for (const auto& [v, extent] : entries) {
+            result[v.get()] = Range::fromExtent(extent);
+        }
+        return result;
+    }
+};
+
+TEST_F(IterMapTest, PlainVarIsAChain)
+{
+    Var i = var("i");
+    IterChain chain = parseIterChain(i, doms({{i, 16}}));
+    ASSERT_TRUE(chain.valid) << chain.error;
+    EXPECT_EQ(chain.extent, 16);
+    EXPECT_EQ(chain.base, 0);
+}
+
+TEST_F(IterMapTest, SplitPatternIsAChain)
+{
+    Var io = var("io");
+    Var ii = var("ii");
+    IterChain chain =
+        parseIterChain(Expr(io) * 4 + ii, doms({{io, 8}, {ii, 4}}));
+    ASSERT_TRUE(chain.valid) << chain.error;
+    EXPECT_EQ(chain.extent, 32);
+}
+
+TEST_F(IterMapTest, FusePatternIsAChain)
+{
+    Var f = var("f");
+    DomMap d = doms({{f, 64}});
+    IterChain hi = parseIterChain(floordiv(Expr(f), 8), d);
+    IterChain lo = parseIterChain(floormod(Expr(f), 8), d);
+    ASSERT_TRUE(hi.valid) << hi.error;
+    ASSERT_TRUE(lo.valid) << lo.error;
+    EXPECT_EQ(hi.extent, 8);
+    EXPECT_EQ(lo.extent, 8);
+}
+
+TEST_F(IterMapTest, ScaledVarIsNotAChain)
+{
+    // The paper's example: v2 = i*2 is invalid (lowest scale != 1).
+    Var i = var("i");
+    IterChain chain = parseIterChain(Expr(i) * 2, doms({{i, 16}}));
+    EXPECT_FALSE(chain.valid);
+}
+
+TEST_F(IterMapTest, MixedRadixChain)
+{
+    Var a = var("a");
+    Var b = var("b");
+    Var c = var("c");
+    // a*12 + b*4 + c with extents 2, 3, 4: proper mixed radix.
+    IterChain chain =
+        parseIterChain(Expr(a) * 12 + Expr(b) * 4 + c,
+                       doms({{a, 2}, {b, 3}, {c, 4}}));
+    ASSERT_TRUE(chain.valid) << chain.error;
+    EXPECT_EQ(chain.extent, 24);
+    // Wrong scale breaks the chain.
+    IterChain broken =
+        parseIterChain(Expr(a) * 10 + Expr(b) * 4 + c,
+                       doms({{a, 2}, {b, 3}, {c, 4}}));
+    EXPECT_FALSE(broken.valid);
+}
+
+TEST_F(IterMapTest, BlockBindingValidationAcceptsSplitFuse)
+{
+    // Paper example: v1 = i/4, v2 = i%4 is legal.
+    Var i = var("i");
+    Var v1 = var("v1");
+    Var v2 = var("v2");
+    Buffer buf = makeBuffer("B", {4, 4});
+    BlockPtr block = makeBlock(
+        "b",
+        {IterVar(v1, Range::fromExtent(4), IterType::kSpatial),
+         IterVar(v2, Range::fromExtent(4), IterType::kSpatial)},
+        {}, {BufferRegion(buf, {Range(Expr(v1), intImm(1)),
+                                Range(Expr(v2), intImm(1))})},
+        bufferStore(buf, floatImm(0), {Expr(v1), Expr(v2)}));
+    Stmt realize = blockRealize(
+        {floordiv(Expr(i), 4), floormod(Expr(i), 4)},
+        intImm(1, DataType::boolean()), block);
+    DomMap d;
+    d[i.get()] = Range::fromExtent(16);
+    BindingValidation result = validateBlockBindings(
+        static_cast<const BlockRealizeNode&>(*realize), d);
+    EXPECT_TRUE(result.affine) << result.error;
+}
+
+TEST_F(IterMapTest, BlockBindingValidationRejectsDependentIters)
+{
+    // Paper example: v1 = i, v2 = i*2 is invalid (not independent).
+    Var i = var("i");
+    Var v1 = var("v1");
+    Var v2 = var("v2");
+    Buffer buf = makeBuffer("B", {16, 32});
+    BlockPtr block = makeBlock(
+        "b",
+        {IterVar(v1, Range::fromExtent(16), IterType::kSpatial),
+         IterVar(v2, Range::fromExtent(32), IterType::kSpatial)},
+        {}, {BufferRegion(buf, {Range(Expr(v1), intImm(1)),
+                                Range(Expr(v2), intImm(1))})},
+        bufferStore(buf, floatImm(0), {Expr(v1), Expr(v2)}));
+    Stmt realize = blockRealize({Expr(i), Expr(i) * 2},
+                                intImm(1, DataType::boolean()), block);
+    DomMap d;
+    d[i.get()] = Range::fromExtent(16);
+    BindingValidation result = validateBlockBindings(
+        static_cast<const BlockRealizeNode&>(*realize), d);
+    EXPECT_FALSE(result.affine);
+}
+
+TEST_F(IterMapTest, SharedAtomsAreRejected)
+{
+    Var i = var("i");
+    Var v1 = var("v1");
+    Var v2 = var("v2");
+    Buffer buf = makeBuffer("B", {16, 16});
+    BlockPtr block = makeBlock(
+        "b",
+        {IterVar(v1, Range::fromExtent(16), IterType::kSpatial),
+         IterVar(v2, Range::fromExtent(16), IterType::kSpatial)},
+        {}, {BufferRegion(buf, {Range(Expr(v1), intImm(1)),
+                                Range(Expr(v2), intImm(1))})},
+        bufferStore(buf, floatImm(0), {Expr(v1), Expr(v2)}));
+    // v1 = i, v2 = i: same atom used twice.
+    Stmt realize = blockRealize({Expr(i), Expr(i)},
+                                intImm(1, DataType::boolean()), block);
+    DomMap d;
+    d[i.get()] = Range::fromExtent(16);
+    BindingValidation result = validateBlockBindings(
+        static_cast<const BlockRealizeNode&>(*realize), d);
+    EXPECT_FALSE(result.affine);
+}
+
+TEST_F(IterMapTest, OverApproximationNeedsPredicate)
+{
+    // Binding covers 20 > domain 17: requires a guard conjunct.
+    Var io = var("io");
+    Var ii = var("ii");
+    Var v = var("v");
+    Buffer buf = makeBuffer("B", {17});
+    Expr binding = Expr(io) * 4 + ii;
+    BlockPtr block = makeBlock(
+        "b", {IterVar(v, Range::fromExtent(17), IterType::kSpatial)}, {},
+        {BufferRegion(buf, {Range(Expr(v), intImm(1))})},
+        bufferStore(buf, floatImm(0), {Expr(v)}));
+    DomMap d;
+    d[io.get()] = Range::fromExtent(5);
+    d[ii.get()] = Range::fromExtent(4);
+
+    Stmt unguarded = blockRealize({binding},
+                                  intImm(1, DataType::boolean()), block);
+    EXPECT_FALSE(validateBlockBindings(
+                     static_cast<const BlockRealizeNode&>(*unguarded), d)
+                     .affine);
+
+    arith::Analyzer an;
+    an.bind(io, Range::fromExtent(5));
+    an.bind(ii, Range::fromExtent(4));
+    Expr guard = an.simplify(lt(an.simplify(binding), intImm(17)));
+    Stmt guarded = blockRealize({binding}, guard, block);
+    BindingValidation result = validateBlockBindings(
+        static_cast<const BlockRealizeNode&>(*guarded), d);
+    EXPECT_TRUE(result.affine) << result.error;
+}
+
+TEST(ConjunctionTest, Splits)
+{
+    Var x = var("x");
+    Expr a = lt(x, intImm(3));
+    Expr b = ge(x, intImm(0));
+    auto parts = splitConjunction(land(a, b));
+    EXPECT_EQ(parts.size(), 2u);
+    EXPECT_TRUE(splitConjunction(intImm(1, DataType::boolean())).empty());
+}
+
+} // namespace
+} // namespace arith
+} // namespace tir

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Additional arithmetic-layer edge cases: stride (gcd) analysis behind
+ * modular intervals, chain-aware division rules, symbolic floormod
+ * windows in region analysis, and simplifier regressions found during
+ * development.
+ */
+#include <gtest/gtest.h>
+
+#include "arith/analyzer.h"
+#include "arith/region.h"
+#include "ir/printer.h"
+
+namespace tir {
+namespace arith {
+namespace {
+
+TEST(StrideTest, GcdOfAffineCoefficients)
+{
+    Analyzer an;
+    Var x = var("x");
+    Var y = var("y");
+    EXPECT_EQ(an.stride(Expr(x) * 16, 512), 16);
+    EXPECT_EQ(an.stride(Expr(x) * 12 + Expr(y) * 8, 32), 4);
+    EXPECT_EQ(an.stride(Expr(x) * 16 + 8, 32), 8);
+    EXPECT_EQ(an.stride(Expr(x), 32), 1);
+    EXPECT_EQ(an.stride(Expr(x) * 32, 32), 32);
+}
+
+TEST(StrideTest, TightensModularIntervals)
+{
+    Analyzer an;
+    Var x = var("x");
+    an.bind(x, Range::fromExtent(1000));
+    // floormod(x*16, 512) takes values {0, 16, ..., 496}.
+    Interval m = an.evalInterval(floormod(Expr(x) * 16, 512));
+    EXPECT_EQ(m.lo, 0);
+    EXPECT_EQ(m.hi, 496);
+    // Plain x reaches 511.
+    Interval plain = an.evalInterval(floormod(Expr(x), 512));
+    EXPECT_EQ(plain.hi, 511);
+}
+
+TEST(RegionWindowTest, AlignedModWindowStaysTight)
+{
+    // index = floormod(f*16 + v, 512) with v in [0,16): the window is
+    // [floormod(f*16, 512), +16), one 16-wide slice — not 512 wide.
+    Var f = var("f");
+    Var v = var("v");
+    RangeEnv env;
+    env[v.get()] = Range::fromExtent(16);
+    Analyzer an;
+    an.bind(v, Range::fromExtent(16));
+    SymBound bound = evalSymBound(floormod(Expr(f) * 16 + v, 512), env,
+                                  an);
+    ASSERT_TRUE(bound.lo);
+    Expr width = an.simplify(bound.hi - bound.lo);
+    EXPECT_EQ(constIntOr(width, -1), 15);
+}
+
+TEST(RegionWindowTest, MisalignedModWindowWidens)
+{
+    // With stride 1 the window can wrap: conservative full period.
+    Var f = var("f");
+    Var v = var("v");
+    RangeEnv env;
+    env[v.get()] = Range::fromExtent(16);
+    Analyzer an;
+    an.bind(v, Range::fromExtent(16));
+    SymBound bound = evalSymBound(floormod(Expr(f) * 3 + v, 512), env,
+                                  an);
+    ASSERT_TRUE(bound.lo);
+    EXPECT_EQ(constIntOr(bound.lo, -1), 0);
+    EXPECT_EQ(constIntOr(bound.hi, -1), 511);
+}
+
+TEST(SimplifyExtraTest, QuotientExtractionOnlyWhenFullyResolved)
+{
+    // floordiv(a*512 + b*2 + c, 16) must stay intact: extracting a*32
+    // would orphan the unresolved (b*2 + c) remainder and break the
+    // binding validator's chain grammar.
+    Analyzer an;
+    Var a = var("a");
+    Var b = var("b");
+    Var c = var("c");
+    an.bind(a, Range::fromExtent(5));
+    an.bind(b, Range::fromExtent(256));
+    an.bind(c, Range::fromExtent(2));
+    Expr e = floordiv(Expr(c) + Expr(b) * 2 + Expr(a) * 512, 16);
+    Expr simplified = an.simplify(e);
+    EXPECT_EQ(simplified->kind, ExprKind::kFloorDiv);
+    // But a fully resolvable remainder still extracts.
+    Expr resolvable = floordiv(Expr(a) * 16 + c, 16);
+    EXPECT_EQ(exprToString(an.simplify(resolvable)), "a");
+}
+
+TEST(SimplifyExtraTest, PointDomainVariablesFold)
+{
+    Analyzer an;
+    Var unit = var("unit");
+    an.bind(unit, Range::fromExtent(1));
+    Var x = var("x");
+    Expr e = an.simplify(Expr(x) * 4 + unit);
+    EXPECT_EQ(exprToString(e), "(x * 4)");
+}
+
+TEST(SimplifyExtraTest, ChainRuleRespectsQuotientGuard)
+{
+    Analyzer an;
+    Var f0 = var("f0");
+    Var f1 = var("f1");
+    an.bind(f0, Range::fromExtent(16));
+    an.bind(f1, Range::fromExtent(4));
+    // floordiv(f0*4 + f1, 8): chain rule gives floordiv(f0, 2).
+    EXPECT_EQ(exprToString(an.simplify(floordiv(Expr(f0) * 4 + f1, 8))),
+              "floordiv(f0, 2)");
+    // floormod counterpart: floormod(f0, 2)*4 + f1.
+    Expr m = an.simplify(floormod(Expr(f0) * 4 + f1, 8));
+    EXPECT_EQ(exprToString(m), "((floormod(f0, 2) * 4) + f1)");
+}
+
+TEST(SimplifyExtraTest, ComparisonFoldingWithBounds)
+{
+    Analyzer an;
+    Var x = var("x");
+    an.bind(x, Range::fromExtent(8));
+    EXPECT_EQ(constIntOr(an.simplify(le(Expr(x) * 2, intImm(14))), -1),
+              1);
+    EXPECT_EQ(constIntOr(an.simplify(gt(Expr(x), intImm(7))), -1), 0);
+    EXPECT_EQ(constIntOr(an.simplify(ne(Expr(x) + 10, intImm(5))), -1),
+              1);
+}
+
+TEST(SimplifyExtraTest, MinMaxWithBounds)
+{
+    Analyzer an;
+    Var x = var("x");
+    an.bind(x, Range::fromExtent(8));
+    EXPECT_EQ(an.simplify(minExpr(Expr(x), intImm(100))), Expr(x));
+    EXPECT_EQ(constIntOr(an.simplify(maxExpr(Expr(x), intImm(100))), -1),
+              100);
+    // Unresolvable min stays.
+    Expr kept = an.simplify(minExpr(Expr(x), intImm(4)));
+    EXPECT_EQ(kept->kind, ExprKind::kMin);
+}
+
+TEST(SimplifyExtraTest, TermMergingAndCancellation)
+{
+    Analyzer an;
+    Var x = var("x");
+    Var y = var("y");
+    EXPECT_EQ(exprToString(an.simplify(Expr(x) + x)), "(x * 2)");
+    EXPECT_EQ(constIntOr(an.simplify((Expr(x) + y) - (Expr(y) + x)), -1),
+              0);
+    EXPECT_EQ(exprToString(an.simplify(Expr(x) * 3 - x)), "(x * 2)");
+}
+
+TEST(RegionClampTest, SelectBoundsStayInBuffer)
+{
+    // A padding-style guarded load: region detection must produce a
+    // region (possibly conservative) and never crash.
+    Buffer a = makeBuffer("A", {8});
+    Buffer b = makeBuffer("B", {10});
+    Var v = var("v");
+    Expr guarded = select(lt(v, intImm(8)), bufferLoad(a, {Expr(v)}),
+                          floatImm(0.0));
+    Stmt store = bufferStore(b, guarded, {Expr(v)});
+    Stmt loop = makeFor(v, intImm(0), intImm(10), store);
+    AccessRegions regions = detectRegions(loop, {});
+    ASSERT_EQ(regions.writes.size(), 1u);
+    EXPECT_EQ(constIntOr(regions.writes[0].region[0].extent, -1), 10);
+}
+
+} // namespace
+} // namespace arith
+} // namespace tir

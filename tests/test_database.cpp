@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Structural hashing and tuning-database tests, including the §5.2
+ * record-caching behaviour: a database hit replays a stored schedule
+ * with one measurement instead of a search.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ir/structural_hash.h"
+#include "meta/database.h"
+#include "meta/search.h"
+#include "workloads/workloads.h"
+
+#include "test_util.h"
+
+namespace tir {
+namespace {
+
+TEST(StructuralHashTest, AlphaEquivalentProgramsHashEqual)
+{
+    // Two structurally identical matmuls built separately (different
+    // variable/buffer objects) must hash identically.
+    PrimFunc a = testutil::matmul(16, 16, 16);
+    PrimFunc b = testutil::matmul(16, 16, 16);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(structuralHash(a), structuralHash(b));
+}
+
+TEST(StructuralHashTest, DifferentShapesHashDifferently)
+{
+    EXPECT_NE(structuralHash(testutil::matmul(16, 16, 16)),
+              structuralHash(testutil::matmul(16, 16, 32)));
+}
+
+TEST(StructuralHashTest, DifferentDtypesHashDifferently)
+{
+    EXPECT_NE(
+        structuralHash(testutil::matmul(8, 8, 8, DataType::f32())),
+        structuralHash(testutil::matmul(8, 8, 8, DataType::f16())));
+}
+
+TEST(StructuralHashTest, SchedulingChangesTheHash)
+{
+    PrimFunc func = testutil::matmul(16, 16, 16);
+    Schedule sch(func);
+    std::vector<Var> loops = sch.getLoops("C");
+    sch.split(loops[0], {4, 4});
+    EXPECT_NE(structuralHash(func), structuralHash(sch.func()));
+}
+
+TEST(StructuralHashTest, ExprHashing)
+{
+    Var x = var("x");
+    Var y = var("y");
+    EXPECT_EQ(structuralHash(Expr(x) + 1), structuralHash(Expr(y) + 1));
+    EXPECT_NE(structuralHash(Expr(x) + 1), structuralHash(Expr(x) + 2));
+    EXPECT_NE(structuralHash(Expr(x) + 1), structuralHash(Expr(x) * 1));
+}
+
+TEST(DatabaseTest, CommitAndLookup)
+{
+    meta::TuningDatabase db;
+    PrimFunc func = testutil::matmul(32, 32, 32);
+    EXPECT_FALSE(db.lookup(func).has_value());
+
+    meta::TuneRecord record;
+    record.workload_hash = structuralHash(func);
+    record.workload_name = "matmul";
+    record.latency_us = 12.5;
+    record.sketch = "tensor";
+    db.commit(record);
+    ASSERT_TRUE(db.lookup(func).has_value());
+    EXPECT_DOUBLE_EQ(db.lookup(func)->latency_us, 12.5);
+}
+
+TEST(DatabaseTest, CommitKeepsBest)
+{
+    meta::TuningDatabase db;
+    meta::TuneRecord record;
+    record.workload_hash = 42;
+    record.latency_us = 10;
+    db.commit(record);
+    record.latency_us = 20; // worse: ignored
+    db.commit(record);
+    EXPECT_DOUBLE_EQ(db.lookup(42)->latency_us, 10);
+    record.latency_us = 5; // better: replaces
+    db.commit(record);
+    EXPECT_DOUBLE_EQ(db.lookup(42)->latency_us, 5);
+}
+
+TEST(DatabaseTest, SerializeRoundTrips)
+{
+    meta::TuningDatabase db;
+    meta::TuneRecord record;
+    record.workload_hash = 1234567;
+    record.workload_name = "gmm";
+    record.latency_us = 3.25;
+    record.sketch = "tensor";
+    Decision tile;
+    tile.kind = Decision::Kind::kPerfectTile;
+    tile.extent = 64;
+    tile.number = 3;
+    tile.max_innermost = 8;
+    tile.values = {4, 4, 4};
+    Decision cat;
+    cat.kind = Decision::Kind::kCategorical;
+    cat.num_candidates = 4;
+    cat.values = {2};
+    record.decisions = {tile, cat};
+    db.commit(record);
+
+    meta::TuningDatabase restored =
+        meta::TuningDatabase::deserialize(db.serialize());
+    ASSERT_EQ(restored.size(), 1u);
+    auto got = restored.lookup(1234567);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->workload_name, "gmm");
+    EXPECT_DOUBLE_EQ(got->latency_us, 3.25);
+    ASSERT_EQ(got->decisions.size(), 2u);
+    EXPECT_EQ(got->decisions[0].values, (std::vector<int64_t>{4, 4, 4}));
+    EXPECT_EQ(got->decisions[1].kind, Decision::Kind::kCategorical);
+}
+
+TEST(DatabaseTest, RejectsMalformedText)
+{
+    EXPECT_THROW(meta::TuningDatabase::deserialize("garbage here"),
+                 FatalError);
+    EXPECT_THROW(
+        meta::TuningDatabase::deserialize("record 1 2.0 tensor x\n"),
+        FatalError); // unterminated
+}
+
+TEST(DatabaseTest, SaveAndLoadFile)
+{
+    meta::TuningDatabase db;
+    meta::TuneRecord record;
+    record.workload_hash = 99;
+    record.latency_us = 7;
+    db.commit(record);
+    std::string path = ::testing::TempDir() + "/tensorir_db_test.txt";
+    db.save(path);
+    meta::TuningDatabase loaded = meta::TuningDatabase::load(path);
+    EXPECT_EQ(loaded.size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, AutoTuneReplaysRecords)
+{
+    // First tune populates the database; the second call replays with a
+    // single measurement and reproduces the same latency.
+    workloads::OpSpec op = workloads::gmm(256, 256, 256);
+    hwsim::GpuDevice gpu;
+    meta::TuningDatabase db;
+    meta::TuneTask task{op.func, "C", "gpu", {"wmma_16x16x16_f16"}};
+    meta::TuneOptions options;
+    options.population = 4;
+    options.generations = 2;
+
+    meta::TuneResult first = meta::autoTune(
+        task, gpu, options, meta::TunerStyle::kTensorIR, &db);
+    EXPECT_FALSE(first.from_database);
+    EXPECT_EQ(db.size(), 1u);
+
+    meta::TuneResult second = meta::autoTune(
+        task, gpu, options, meta::TunerStyle::kTensorIR, &db);
+    EXPECT_TRUE(second.from_database);
+    EXPECT_EQ(second.trials_measured, 1);
+    EXPECT_NEAR(second.best_latency_us, first.best_latency_us, 1e-9);
+    // Replay is drastically cheaper than searching.
+    EXPECT_LT(second.tuning_cost_us, first.tuning_cost_us / 10);
+}
+
+TEST(DatabaseTest, ReplayedScheduleIsNumericallyCorrect)
+{
+    workloads::OpSpec op = workloads::gmm(
+        32, 32, 32, DataType::f16(), DataType::f16());
+    hwsim::GpuDevice gpu;
+    meta::TuningDatabase db;
+    meta::TuneTask task{op.func, "C", "gpu", {"wmma_16x16x16_f16"}};
+    meta::TuneOptions options;
+    options.population = 3;
+    options.generations = 1;
+    meta::autoTune(task, gpu, options, meta::TunerStyle::kTensorIR,
+                   &db);
+    // Round-trip the database through text, then replay from it.
+    meta::TuningDatabase restored =
+        meta::TuningDatabase::deserialize(db.serialize());
+    meta::TuneResult replayed = meta::autoTune(
+        task, gpu, options, meta::TunerStyle::kTensorIR, &restored);
+    ASSERT_TRUE(replayed.from_database);
+    testutil::expectSameResults(replayed.best_func, op.func, 1, 1e-6);
+}
+
+} // namespace
+} // namespace tir

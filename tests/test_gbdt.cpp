@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Cost-model tests: the gradient-boosted tree ensemble must fit simple
+ * functions, generalize to nearby points, outperform the constant-mean
+ * predictor, and behave deterministically.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "meta/gbdt.h"
+#include "support/rng.h"
+
+namespace tir {
+namespace meta {
+namespace {
+
+TEST(GbdtTest, UntrainedPredictsZero)
+{
+    Gbdt model;
+    EXPECT_FALSE(model.trained());
+    EXPECT_DOUBLE_EQ(model.predict({1, 2, 3}), 0.0);
+}
+
+TEST(GbdtTest, TooFewSamplesStaysUntrained)
+{
+    Gbdt model;
+    model.fit({{1}, {2}}, {1, 2});
+    EXPECT_FALSE(model.trained());
+}
+
+TEST(GbdtTest, FitsStepFunction)
+{
+    std::vector<FeatureVec> x;
+    std::vector<double> y;
+    for (int i = 0; i < 40; ++i) {
+        double v = i / 40.0;
+        x.push_back({v});
+        y.push_back(v < 0.5 ? 1.0 : 5.0);
+    }
+    Gbdt model;
+    model.fit(x, y);
+    ASSERT_TRUE(model.trained());
+    EXPECT_NEAR(model.predict({0.2}), 1.0, 0.2);
+    EXPECT_NEAR(model.predict({0.8}), 5.0, 0.2);
+}
+
+TEST(GbdtTest, FitsLinearFunctionBetterThanMean)
+{
+    Rng rng(5);
+    std::vector<FeatureVec> x;
+    std::vector<double> y;
+    double mean = 0;
+    for (int i = 0; i < 100; ++i) {
+        double a = rng.randDouble();
+        double b = rng.randDouble();
+        x.push_back({a, b});
+        y.push_back(3 * a - 2 * b);
+        mean += y.back();
+    }
+    mean /= 100;
+    Gbdt model;
+    model.fit(x, y);
+    double model_err = 0;
+    double mean_err = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        model_err += std::pow(model.predict(x[i]) - y[i], 2);
+        mean_err += std::pow(mean - y[i], 2);
+    }
+    EXPECT_LT(model_err, mean_err * 0.25);
+}
+
+TEST(GbdtTest, IgnoresIrrelevantFeatures)
+{
+    Rng rng(9);
+    std::vector<FeatureVec> x;
+    std::vector<double> y;
+    for (int i = 0; i < 80; ++i) {
+        double signal = rng.randDouble();
+        double noise = rng.randDouble();
+        x.push_back({noise, signal});
+        y.push_back(signal > 0.5 ? 10.0 : 0.0);
+    }
+    Gbdt model;
+    model.fit(x, y);
+    // Prediction should track the signal feature, not the noise one.
+    EXPECT_GT(model.predict({0.1, 0.9}), 5.0);
+    EXPECT_LT(model.predict({0.9, 0.1}), 5.0);
+}
+
+TEST(GbdtTest, RankingIsUseful)
+{
+    // The search only needs ranking: lower-latency programs must be
+    // predicted lower.
+    Rng rng(11);
+    std::vector<FeatureVec> x;
+    std::vector<double> y;
+    for (int i = 0; i < 60; ++i) {
+        double f = rng.randDouble() * 10;
+        x.push_back({f, f * f});
+        y.push_back(f * 2 + 1);
+    }
+    Gbdt model;
+    model.fit(x, y);
+    int correct = 0;
+    int total = 0;
+    for (double a = 0.5; a < 9.5; a += 1.0) {
+        for (double b = a + 1; b < 10; b += 1.0) {
+            ++total;
+            if (model.predict({a, a * a}) < model.predict({b, b * b})) {
+                ++correct;
+            }
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.85);
+}
+
+TEST(GbdtTest, DeterministicFits)
+{
+    std::vector<FeatureVec> x;
+    std::vector<double> y;
+    for (int i = 0; i < 30; ++i) {
+        x.push_back({static_cast<double>(i % 7),
+                     static_cast<double>(i % 3)});
+        y.push_back(i % 5);
+    }
+    Gbdt a;
+    Gbdt b;
+    a.fit(x, y);
+    b.fit(x, y);
+    for (const FeatureVec& f : x) {
+        EXPECT_DOUBLE_EQ(a.predict(f), b.predict(f));
+    }
+}
+
+TEST(GbdtTest, RefitReplacesModel)
+{
+    std::vector<FeatureVec> x;
+    std::vector<double> y_low;
+    std::vector<double> y_high;
+    for (int i = 0; i < 20; ++i) {
+        x.push_back({static_cast<double>(i)});
+        y_low.push_back(1.0);
+        y_high.push_back(100.0);
+    }
+    Gbdt model;
+    model.fit(x, y_low);
+    EXPECT_NEAR(model.predict({5}), 1.0, 0.5);
+    model.fit(x, y_high);
+    EXPECT_NEAR(model.predict({5}), 100.0, 5.0);
+}
+
+/** Parameterized: depth/trees sweeps stay stable and trainable. */
+class GbdtParamTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(GbdtParamTest, TrainsAcrossHyperparameters)
+{
+    auto [trees, depth] = GetParam();
+    GbdtParams params;
+    params.num_trees = trees;
+    params.max_depth = depth;
+    Gbdt model(params);
+    std::vector<FeatureVec> x;
+    std::vector<double> y;
+    for (int i = 0; i < 50; ++i) {
+        x.push_back({i * 0.1});
+        y.push_back(i * 0.1 < 2.5 ? 0.0 : 1.0);
+    }
+    model.fit(x, y);
+    ASSERT_TRUE(model.trained());
+    EXPECT_LT(model.predict({0.5}), model.predict({4.5}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hyper, GbdtParamTest,
+    ::testing::Values(std::make_pair(5, 1), std::make_pair(20, 2),
+                      std::make_pair(50, 3), std::make_pair(100, 4)));
+
+} // namespace
+} // namespace meta
+} // namespace tir

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Graph/model-zoo and baseline-library tests: model structure sanity,
+ * library support matrices, roofline monotonicity, and the end-to-end
+ * executor with a tiny tuning budget.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/executor.h"
+
+namespace tir {
+namespace {
+
+TEST(ModelZooTest, GpuModelsAreWellFormed)
+{
+    for (const graph::ModelSpec& model :
+         {graph::resnet50Gpu(), graph::mobilenetV2Gpu(),
+          graph::bertLargeGpu(), graph::vitGpu()}) {
+        EXPECT_FALSE(model.name.empty());
+        EXPECT_GT(model.layers.size(), 3u);
+        EXPECT_GT(model.totalMacs(), 1e8) << model.name;
+        for (const graph::Layer& layer : model.layers) {
+            EXPECT_GT(layer.count, 0);
+            EXPECT_GT(layer.op.macs, 0);
+        }
+    }
+}
+
+TEST(ModelZooTest, ArmModelsAreQuantized)
+{
+    for (const graph::ModelSpec& model :
+         {graph::resnet50Arm(), graph::mobilenetV2Arm(),
+          graph::bertBaseArm()}) {
+        for (const graph::Layer& layer : model.layers) {
+            EXPECT_EQ(layer.op.func->params[0]->dtype, DataType::i8())
+                << model.name;
+        }
+    }
+}
+
+TEST(ModelZooTest, OnlyVitIsTensorRtUnsupported)
+{
+    EXPECT_FALSE(graph::resnet50Gpu().tensorrt_unsupported);
+    EXPECT_FALSE(graph::bertLargeGpu().tensorrt_unsupported);
+    EXPECT_TRUE(graph::vitGpu().tensorrt_unsupported);
+}
+
+TEST(ModelZooTest, BertIsGemmDominated)
+{
+    graph::ModelSpec bert = graph::bertLargeGpu();
+    double gemm_macs = 0;
+    for (const graph::Layer& layer : bert.layers) {
+        if (layer.op.name == "GMM" || layer.op.name == "BMM") {
+            gemm_macs += layer.op.macs * layer.count;
+        }
+    }
+    EXPECT_GT(gemm_macs / bert.totalMacs(), 0.99);
+}
+
+TEST(LibraryTest, CutlassLacksIrregularOps)
+{
+    hwsim::GpuDevice gpu;
+    for (const workloads::OpSpec& op : workloads::gpuSuite()) {
+        auto latency = baselines::libraryLatencyUs(
+            baselines::Library::kCutlass, op, gpu);
+        bool unsupported = op.name == "DEP" || op.name == "GRP" ||
+                           op.name == "T2D";
+        EXPECT_EQ(latency.has_value(), !unsupported) << op.name;
+    }
+}
+
+TEST(LibraryTest, TensorRtCoversTheWholeSuite)
+{
+    hwsim::GpuDevice gpu;
+    for (const workloads::OpSpec& op : workloads::gpuSuite()) {
+        EXPECT_TRUE(baselines::libraryLatencyUs(
+                        baselines::Library::kTensorRT, op, gpu)
+                        .has_value())
+            << op.name;
+    }
+}
+
+TEST(LibraryTest, RooflineMonotonicInMacs)
+{
+    hwsim::GpuDevice gpu;
+    workloads::OpSpec small = workloads::gmm(512, 512, 512);
+    workloads::OpSpec big = workloads::gmm(2048, 2048, 2048);
+    auto lat_small = baselines::libraryLatencyUs(
+        baselines::Library::kCutlass, small, gpu);
+    auto lat_big = baselines::libraryLatencyUs(
+        baselines::Library::kCutlass, big, gpu);
+    ASSERT_TRUE(lat_small && lat_big);
+    EXPECT_GT(*lat_big, *lat_small);
+}
+
+TEST(LibraryTest, PyTorchPaysMoreOverheadThanTensorRT)
+{
+    hwsim::GpuDevice gpu;
+    workloads::OpSpec tiny = workloads::gmm(64, 64, 64);
+    auto trt = baselines::libraryLatencyUs(
+        baselines::Library::kTensorRT, tiny, gpu);
+    auto torch = baselines::libraryLatencyUs(
+        baselines::Library::kPyTorchCuda, tiny, gpu);
+    ASSERT_TRUE(trt && torch);
+    EXPECT_GT(*torch, *trt);
+}
+
+TEST(LibraryTest, QnnpackSlowerThanAclOnInt8)
+{
+    hwsim::CpuDevice cpu;
+    workloads::OpSpec op = workloads::armSuite()[1]; // GMM int8
+    auto acl = baselines::libraryLatencyUsCpu(
+        baselines::Library::kArmComputeLib, op, cpu);
+    auto qnnpack = baselines::libraryLatencyUsCpu(
+        baselines::Library::kPyTorchQnnpack, op, cpu);
+    ASSERT_TRUE(acl && qnnpack);
+    // The sdot-less backend is several times slower (the §5.3 point).
+    EXPECT_GT(*qnnpack, *acl * 3);
+}
+
+TEST(LibraryTest, NamesRoundTrip)
+{
+    EXPECT_EQ(baselines::libraryName(baselines::Library::kCutlass),
+              "CUTLASS");
+    EXPECT_EQ(baselines::libraryName(baselines::Library::kTensorRT),
+              "TensorRT");
+    EXPECT_EQ(
+        baselines::libraryName(baselines::Library::kArmComputeLib),
+        "ArmComputeLib");
+}
+
+TEST(ExecutorTest, LibraryPersonaSumsLayers)
+{
+    hwsim::GpuDevice gpu;
+    hwsim::CpuDevice cpu;
+    graph::ModelSpec model = graph::bertLargeGpu();
+    graph::ModelResult result = graph::runModelLibrary(
+        model, baselines::Library::kTensorRT, gpu, cpu, true, 0);
+    ASSERT_TRUE(result.supported);
+    // At least one layer's latency times its count.
+    EXPECT_GT(result.latency_us, 100);
+}
+
+TEST(ExecutorTest, TensorRtRejectsVit)
+{
+    hwsim::GpuDevice gpu;
+    hwsim::CpuDevice cpu;
+    graph::ModelResult result = graph::runModelLibrary(
+        graph::vitGpu(), baselines::Library::kTensorRT, gpu, cpu, true,
+        0);
+    EXPECT_FALSE(result.supported);
+}
+
+TEST(ExecutorTest, FrameworkOverheadAdds)
+{
+    hwsim::GpuDevice gpu;
+    hwsim::CpuDevice cpu;
+    graph::ModelSpec model = graph::mobilenetV2Gpu();
+    graph::ModelResult no_overhead = graph::runModelLibrary(
+        model, baselines::Library::kPyTorchCuda, gpu, cpu, true, 0);
+    graph::ModelResult with_overhead = graph::runModelLibrary(
+        model, baselines::Library::kPyTorchCuda, gpu, cpu, true, 12);
+    EXPECT_NEAR(with_overhead.latency_us - no_overhead.latency_us,
+                model.framework_extra_ops * 12.0, 1e-6);
+}
+
+TEST(ExecutorTest, TunedModelRunsWithTinyBudget)
+{
+    hwsim::GpuDevice gpu;
+    // A miniature model so this stays fast.
+    graph::ModelSpec model;
+    model.name = "tiny";
+    model.layers = {{workloads::gmm(128, 128, 128), 2},
+                    {workloads::conv2d(1, 8, 8, 16, 16, 3, 1, 1), 1}};
+    meta::TuneOptions options;
+    options.population = 3;
+    options.generations = 1;
+    options.children_per_generation = 4;
+    options.measured_per_generation = 2;
+    graph::ModelResult result = graph::runModelTuned(
+        model, gpu, "gpu", {"wmma_16x16x16_f16"},
+        meta::TunerStyle::kTensorIR, options);
+    EXPECT_TRUE(std::isfinite(result.latency_us));
+    EXPECT_GT(result.latency_us, 0);
+    EXPECT_GT(result.tuning_minutes, 0);
+    EXPECT_EQ(result.system, "TensorIR");
+}
+
+} // namespace
+} // namespace tir

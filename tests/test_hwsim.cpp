@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Hardware-model tests: static event extraction (trip counts, per-scope
+ * traffic, launches, cooperative fetches, layout-free blocks, shared
+ * footprints) and device estimates (constraints plus the monotonicity
+ * properties the search relies on).
+ */
+#include <gtest/gtest.h>
+
+#include "hwsim/device.h"
+#include "intrin/tensor_intrin.h"
+#include "te/te.h"
+#include "tir/schedule.h"
+
+#include "test_util.h"
+
+namespace tir {
+namespace {
+
+using hwsim::CpuDevice;
+using hwsim::GpuDevice;
+using hwsim::ProgramStats;
+using hwsim::extractStats;
+
+TEST(StatsTest, CountsScalarOpsAndTraffic)
+{
+    PrimFunc func = testutil::matmul(8, 8, 8);
+    ProgramStats stats = extractStats(func);
+    // 8*8*8 = 512 block instances; each does add + mul = 2 ops.
+    EXPECT_DOUBLE_EQ(stats.scalar_ops, 1024);
+    // Reads: A, B and the C self-read; 4 bytes each (f32).
+    EXPECT_DOUBLE_EQ(stats.bytes_read.at("global"), 3 * 512 * 4);
+    // Writes: the update store plus 64 init stores.
+    EXPECT_DOUBLE_EQ(stats.bytes_written.at("global"),
+                     512 * 4 + 64 * 4);
+    EXPECT_EQ(stats.launches, 0);
+    EXPECT_FALSE(stats.uses_gpu_threads);
+}
+
+TEST(StatsTest, LoopKindsTracked)
+{
+    Buffer a = makeBuffer("A", {64});
+    Var i = var("i");
+    Var v = var("v");
+    BlockPtr block = makeBlock(
+        "w", {IterVar(v, Range::fromExtent(64), IterType::kSpatial)}, {},
+        {BufferRegion(a, {Range(Expr(v), intImm(1))})},
+        bufferStore(a, floatImm(1), {Expr(v)}));
+    Stmt realize = blockRealize({Expr(i)},
+                                intImm(1, DataType::boolean()), block);
+    Stmt loop = makeFor(i, intImm(0), intImm(64), realize,
+                        ForKind::kVectorized);
+    PrimFunc func = makeFunc("f", {a}, makeRootBlock(loop));
+    ProgramStats stats = extractStats(func);
+    EXPECT_DOUBLE_EQ(stats.vector_bytes, 64 * 4);
+}
+
+TEST(StatsTest, ParallelExtentTracked)
+{
+    Buffer a = makeBuffer("A", {64});
+    Var i = var("i");
+    Var v = var("v");
+    BlockPtr block = makeBlock(
+        "w", {IterVar(v, Range::fromExtent(64), IterType::kSpatial)}, {},
+        {BufferRegion(a, {Range(Expr(v), intImm(1))})},
+        bufferStore(a, floatImm(1), {Expr(v)}));
+    Stmt realize = blockRealize({Expr(i)},
+                                intImm(1, DataType::boolean()), block);
+    Stmt loop = makeFor(i, intImm(0), intImm(64), realize,
+                        ForKind::kParallel);
+    PrimFunc func = makeFunc("f", {a}, makeRootBlock(loop));
+    ProgramStats stats = extractStats(func);
+    EXPECT_DOUBLE_EQ(stats.parallel_extent, 64);
+}
+
+TEST(StatsTest, ThreadBindingsPerLaunch)
+{
+    // Two sequential launches: block sizes must not multiply together.
+    Buffer a = makeBuffer("A", {128});
+    auto make_kernel = [&](const std::string& name, int64_t threads) {
+        Var tx = var("tx_" + name);
+        Var v = var("v_" + name);
+        BlockPtr block = makeBlock(
+            name,
+            {IterVar(v, Range::fromExtent(threads),
+                     IterType::kSpatial)},
+            {}, {BufferRegion(a, {Range(Expr(v), intImm(1))})},
+            bufferStore(a, floatImm(0), {Expr(v)}));
+        Stmt realize = blockRealize({Expr(tx)},
+                                    intImm(1, DataType::boolean()),
+                                    block);
+        return makeFor(tx, intImm(0), intImm(threads), realize,
+                       ForKind::kThreadBinding, "threadIdx.x");
+    };
+    Stmt body = seq({make_kernel("k1", 128), make_kernel("k2", 64)});
+    PrimFunc func = makeFunc("f", {a}, makeRootBlock(body));
+    ProgramStats stats = extractStats(func);
+    EXPECT_EQ(stats.launches, 2);
+    EXPECT_EQ(stats.block_threads, 128); // max, not product
+    EXPECT_TRUE(stats.uses_gpu_threads);
+}
+
+TEST(StatsTest, CooperativeFetchDividesTraffic)
+{
+    Buffer src = makeBuffer("S", {256});
+    Buffer dst = makeBuffer("D", {256}, DataType::f32(), "shared");
+    Var i = var("i");
+    Var v = var("v");
+    BlockPtr block = makeBlock(
+        "copy", {IterVar(v, Range::fromExtent(256), IterType::kSpatial)},
+        {BufferRegion(src, {Range(Expr(v), intImm(1))})},
+        {BufferRegion(dst, {Range(Expr(v), intImm(1))})},
+        bufferStore(dst, bufferLoad(src, {Expr(v)}), {Expr(v)}),
+        nullptr, {}, {{"cooperative_fetch", intImm(32)}});
+    Stmt realize = blockRealize({Expr(i)},
+                                intImm(1, DataType::boolean()), block);
+    Stmt loop = makeFor(i, intImm(0), intImm(256), realize);
+    PrimFunc func = makeFunc("f", {src, dst}, makeRootBlock(loop));
+    ProgramStats stats = extractStats(func);
+    // 256 iterations / 32 threads = 8 per-thread copies.
+    EXPECT_DOUBLE_EQ(stats.bytes_read.at("global"), 8 * 4);
+    EXPECT_DOUBLE_EQ(stats.bytes_written.at("shared"), 8 * 4);
+}
+
+TEST(StatsTest, LayoutFreeBlocksCostNothing)
+{
+    Buffer src = makeBuffer("S", {64});
+    Buffer dst = makeBuffer("D", {64});
+    Var i = var("i");
+    Var v = var("v");
+    BlockPtr block = makeBlock(
+        "reshape",
+        {IterVar(v, Range::fromExtent(64), IterType::kSpatial)},
+        {BufferRegion(src, {Range(Expr(v), intImm(1))})},
+        {BufferRegion(dst, {Range(Expr(v), intImm(1))})},
+        bufferStore(dst, bufferLoad(src, {Expr(v)}), {Expr(v)}),
+        nullptr, {}, {{"layout_free", intImm(1)}});
+    Stmt realize = blockRealize({Expr(i)},
+                                intImm(1, DataType::boolean()), block);
+    Stmt loop = makeFor(i, intImm(0), intImm(64), realize);
+    PrimFunc func = makeFunc("f", {src, dst}, makeRootBlock(loop));
+    ProgramStats stats = extractStats(func);
+    EXPECT_EQ(stats.bytes_read.count("global"), 0u);
+    EXPECT_DOUBLE_EQ(stats.scalar_ops, 0);
+}
+
+TEST(StatsTest, TensorIntrinCountsMacs)
+{
+    registerBuiltinIntrinsics();
+    PrimFunc original = testutil::matmul(64, 64, 64);
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    std::vector<Var> i_split = sch.split(loops[0], {-1, 4});
+    std::vector<Var> j_split = sch.split(loops[1], {-1, 4});
+    std::vector<Var> k_split = sch.split(loops[2], {-1, 4});
+    sch.reorder({i_split[0], j_split[0], k_split[0], i_split[1],
+                 j_split[1], k_split[1]});
+    sch.decomposeReduction("C", k_split[0]);
+    std::string outer = sch.blockize(i_split[1]);
+    sch.tensorize(outer, "accel_dot_4x4x4");
+    ProgramStats stats = extractStats(sch.func());
+    // 16^3 invocations x 64 MACs each = full 64^3.
+    EXPECT_DOUBLE_EQ(stats.intrin_macs.at("dot4"), 64.0 * 64 * 64);
+    EXPECT_DOUBLE_EQ(stats.intrin_calls.at("dot4"), 16.0 * 16 * 16);
+}
+
+TEST(GpuDeviceTest, RejectsOversizedThreadBlocks)
+{
+    GpuDevice gpu;
+    ProgramStats stats;
+    stats.uses_gpu_threads = true;
+    stats.block_threads = 2048;
+    hwsim::RunEstimate estimate = gpu.estimate(stats);
+    EXPECT_FALSE(estimate.valid());
+    EXPECT_NE(estimate.violation.find("thread"), std::string::npos);
+}
+
+TEST(GpuDeviceTest, RejectsOversizedSharedMemory)
+{
+    GpuDevice gpu;
+    ProgramStats stats;
+    stats.uses_gpu_threads = true;
+    stats.block_threads = 128;
+    stats.shared_alloc_bytes = 1 << 20;
+    EXPECT_FALSE(gpu.estimate(stats).valid());
+}
+
+TEST(GpuDeviceTest, MoreTrafficCostsMore)
+{
+    GpuDevice gpu;
+    ProgramStats base;
+    base.uses_gpu_threads = true;
+    base.grid_blocks = 1024;
+    base.block_threads = 256;
+    base.launches = 1;
+    base.bytes_read["global"] = 1e8;
+    ProgramStats heavier = base;
+    heavier.bytes_read["global"] = 4e8;
+    EXPECT_GT(gpu.estimate(heavier).latency_us,
+              gpu.estimate(base).latency_us);
+}
+
+TEST(GpuDeviceTest, TensorCorePipeBeatsScalarPipe)
+{
+    GpuDevice gpu;
+    ProgramStats scalar;
+    scalar.uses_gpu_threads = true;
+    scalar.grid_blocks = 4096;
+    scalar.block_threads = 256;
+    scalar.launches = 1;
+    scalar.scalar_ops = 2e9;
+    ProgramStats tensor = scalar;
+    tensor.scalar_ops = 0;
+    tensor.intrin_macs["tensor_core"] = 1e9; // same MACs as 2e9 ops
+    EXPECT_LT(gpu.estimate(tensor).latency_us,
+              gpu.estimate(scalar).latency_us);
+}
+
+TEST(GpuDeviceTest, LowOccupancyHurts)
+{
+    GpuDevice gpu;
+    ProgramStats wide;
+    wide.uses_gpu_threads = true;
+    wide.grid_blocks = 2048;
+    wide.block_threads = 256;
+    wide.launches = 1;
+    wide.scalar_ops = 1e9;
+    ProgramStats narrow = wide;
+    narrow.grid_blocks = 2;
+    EXPECT_GT(gpu.estimate(narrow).latency_us,
+              gpu.estimate(wide).latency_us);
+}
+
+TEST(GpuDeviceTest, VectorizedCopiesReachHigherBandwidth)
+{
+    GpuDevice gpu;
+    ProgramStats scalar;
+    scalar.uses_gpu_threads = true;
+    scalar.grid_blocks = 4096;
+    scalar.block_threads = 256;
+    scalar.launches = 1;
+    scalar.bytes_read["global"] = 5e8;
+    ProgramStats vectorized = scalar;
+    vectorized.vector_bytes = 5e8;
+    EXPECT_LT(gpu.estimate(vectorized).latency_us,
+              gpu.estimate(scalar).latency_us);
+}
+
+TEST(CpuDeviceTest, RejectsGpuPrograms)
+{
+    CpuDevice cpu;
+    ProgramStats stats;
+    stats.uses_gpu_threads = true;
+    EXPECT_FALSE(cpu.estimate(stats).valid());
+}
+
+TEST(CpuDeviceTest, ParallelismScales)
+{
+    CpuDevice cpu;
+    ProgramStats serial;
+    serial.scalar_ops = 1e9;
+    serial.parallel_extent = 1;
+    ProgramStats parallel = serial;
+    parallel.parallel_extent = 64;
+    EXPECT_GT(cpu.estimate(serial).latency_us,
+              4 * cpu.estimate(parallel).latency_us);
+}
+
+TEST(CpuDeviceTest, SdotPipeBeatsScalar)
+{
+    CpuDevice cpu;
+    ProgramStats scalar;
+    scalar.parallel_extent = 64;
+    scalar.scalar_ops = 2e9;
+    ProgramStats sdot;
+    sdot.parallel_extent = 64;
+    sdot.intrin_macs["sdot"] = 1e9;
+    EXPECT_LT(cpu.estimate(sdot).latency_us,
+              cpu.estimate(scalar).latency_us);
+}
+
+TEST(DeviceNameTest, Names)
+{
+    EXPECT_EQ(GpuDevice().name(), "sim-gpu-rtx3080");
+    EXPECT_EQ(CpuDevice().name(), "sim-cpu-graviton2");
+}
+
+/** Property: staging through shared memory reduces global traffic. */
+TEST(StatsPropertyTest, SharedStagingReducesGlobalTraffic)
+{
+    PrimFunc original = testutil::matmul(64, 64, 64);
+    hwsim::ProgramStats before = extractStats(original);
+
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    // Tile j so the staged A row tile is reused across the inner j loop.
+    std::vector<Var> split = sch.split(loops[1], {8, 8});
+    std::string copy = sch.cacheRead("C", 0, "shared");
+    sch.computeAt(copy, split[0]);
+    hwsim::ProgramStats after = extractStats(sch.func());
+    EXPECT_LT(after.bytes_read.at("global"),
+              before.bytes_read.at("global"));
+    EXPECT_GT(after.totalBytes("shared"), 0);
+}
+
+} // namespace
+} // namespace tir

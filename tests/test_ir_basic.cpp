@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the IR core: construction, printing, structural
+ * equality, substitution and collectors.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/printer.h"
+#include "ir/structural_equal.h"
+#include "ir/transform.h"
+
+namespace tir {
+namespace {
+
+TEST(DataTypeTest, RoundTripsThroughString)
+{
+    EXPECT_EQ(DataType::f32().str(), "float32");
+    EXPECT_EQ(DataType::i8().str(), "int8");
+    EXPECT_EQ(DataType::parse("float16"), DataType::f16());
+    EXPECT_EQ(DataType::parse("uint8"), DataType::u8());
+    EXPECT_EQ(DataType::parse("bool"), DataType::boolean());
+    EXPECT_EQ(DataType::f16().bytes(), 2);
+    EXPECT_EQ(DataType::i8().bytes(), 1);
+}
+
+TEST(DataTypeTest, RejectsGarbage)
+{
+    EXPECT_THROW(DataType::parse("floof32"), FatalError);
+}
+
+TEST(ExprTest, BuildsArithmetic)
+{
+    Var x = var("x");
+    Expr e = Expr(x) * 4 + 3;
+    EXPECT_EQ(e->kind, ExprKind::kAdd);
+    EXPECT_EQ(exprToString(e), "((x * 4) + 3)");
+}
+
+TEST(ExprTest, ComparisonsAreBoolean)
+{
+    Var x = var("x");
+    EXPECT_EQ(lt(x, intImm(5))->dtype, DataType::boolean());
+    EXPECT_EQ(land(lt(x, intImm(5)), ge(x, intImm(0)))->dtype,
+              DataType::boolean());
+}
+
+TEST(ExprTest, ConstIntDetection)
+{
+    int64_t v = 0;
+    EXPECT_TRUE(isConstInt(intImm(42), &v));
+    EXPECT_EQ(v, 42);
+    EXPECT_FALSE(isConstInt(var("x"), &v));
+    EXPECT_EQ(constIntOr(intImm(7), -1), 7);
+    EXPECT_EQ(constIntOr(var("x"), -1), -1);
+}
+
+TEST(BufferTest, ShapeQueries)
+{
+    Buffer a = makeBuffer("A", {4, 8}, DataType::f16(), "shared");
+    EXPECT_EQ(a->ndim(), 2u);
+    EXPECT_EQ(a->numel(), 32);
+    EXPECT_EQ(a->shapeInt(1), 8);
+    EXPECT_EQ(a->scope, "shared");
+}
+
+TEST(BufferTest, LoadArityChecked)
+{
+    Buffer a = makeBuffer("A", {4, 8});
+    EXPECT_THROW(bufferLoad(a, {intImm(0)}), InternalError);
+}
+
+TEST(StmtTest, SeqFlattensAndCollapses)
+{
+    Buffer a = makeBuffer("A", {4});
+    Stmt s1 = bufferStore(a, floatImm(1), {intImm(0)});
+    Stmt s2 = bufferStore(a, floatImm(2), {intImm(1)});
+    Stmt nested = seq({s1, seq({s2, s1})});
+    ASSERT_EQ(nested->kind, StmtKind::kSeq);
+    EXPECT_EQ(static_cast<const SeqStmtNode&>(*nested).seq.size(), 3u);
+    EXPECT_EQ(seq({s1}), s1);
+}
+
+TEST(StmtTest, BlockRealizeArityChecked)
+{
+    Buffer a = makeBuffer("A", {4});
+    Var v = var("v");
+    BlockPtr block =
+        makeBlock("b", {IterVar(v, Range::fromExtent(4),
+                                IterType::kSpatial)},
+                  {}, {}, bufferStore(a, floatImm(0), {Expr(v)}));
+    EXPECT_THROW(blockRealize({}, intImm(1, DataType::boolean()), block),
+                 InternalError);
+}
+
+TEST(StructuralEqualTest, AlphaEquivalentExprs)
+{
+    Var x = var("x");
+    Var y = var("y");
+    EXPECT_TRUE(structuralEqual(Expr(x) + 1, Expr(y) + 1));
+    EXPECT_FALSE(structuralEqual(Expr(x) + 1, Expr(y) + 2));
+    EXPECT_FALSE(structuralEqual(Expr(x) + 1, Expr(y) * 1));
+    // Same var must map consistently.
+    EXPECT_TRUE(structuralEqual(Expr(x) + x, Expr(y) + y));
+    Var z = var("z");
+    EXPECT_FALSE(structuralEqual(Expr(x) + x, Expr(y) + z));
+}
+
+TEST(StructuralEqualTest, DeepEqualIsStrictOnVars)
+{
+    Var x = var("x");
+    Var y = var("y");
+    EXPECT_TRUE(exprDeepEqual(Expr(x) + 1, Expr(x) + 1));
+    EXPECT_FALSE(exprDeepEqual(Expr(x) + 1, Expr(y) + 1));
+}
+
+TEST(SubstituteTest, ReplacesVariables)
+{
+    Var x = var("x");
+    Var y = var("y");
+    VarMap vmap;
+    vmap[x.get()] = Expr(y) * 2;
+    Expr result = substitute(Expr(x) + 1, vmap);
+    EXPECT_EQ(exprToString(result), "((y * 2) + 1)");
+}
+
+TEST(SubstituteTest, RemapsBuffers)
+{
+    Buffer a = makeBuffer("A", {4});
+    Buffer b = makeBuffer("B", {4});
+    BufferMap bmap;
+    bmap[a.get()] = b;
+    Stmt store = bufferStore(a, bufferLoad(a, {intImm(1)}), {intImm(0)});
+    Stmt result = substituteBuffers(store, bmap);
+    const auto& n = static_cast<const BufferStoreNode&>(*result);
+    EXPECT_EQ(n.buffer, b);
+    EXPECT_EQ(static_cast<const BufferLoadNode&>(*n.value).buffer, b);
+}
+
+TEST(CollectorTest, FindsVarsAndBlocks)
+{
+    Var x = var("x");
+    Var y = var("y");
+    Expr e = Expr(x) * 2 + y;
+    auto vars = collectVars(e);
+    EXPECT_EQ(vars.size(), 2u);
+    EXPECT_TRUE(usesVar(e, x.get()));
+    EXPECT_FALSE(usesVar(Expr(x) + 1, y.get()));
+}
+
+TEST(FreshCopyTest, GivesNewIdentities)
+{
+    Buffer a = makeBuffer("A", {4});
+    Var i = var("i");
+    Stmt loop = makeFor(i, intImm(0), intImm(4),
+                        bufferStore(a, cast(DataType::f32(), Expr(i)),
+                                    {Expr(i)}));
+    Stmt copy = copyWithFreshVars(loop, "_copy");
+    const auto& original = static_cast<const ForNode&>(*loop);
+    const auto& copied = static_cast<const ForNode&>(*copy);
+    EXPECT_NE(original.loop_var, copied.loop_var);
+    EXPECT_EQ(copied.loop_var->name, "i_copy");
+    // Body references the fresh var, not the old one.
+    const auto& store = static_cast<const BufferStoreNode&>(*copied.body);
+    EXPECT_TRUE(usesVar(store.indices[0], copied.loop_var.get()));
+    EXPECT_FALSE(usesVar(store.indices[0], original.loop_var.get()));
+}
+
+TEST(PrinterTest, PrintsLoopNestAndBlock)
+{
+    Buffer a = makeBuffer("A", {8});
+    Buffer b = makeBuffer("B", {8});
+    Var i = var("i");
+    Var vi = var("vi");
+    BlockPtr block = makeBlock(
+        "copy",
+        {IterVar(vi, Range::fromExtent(8), IterType::kSpatial)},
+        {BufferRegion(a, {Range(Expr(vi), intImm(1))})},
+        {BufferRegion(b, {Range(Expr(vi), intImm(1))})},
+        bufferStore(b, bufferLoad(a, {Expr(vi)}), {Expr(vi)}));
+    Stmt realize = blockRealize({Expr(i)},
+                                intImm(1, DataType::boolean()), block);
+    Stmt loop = makeFor(i, intImm(0), intImm(8), realize);
+    PrimFunc f = makeFunc("main", {a, b}, makeRootBlock(loop));
+    std::string text = funcToString(f);
+    EXPECT_NE(text.find("def main"), std::string::npos);
+    EXPECT_NE(text.find("for i in range(8):"), std::string::npos);
+    EXPECT_NE(text.find("with block(\"copy\"):"), std::string::npos);
+    EXPECT_NE(text.find("reads A[vi]"), std::string::npos);
+    EXPECT_NE(text.find("writes B[vi]"), std::string::npos);
+}
+
+TEST(IRModuleTest, LookupAndUpdate)
+{
+    Buffer a = makeBuffer("A", {4});
+    PrimFunc f = makeFunc("f", {a},
+                          makeRootBlock(bufferStore(a, floatImm(0),
+                                                    {intImm(0)})));
+    IRModule mod;
+    mod.update(f);
+    EXPECT_EQ(mod.lookup("f"), f);
+    EXPECT_THROW(mod.lookup("missing"), FatalError);
+}
+
+} // namespace
+} // namespace tir

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Deep tests of the fused pseudo-iterator machinery in the quasi-affine
+ * matcher: div/mod over complete chains, suffix-chain coordinate
+ * unification, leaf-in-chain independence, guard implication, and the
+ * relaxed interval-containment tier.
+ */
+#include <gtest/gtest.h>
+
+#include "arith/iter_map.h"
+#include "ir/printer.h"
+#include "tir/schedule.h"
+#include "tir/verify.h"
+
+#include "test_util.h"
+
+namespace tir {
+namespace arith {
+namespace {
+
+DomMap
+doms(std::initializer_list<std::pair<Var, int64_t>> entries)
+{
+    DomMap result;
+    for (const auto& [v, extent] : entries) {
+        result[v.get()] = Range::fromExtent(extent);
+    }
+    return result;
+}
+
+TEST(ChainTest, DivOfSumIsAPseudoAtomChain)
+{
+    // floordiv(f0*64 + f1, 16): the fused source has extent 256.
+    Var f0 = var("f0");
+    Var f1 = var("f1");
+    Expr binding = floordiv(Expr(f0) * 64 + f1, 16);
+    IterChain chain = parseIterChain(binding, doms({{f0, 4}, {f1, 64}}));
+    ASSERT_TRUE(chain.valid) << chain.error;
+    ASSERT_EQ(chain.terms.size(), 1u);
+    const IterAtom& atom = chain.terms[0].first;
+    EXPECT_EQ(atom.source, nullptr); // pseudo source
+    EXPECT_EQ(atom.source_extent, 256);
+    EXPECT_EQ(atom.div, 16);
+    EXPECT_EQ(atom.extent, 16);
+    EXPECT_EQ(atom.vars.size(), 2u);
+}
+
+TEST(ChainTest, ModThenDivComposeOnChains)
+{
+    Var f0 = var("f0");
+    Var f1 = var("f1");
+    // floormod(floordiv(chain, 4), 8)
+    Expr binding = floormod(floordiv(Expr(f0) * 32 + f1, 4), 8);
+    IterChain chain = parseIterChain(binding, doms({{f0, 8}, {f1, 32}}));
+    ASSERT_TRUE(chain.valid) << chain.error;
+    EXPECT_EQ(chain.extent, 8);
+}
+
+TEST(ChainTest, IncompleteChainRejected)
+{
+    // f0*64 + f1 with f1 extent 32 (gap between scale 64 and extent 32).
+    Var f0 = var("f0");
+    Var f1 = var("f1");
+    Expr binding = floordiv(Expr(f0) * 64 + f1, 16);
+    IterChain chain = parseIterChain(binding, doms({{f0, 4}, {f1, 32}}));
+    EXPECT_FALSE(chain.valid);
+}
+
+/** Helper to validate a block with the given bindings and domains. */
+BindingValidation
+validate(const std::vector<Expr>& bindings,
+         const std::vector<int64_t>& iter_extents, const DomMap& d,
+         Expr predicate = nullptr)
+{
+    std::vector<IterVar> iters;
+    std::vector<Range> region;
+    std::vector<Expr> indices;
+    for (size_t i = 0; i < iter_extents.size(); ++i) {
+        Var v = var("bv" + std::to_string(i));
+        iters.emplace_back(v, Range::fromExtent(iter_extents[i]),
+                           IterType::kSpatial);
+        region.emplace_back(Expr(v), intImm(1));
+        indices.push_back(v);
+    }
+    std::vector<int64_t> shape;
+    for (int64_t e : iter_extents) shape.push_back(e);
+    Buffer buf = makeBuffer("B", shape);
+    BlockPtr block = makeBlock("b", iters, {},
+                               {BufferRegion(buf, region)},
+                               bufferStore(buf, floatImm(0), indices));
+    Stmt realize = blockRealize(
+        bindings, predicate ? predicate : intImm(1, DataType::boolean()),
+        block);
+    return validateBlockBindings(
+        static_cast<const BlockRealizeNode&>(*realize), d);
+}
+
+TEST(ChainValidationTest, FuseThenSplitDigitsAreIndependent)
+{
+    // The Apad pattern: all four bindings are digits of one fused var
+    // split into (f0, f1); suffix chains must unify.
+    Var f0 = var("f0");
+    Var f1 = var("f1");
+    DomMap d = doms({{f0, 25}, {f1, 64}});
+    Expr fused = Expr(f0) * 64 + f1; // extent 1600 = 10*10*16
+    BindingValidation result =
+        validate({floordiv(fused, 160),
+                  floormod(floordiv(fused, 16), 10),
+                  floormod(fused, 16)},
+                 {10, 10, 16}, d);
+    EXPECT_TRUE(result.affine) << result.error;
+}
+
+TEST(ChainValidationTest, GuardImplicationOnImperfectSplit)
+{
+    // 5*512 = 2560 > 2304: the guard `fused < 2304` must imply the
+    // per-iterator guard floordiv(fused, 16) < 144.
+    Var f0 = var("f0");
+    Var f1 = var("f1");
+    DomMap d = doms({{f0, 5}, {f1, 512}});
+    Expr fused = Expr(f0) * 512 + f1;
+    Expr guard = lt(fused, intImm(2304));
+    BindingValidation with_guard = validate(
+        {floordiv(fused, 16), floormod(fused, 16)}, {144, 16}, d, guard);
+    EXPECT_TRUE(with_guard.affine) << with_guard.error;
+    BindingValidation without = validate(
+        {floordiv(fused, 16), floormod(fused, 16)}, {144, 16}, d);
+    EXPECT_FALSE(without.affine);
+}
+
+TEST(ChainValidationTest, OverlappingChainAtomsRejected)
+{
+    // Both iterators read overlapping ranges of the fused value.
+    Var f0 = var("f0");
+    Var f1 = var("f1");
+    DomMap d = doms({{f0, 4}, {f1, 64}});
+    Expr fused = Expr(f0) * 64 + f1;
+    BindingValidation result = validate(
+        {floordiv(fused, 16), floormod(fused, 32)}, {16, 32}, d);
+    EXPECT_FALSE(result.affine);
+}
+
+TEST(ChainValidationTest, SubsetBindingsAccepted)
+{
+    // A producer moved under a consumer tile instantiates a subset of
+    // its domain per outer iteration: the binding covers 32 of the 64
+    // domain values for each fixed outer context (region-cover
+    // validation owns completeness across iterations).
+    Var outer = var("outer");
+    Var local = var("local");
+    Var other = var("other");
+    DomMap d = doms({{outer, 8}, {local, 4}, {other, 4}});
+    BindingValidation result = validate(
+        {Expr(outer) * 4 + local, Expr(other)}, {64, 4}, d);
+    EXPECT_TRUE(result.affine) << result.error;
+}
+
+TEST(ChainValidationTest, RelaxedTierStillRejectsScaledSingleVar)
+{
+    Var i = var("i");
+    DomMap d = doms({{i, 16}});
+    BindingValidation result = validate({Expr(i) * 2}, {32}, d);
+    EXPECT_FALSE(result.affine);
+}
+
+TEST(ChainValidationTest, RelaxedTierAcceptsInBoundsMixes)
+{
+    // A base + digits binding outside the strict grammar but provably
+    // inside the domain.
+    Var a = var("a");
+    Var b = var("b");
+    DomMap d = doms({{a, 3}, {b, 5}});
+    // a*5 + b covers [0, 15) within a domain of 16: fine (region-cover
+    // validation owns completeness).
+    BindingValidation result = validate({Expr(a) * 5 + b}, {16}, d);
+    EXPECT_TRUE(result.affine) << result.error;
+}
+
+} // namespace
+} // namespace arith
+
+namespace {
+
+TEST(IrregularComputationTest, ScheduleInsideOpaqueOuterBlock)
+{
+    // §3.2: "a schedulable block can contain non-schedulable sub-blocks
+    // ... an opaque block can also contain a schedulable sub-block". We
+    // can keep transforming loops that live inside a nested block while
+    // the outer block is never inspected.
+    PrimFunc original = testutil::matmul(16, 16, 16);
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    sch.decomposeReduction("C", loops[2]);
+    std::string outer = sch.blockize(loops[2]);
+    // The blockized outer block isolates the tile; we can still split
+    // loops of the *inner* block without touching the outer signature.
+    BlockPtr outer_before = sch.getBlock(outer);
+    std::vector<Var> inner_loops = sch.getLoops("C");
+    sch.split(inner_loops.back(), {-1, 2});
+    BlockPtr outer_after = sch.getBlock(outer);
+    EXPECT_EQ(outer_before->iter_vars.size(),
+              outer_after->iter_vars.size());
+    sch.validateAffineBindings();
+    testutil::expectSameResults(sch.func(), original);
+}
+
+TEST(CooperativeVerifyTest, ClaimBeyondLaunchRejected)
+{
+    PrimFunc original = testutil::matmul(32, 32, 32);
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    sch.bind(loops[0], "blockIdx.x");
+    sch.bind(loops[1], "threadIdx.x");
+    std::string copy = sch.cacheRead("C", 0, "shared");
+    sch.computeAt(copy, loops[2]);
+    // Claiming more threads than the launch provides must fail.
+    sch.annotateBlock(copy, "cooperative_fetch",
+                      intImm(32 * 1024, DataType::i64()));
+    VerifyResult result = verifyThreadBindings(sch.func());
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("cooperative"), std::string::npos);
+    // A sane claim passes.
+    sch.annotateBlock(copy, "cooperative_fetch",
+                      intImm(32, DataType::i64()));
+    EXPECT_TRUE(verifyThreadBindings(sch.func()).ok);
+}
+
+} // namespace
+} // namespace tir

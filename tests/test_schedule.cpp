@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Schedule-primitive tests. Every transformation is checked two ways:
+ * structurally (the rewrite produced the expected shape) and numerically
+ * (the interpreter computes identical results before and after), plus the
+ * quasi-affine validator must accept every intermediate program.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/printer.h"
+#include "ir/transform.h"
+#include "tir/schedule.h"
+
+#include "test_util.h"
+
+namespace tir {
+namespace {
+
+using testutil::expectSameResults;
+using testutil::matmul;
+using testutil::matmulRelu;
+
+TEST(ScheduleQueryTest, GetLoopsAndBlocks)
+{
+    Schedule sch(matmul(16, 16, 16));
+    EXPECT_TRUE(sch.hasBlock("C"));
+    EXPECT_FALSE(sch.hasBlock("D"));
+    std::vector<Var> loops = sch.getLoops("C");
+    ASSERT_EQ(loops.size(), 3u);
+    EXPECT_EQ(sch.loopExtent(loops[0]), 16);
+    EXPECT_THROW(sch.getBlock("nope"), FatalError);
+}
+
+TEST(SplitTest, PerfectSplitPreservesSemantics)
+{
+    PrimFunc original = matmul(16, 16, 16);
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    std::vector<Var> split = sch.split(loops[0], {4, 4});
+    ASSERT_EQ(split.size(), 2u);
+    EXPECT_EQ(sch.getLoops("C").size(), 4u);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(SplitTest, InferredFactor)
+{
+    Schedule sch(matmul(24, 8, 8));
+    std::vector<Var> loops = sch.getLoops("C");
+    std::vector<Var> split = sch.split(loops[0], {-1, 6});
+    EXPECT_EQ(sch.loopExtent(split[0]), 4);
+    EXPECT_EQ(sch.loopExtent(split[1]), 6);
+    sch.validateAffineBindings();
+}
+
+TEST(SplitTest, ImperfectSplitAddsPredicate)
+{
+    PrimFunc original = matmul(10, 8, 8);
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    sch.split(loops[0], {3, 4}); // 12 > 10: needs a guard
+    std::string text = funcToString(sch.func());
+    EXPECT_NE(text.find("where"), std::string::npos);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(SplitTest, RejectsTooSmallFactors)
+{
+    Schedule sch(matmul(16, 16, 16));
+    std::vector<Var> loops = sch.getLoops("C");
+    EXPECT_THROW(sch.split(loops[0], {2, 4}), FatalError);
+}
+
+TEST(FuseTest, FusePreservesSemantics)
+{
+    PrimFunc original = matmul(8, 12, 16);
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    Var fused = sch.fuse({loops[0], loops[1]});
+    EXPECT_EQ(sch.loopExtent(fused), 96);
+    EXPECT_EQ(sch.getLoops("C").size(), 2u);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(FuseTest, FuseThenSplitRoundTrip)
+{
+    PrimFunc original = matmul(8, 8, 8);
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    Var fused = sch.fuse({loops[0], loops[1]});
+    sch.split(fused, {16, 4});
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(FuseTest, RejectsNonAdjacentLoops)
+{
+    Schedule sch(matmul(8, 8, 8));
+    std::vector<Var> loops = sch.getLoops("C");
+    EXPECT_THROW(sch.fuse({loops[0], loops[2]}), FatalError);
+}
+
+TEST(ReorderTest, ReorderPreservesSemantics)
+{
+    PrimFunc original = matmul(8, 10, 12);
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    sch.reorder({loops[2], loops[0]});
+    std::vector<Var> after = sch.getLoops("C");
+    EXPECT_EQ(after[0], loops[2]);
+    EXPECT_EQ(after[2], loops[0]);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(ReorderTest, TiledGemmLoopStructure)
+{
+    // Classic 2-level tiling: i/j split + reorder into io jo ii ji k.
+    PrimFunc original = matmul(32, 32, 32);
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    std::vector<Var> i_split = sch.split(loops[0], {8, 4});
+    std::vector<Var> j_split = sch.split(loops[1], {8, 4});
+    sch.reorder({i_split[0], j_split[0], i_split[1], j_split[1]});
+    std::vector<Var> after = sch.getLoops("C");
+    ASSERT_EQ(after.size(), 5u);
+    EXPECT_EQ(after[0], i_split[0]);
+    EXPECT_EQ(after[1], j_split[0]);
+    EXPECT_EQ(after[2], i_split[1]);
+    EXPECT_EQ(after[3], j_split[1]);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(BindTest, ThreadBindingAndAnnotations)
+{
+    Schedule sch(matmul(16, 16, 16));
+    std::vector<Var> loops = sch.getLoops("C");
+    sch.bind(loops[0], "blockIdx.x");
+    sch.bind(loops[1], "threadIdx.x");
+    sch.unroll(loops[2]);
+    std::string text = funcToString(sch.func());
+    EXPECT_NE(text.find("thread_binding(\"blockIdx.x\""),
+              std::string::npos);
+    EXPECT_NE(text.find("unrolled("), std::string::npos);
+    expectSameResults(sch.func(), matmul(16, 16, 16));
+}
+
+TEST(ComputeAtTest, MovesProducerIntoConsumerTile)
+{
+    // Figure 6's example: producer C moved under consumer D's tile loop.
+    PrimFunc original = matmulRelu(32, 32, 8);
+    Schedule sch(original);
+    std::vector<Var> d_loops = sch.getLoops("D");
+    std::vector<Var> i_split = sch.split(d_loops[0], {8, 4});
+    sch.computeAt("C", i_split[0]);
+    // C's loops are now nested under D's outer loop.
+    std::vector<Var> c_loops = sch.getLoops("C");
+    EXPECT_EQ(c_loops[0], i_split[0]);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(ReverseComputeAtTest, MovesEpilogueIntoProducerTile)
+{
+    PrimFunc original = matmulRelu(32, 32, 8);
+    Schedule sch(original);
+    std::vector<Var> c_loops = sch.getLoops("C");
+    std::vector<Var> i_split = sch.split(c_loops[0], {4, 8});
+    sch.reverseComputeAt("D", i_split[0]);
+    std::vector<Var> d_loops = sch.getLoops("D");
+    EXPECT_EQ(d_loops[0], i_split[0]);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(ComputeInlineTest, InlinesElementwiseProducer)
+{
+    // B = A + 1; C = exp(B): inline B into C.
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {16, 16});
+    Buffer b = builder.compute(
+        "B", {16, 16},
+        [&](const std::vector<Var>& v) {
+            return bufferLoad(a, {v[0], v[1]}) + floatImm(1.0);
+        });
+    Buffer c = builder.compute(
+        "C", {16, 16},
+        [&](const std::vector<Var>& v) {
+            return call(DataType::f32(), "exp",
+                        {bufferLoad(b, {v[0], v[1]})});
+        });
+    PrimFunc original = builder.build("fuse_add_exp", {c});
+
+    Schedule sch(original);
+    sch.computeInline("B");
+    EXPECT_FALSE(sch.hasBlock("B"));
+    // The B buffer is no longer allocated.
+    const BlockNode* root = asBlockRealize(sch.func()->body);
+    EXPECT_TRUE(root->alloc_buffers.empty());
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(ComputeInlineTest, RefusesReductionBlocks)
+{
+    Schedule sch(matmul(8, 8, 8));
+    EXPECT_THROW(sch.computeInline("C"), FatalError);
+}
+
+TEST(ReverseComputeInlineTest, InlinesEpilogueIntoProducer)
+{
+    PrimFunc original = matmulRelu(16, 16, 8);
+    Schedule sch(original);
+    // C is a reduction; decompose first is not needed because D is
+    // inlined into nothing reductive... D reads C; C is a reduction, so
+    // reverse inline must refuse.
+    EXPECT_THROW(sch.reverseComputeInline("D"), FatalError);
+
+    // Elementwise chain: B = A * 2; D = relu(B). Reverse-inline D into B.
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {16});
+    Buffer b = builder.compute(
+        "B", {16},
+        [&](const std::vector<Var>& v) {
+            return bufferLoad(a, {v[0]}) * floatImm(2.0);
+        });
+    Buffer d = builder.compute(
+        "D", {16},
+        [&](const std::vector<Var>& v) {
+            return maxExpr(bufferLoad(b, {v[0]}), floatImm(0.0));
+        });
+    PrimFunc chain = builder.build("scale_relu", {d});
+    Schedule chain_sch(chain);
+    chain_sch.reverseComputeInline("D");
+    EXPECT_FALSE(chain_sch.hasBlock("D"));
+    EXPECT_TRUE(chain_sch.hasBlock("B"));
+    chain_sch.validateAffineBindings();
+    expectSameResults(chain_sch.func(), chain);
+}
+
+TEST(CacheReadTest, StagesInputThroughScope)
+{
+    PrimFunc original = matmul(16, 16, 16);
+    Schedule sch(original);
+    std::string copy = sch.cacheRead("C", 0, "shared");
+    EXPECT_TRUE(sch.hasBlock(copy));
+    std::string text = funcToString(sch.func());
+    EXPECT_NE(text.find("scope=\"shared\""), std::string::npos);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(CacheWriteTest, StagesOutputThroughScope)
+{
+    PrimFunc original = matmul(16, 16, 16);
+    Schedule sch(original);
+    std::string copy = sch.cacheWrite("C", "local");
+    EXPECT_TRUE(sch.hasBlock(copy));
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(CacheReadTest, CacheThenComputeAtShrinksCopy)
+{
+    PrimFunc original = matmul(32, 32, 32);
+    Schedule sch(original);
+    std::string copy = sch.cacheRead("C", 0, "shared");
+    std::vector<Var> loops = sch.getLoops("C");
+    std::vector<Var> split = sch.split(loops[0], {8, 4});
+    sch.computeAt(copy, split[0]);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(DecomposeReductionTest, SplitsInitFromUpdate)
+{
+    PrimFunc original = matmul(16, 16, 16);
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    std::string init = sch.decomposeReduction("C", loops[2]);
+    EXPECT_TRUE(sch.hasBlock(init));
+    BlockPtr update = sch.getBlock("C");
+    EXPECT_EQ(update->init, nullptr);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(DecomposeReductionTest, InitHoistsAboveReductionLoop)
+{
+    PrimFunc original = matmul(16, 16, 16);
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    // Decompose above the middle loop: init iterates i only at that
+    // position, and j inside.
+    std::string init = sch.decomposeReduction("C", loops[1]);
+    std::vector<Var> init_loops = sch.getLoops(init);
+    ASSERT_EQ(init_loops.size(), 2u);
+    EXPECT_EQ(init_loops[0], loops[0]);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(SamplingTest, PerfectTileMultipliesToExtent)
+{
+    Schedule sch(matmul(64, 64, 64), /*seed=*/7);
+    std::vector<Var> loops = sch.getLoops("C");
+    for (int trial = 0; trial < 8; ++trial) {
+        Schedule fresh(matmul(64, 64, 64), /*seed=*/100 + trial);
+        std::vector<Var> ls = fresh.getLoops("C");
+        std::vector<int64_t> tile = fresh.samplePerfectTile(ls[0], 4, 16);
+        int64_t product = 1;
+        for (int64_t f : tile) product *= f;
+        EXPECT_EQ(product, 64);
+        EXPECT_LE(tile.back(), 16);
+    }
+}
+
+TEST(SamplingTest, DecisionReplayIsDeterministic)
+{
+    auto run = [](std::vector<Decision> overrides) {
+        Schedule sch(matmul(64, 64, 64), 9);
+        sch.setDecisionOverrides(std::move(overrides));
+        std::vector<Var> loops = sch.getLoops("C");
+        std::vector<int64_t> t0 = sch.samplePerfectTile(loops[0], 3);
+        std::vector<int64_t> t1 = sch.samplePerfectTile(loops[1], 3);
+        int64_t c = sch.sampleCategorical({1, 2, 4}, {});
+        return std::make_tuple(t0, t1, c, sch.decisions());
+    };
+    auto [t0, t1, c, decisions] = run({});
+    auto [r0, r1, rc, rdec] = run(decisions);
+    EXPECT_EQ(t0, r0);
+    EXPECT_EQ(t1, r1);
+    EXPECT_EQ(c, rc);
+}
+
+} // namespace
+} // namespace tir
+
+namespace tir {
+namespace {
+
+TEST(MergeReductionTest, RoundTripsWithDecompose)
+{
+    PrimFunc original = testutil::matmul(16, 16, 16);
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    std::string init = sch.decomposeReduction("C", loops[2]);
+    ASSERT_TRUE(sch.hasBlock(init));
+    sch.mergeReduction(init, "C");
+    EXPECT_FALSE(sch.hasBlock(init));
+    BlockPtr merged = sch.getBlock("C");
+    EXPECT_NE(merged->init, nullptr);
+    sch.validateAffineBindings();
+    testutil::expectSameResults(sch.func(), original);
+}
+
+TEST(MergeReductionTest, RejectsBlocksWithExistingInit)
+{
+    PrimFunc original = testutil::matmulRelu(16, 16, 8);
+    Schedule sch(original);
+    // D is spatial; merging it into the (init-carrying) C must fail.
+    EXPECT_THROW(sch.mergeReduction("D", "C"), FatalError);
+}
+
+TEST(MergeReductionTest, RejectsMismatchedBuffers)
+{
+    // The init block of one reduction cannot merge into another block.
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {8, 8});
+    Buffer c = builder.sumReduce(
+        "C", {8}, {8},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return bufferLoad(a, {s[0], r[0]});
+        });
+    Buffer d = builder.sumReduce(
+        "D", {8}, {8},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return bufferLoad(a, {r[0], s[0]});
+        });
+    PrimFunc func = builder.build("two_sums", {c, d});
+    Schedule sch(func);
+    std::vector<Var> c_loops = sch.getLoops("C");
+    std::string c_init = sch.decomposeReduction("C", c_loops[1]);
+    EXPECT_THROW(sch.mergeReduction(c_init, "D"), FatalError);
+}
+
+} // namespace
+} // namespace tir

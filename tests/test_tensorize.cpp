@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Blockize + tensorize tests: the Figure 8 pipeline done manually. A
+ * 64x64x64 matmul is tiled to the intrinsic shape, blockized, and
+ * tensorized with the synthetic 4x4x4 dot-product accelerator; the
+ * rewritten program must compute identical results. Also checks the
+ * §4.1/§3.3 validation failures (dtype and storage-scope constraints).
+ */
+#include <gtest/gtest.h>
+
+#include "intrin/tensor_intrin.h"
+#include "ir/printer.h"
+#include "ir/transform.h"
+#include "tir/schedule.h"
+
+#include "test_util.h"
+
+namespace tir {
+namespace {
+
+using testutil::expectSameResults;
+using testutil::matmul;
+
+/** Tile a 3-nest matmul to (4,4,4) and blockize the inner tile. */
+std::string
+tileAndBlockize(Schedule& sch, int64_t tile = 4)
+{
+    std::vector<Var> loops = sch.getLoops("C");
+    std::vector<Var> i_split = sch.split(loops[0], {-1, tile});
+    std::vector<Var> j_split = sch.split(loops[1], {-1, tile});
+    std::vector<Var> k_split = sch.split(loops[2], {-1, tile});
+    sch.reorder({i_split[0], j_split[0], k_split[0], i_split[1],
+                 j_split[1], k_split[1]});
+    sch.decomposeReduction("C", k_split[0]);
+    return sch.blockize(i_split[1]);
+}
+
+TEST(BlockizeTest, CreatesOuterBlockWithTileSignature)
+{
+    Schedule sch(matmul(64, 64, 64));
+    std::string outer = tileAndBlockize(sch);
+    EXPECT_EQ(outer, "C_o");
+    BlockPtr outer_block = sch.getBlock(outer);
+    ASSERT_EQ(outer_block->iter_vars.size(), 3u);
+    EXPECT_EQ(constIntOr(outer_block->iter_vars[0].dom.extent, -1), 16);
+    EXPECT_EQ(outer_block->iter_vars[2].type, IterType::kReduce);
+    // The outer block reads 4x4 tiles of C (update self-read), A and B.
+    ASSERT_EQ(outer_block->reads.size(), 3u);
+    for (const BufferRegion& br : outer_block->reads) {
+        EXPECT_EQ(constIntOr(br.region[0].extent, -1), 4);
+        EXPECT_EQ(constIntOr(br.region[1].extent, -1), 4);
+    }
+    sch.validateAffineBindings();
+}
+
+TEST(BlockizeTest, PreservesSemantics)
+{
+    PrimFunc original = matmul(64, 64, 64);
+    Schedule sch(original);
+    tileAndBlockize(sch);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(BlockizeTest, RejectsUnitializedReduction)
+{
+    Schedule sch(matmul(16, 16, 16));
+    std::vector<Var> loops = sch.getLoops("C");
+    // Without decompose_reduction first, blockize must refuse.
+    EXPECT_THROW(sch.blockize(loops[0]), FatalError);
+}
+
+TEST(BlockizeTest, RejectsNonDivisibleTiles)
+{
+    Schedule sch(matmul(20, 20, 20));
+    std::vector<Var> loops = sch.getLoops("C");
+    std::vector<Var> i_split = sch.split(loops[0], {-1, 3}); // 21 > 20
+    std::vector<Var> j_split = sch.split(loops[1], {4, 5});
+    sch.reorder({i_split[0], j_split[0], i_split[1], j_split[1]});
+    std::vector<Var> k = sch.getLoops("C");
+    sch.decomposeReduction("C", k.back());
+    EXPECT_THROW(sch.blockize(i_split[1]), FatalError);
+}
+
+TEST(TensorizeTest, MatmulWithSyntheticAccel)
+{
+    registerBuiltinIntrinsics();
+    PrimFunc original = matmul(64, 64, 64);
+    Schedule sch(original);
+    std::string outer = tileAndBlockize(sch);
+    sch.tensorize(outer, "accel_dot_4x4x4");
+
+    // The outer block body is now the opaque intrinsic call.
+    std::string text = funcToString(sch.func());
+    EXPECT_NE(text.find("accel.tile_mma_4x4x4"), std::string::npos);
+    EXPECT_NE(text.find("tensor_intrin"), std::string::npos);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(TensorizeTest, NonSquareWorkload)
+{
+    registerBuiltinIntrinsics();
+    PrimFunc original = matmul(32, 16, 64);
+    Schedule sch(original);
+    std::string outer = tileAndBlockize(sch);
+    sch.tensorize(outer, "accel_dot_4x4x4");
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original);
+}
+
+TEST(TensorizeTest, RejectsWrongDtype)
+{
+    registerBuiltinIntrinsics();
+    // f32 workload cannot use the f16 Tensor Core intrinsic.
+    Schedule sch(matmul(64, 64, 64));
+    std::string outer = tileAndBlockize(sch, 16);
+    EXPECT_THROW(sch.tensorize(outer, "wmma_16x16x16_f16"), FatalError);
+}
+
+TEST(TensorizeTest, RejectsWrongScope)
+{
+    registerBuiltinIntrinsics();
+    // f16 workload in global memory: the wmma intrinsic requires
+    // wmma.matrix_a/b/accumulator scopes, so the match must fail with a
+    // scope diagnostic.
+    Schedule sch(matmul(64, 64, 64, DataType::f16()));
+    std::string outer = tileAndBlockize(sch, 16);
+    try {
+        sch.tensorize(outer, "wmma_16x16x16_f16");
+        FAIL() << "expected scope mismatch";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("scope"), std::string::npos);
+    }
+}
+
+TEST(TensorizeTest, RejectsWrongTileShape)
+{
+    registerBuiltinIntrinsics();
+    Schedule sch(matmul(64, 64, 64));
+    std::string outer = tileAndBlockize(sch, 8); // 8x8x8 tile vs 4x4x4
+    EXPECT_THROW(sch.tensorize(outer, "accel_dot_4x4x4"), FatalError);
+}
+
+TEST(TensorizeTest, WmmaWithStagedScopes)
+{
+    registerBuiltinIntrinsics();
+    // Full Tensor-Core style pipeline: stage A and B into wmma register
+    // scopes, stage the C tile into the accumulator scope, then
+    // tensorize with the 16x16x16 intrinsic.
+    PrimFunc original = matmul(64, 64, 64, DataType::f16());
+    Schedule sch(original);
+    std::string a_frag = sch.cacheRead("C", 0, "wmma.matrix_a");
+    std::string b_frag = sch.cacheRead("C", 1, "wmma.matrix_b");
+    std::string c_frag = sch.cacheWrite("C", "wmma.accumulator");
+    std::string outer = tileAndBlockize(sch, 16);
+    sch.tensorize(outer, "wmma_16x16x16_f16");
+    std::string text = funcToString(sch.func());
+    EXPECT_NE(text.find("wmma.mma_sync_16x16x16"), std::string::npos);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original, 1, 1e-6);
+    EXPECT_TRUE(sch.hasBlock(a_frag));
+    EXPECT_TRUE(sch.hasBlock(b_frag));
+    EXPECT_TRUE(sch.hasBlock(c_frag));
+}
+
+TEST(TensorizeTest, ArmSdotInt8)
+{
+    registerBuiltinIntrinsics();
+    // int8 -> int32 matmul tensorized with the 1x1x4 sdot intrinsic.
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {16, 32}, DataType::i8());
+    Buffer b = builder.placeholder("B", {32, 16}, DataType::i8());
+    Buffer c = builder.sumReduce(
+        "C", {16, 16}, {32},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return cast(DataType::i32(), bufferLoad(a, {s[0], r[0]})) *
+                   cast(DataType::i32(), bufferLoad(b, {r[0], s[1]}));
+        },
+        DataType::i32());
+    PrimFunc original = builder.build("qmatmul", {c});
+
+    Schedule sch(original);
+    std::vector<Var> loops = sch.getLoops("C");
+    std::vector<Var> i_split = sch.split(loops[0], {-1, 1});
+    std::vector<Var> j_split = sch.split(loops[1], {-1, 1});
+    std::vector<Var> k_split = sch.split(loops[2], {-1, 4});
+    sch.reorder({i_split[0], j_split[0], k_split[0], i_split[1],
+                 j_split[1], k_split[1]});
+    sch.decomposeReduction("C", k_split[0]);
+    std::string outer = sch.blockize(i_split[1]);
+    sch.tensorize(outer, "arm_sdot_1x1x4");
+    std::string text = funcToString(sch.func());
+    EXPECT_NE(text.find("arm.sdot_1x1x4"), std::string::npos);
+    sch.validateAffineBindings();
+    expectSameResults(sch.func(), original, 1, 0.0);
+}
+
+TEST(TensorIntrinRegistryTest, BuiltinsPresent)
+{
+    registerBuiltinIntrinsics();
+    EXPECT_TRUE(TensorIntrin::exists("accel_dot_4x4x4"));
+    EXPECT_TRUE(TensorIntrin::exists("wmma_16x16x16_f16"));
+    EXPECT_TRUE(TensorIntrin::exists("arm_sdot_1x1x4"));
+    EXPECT_FALSE(TensorIntrin::exists("nonexistent"));
+    EXPECT_THROW(TensorIntrin::get("nonexistent"), FatalError);
+    const TensorIntrin& wmma = TensorIntrin::get("wmma_16x16x16_f16");
+    EXPECT_EQ(wmma.macs, 16 * 16 * 16);
+    EXPECT_EQ(wmma.exec_scope, "warp");
+    EXPECT_GE(TensorIntrin::list().size(), 4u);
+}
+
+TEST(TensorIntrinRegistryTest, CustomIntrinRoundTrips)
+{
+    // A user-defined 2x2x2 intrinsic goes through the same machinery.
+    registerBuiltinIntrinsics();
+    TensorIntrin custom = makeMatmulIntrin(
+        "custom_2x2x2", 2, 2, 2, DataType::f32(), DataType::f32(),
+        "global", "global", "global", "accel.tile_mma_2x2x2", "dot4",
+        "thread");
+    TensorIntrin::registerIntrin(custom);
+    runtime::Interpreter::registerIntrinsic(
+        "accel.tile_mma_2x2x2",
+        [](runtime::Interpreter& interp, const CallNode& call) {
+            runtime::BufferRef c = interp.resolvePtr(call.args[0]);
+            runtime::BufferRef a = interp.resolvePtr(call.args[1]);
+            runtime::BufferRef b = interp.resolvePtr(call.args[2]);
+            int64_t sc = c.buffer->shapeInt(c.buffer->ndim() - 1);
+            int64_t sa = a.buffer->shapeInt(a.buffer->ndim() - 1);
+            int64_t sb = b.buffer->shapeInt(b.buffer->ndim() - 1);
+            for (int64_t i = 0; i < 2; ++i) {
+                for (int64_t j = 0; j < 2; ++j) {
+                    for (int64_t k = 0; k < 2; ++k) {
+                        c.array->at(c.offset + i * sc + j) +=
+                            a.array->at(a.offset + i * sa + k) *
+                            b.array->at(b.offset + k * sb + j);
+                    }
+                }
+            }
+        });
+
+    PrimFunc original = matmul(8, 8, 8);
+    Schedule sch(original);
+    std::string outer = tileAndBlockize(sch, 2);
+    sch.tensorize(outer, "custom_2x2x2");
+    expectSameResults(sch.func(), original);
+}
+
+} // namespace
+} // namespace tir

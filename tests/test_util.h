@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared helpers for schedule tests: build common workloads and check
+ * that a transformed function computes the same values as the original.
+ */
+#ifndef TENSORIR_TESTS_TEST_UTIL_H
+#define TENSORIR_TESTS_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include "runtime/interpreter.h"
+#include "te/te.h"
+
+namespace tir {
+namespace testutil {
+
+/** Build a plain matmul C[n,m] = A[n,k] * B[k,m]. */
+inline PrimFunc
+matmul(int64_t n, int64_t m, int64_t k,
+       DataType dtype = DataType::f32())
+{
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {n, k}, dtype);
+    Buffer b = builder.placeholder("B", {k, m}, dtype);
+    Buffer c = builder.sumReduce(
+        "C", {n, m}, {k},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return bufferLoad(a, {s[0], r[0]}) *
+                   bufferLoad(b, {r[0], s[1]});
+        },
+        dtype);
+    return builder.build("matmul", {c});
+}
+
+/** Build matmul followed by relu (the paper's Figure 8 workload). */
+inline PrimFunc
+matmulRelu(int64_t n, int64_t m, int64_t k)
+{
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {n, k});
+    Buffer b = builder.placeholder("B", {k, m});
+    Buffer c = builder.sumReduce(
+        "C", {n, m}, {k},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) {
+            return bufferLoad(a, {s[0], r[0]}) *
+                   bufferLoad(b, {r[0], s[1]});
+        });
+    Buffer d = builder.compute(
+        "D", {n, m},
+        [&](const std::vector<Var>& v) {
+            return maxExpr(bufferLoad(c, {v[0], v[1]}), floatImm(0.0));
+        });
+    return builder.build("matmul_relu", {d});
+}
+
+/**
+ * Run `candidate` and `reference` on identical random inputs and compare
+ * every output buffer. Both functions must share the parameter list
+ * layout (same count, shapes, dtypes, same input/output split).
+ */
+inline void
+expectSameResults(const PrimFunc& candidate, const PrimFunc& reference,
+                  int num_outputs = 1, double tolerance = 1e-6,
+                  uint64_t seed = 123)
+{
+    ASSERT_EQ(candidate->params.size(), reference->params.size());
+    Rng rng(seed);
+    std::vector<runtime::NDArray> cand_args;
+    std::vector<runtime::NDArray> ref_args;
+    for (const Buffer& param : reference->params) {
+        std::vector<int64_t> shape;
+        for (size_t d = 0; d < param->ndim(); ++d) {
+            shape.push_back(param->shapeInt(d));
+        }
+        runtime::NDArray array(param->dtype, shape);
+        if (param->dtype.isInt()) {
+            array.fillRandom(rng, -4, 4);
+        } else {
+            array.fillRandom(rng);
+        }
+        cand_args.push_back(array);
+        ref_args.push_back(std::move(array));
+    }
+    std::vector<runtime::NDArray*> cand_ptrs;
+    std::vector<runtime::NDArray*> ref_ptrs;
+    for (auto& a : cand_args) cand_ptrs.push_back(&a);
+    for (auto& a : ref_args) ref_ptrs.push_back(&a);
+
+    runtime::Interpreter interp_c;
+    runtime::Interpreter interp_r;
+    interp_c.run(candidate, cand_ptrs);
+    interp_r.run(reference, ref_ptrs);
+
+    size_t first_output = reference->params.size() -
+                          static_cast<size_t>(num_outputs);
+    for (size_t i = first_output; i < reference->params.size(); ++i) {
+        double diff = cand_args[i].maxAbsDiff(ref_args[i]);
+        EXPECT_LE(diff, tolerance)
+            << "output " << i << " diverged after scheduling";
+    }
+}
+
+} // namespace testutil
+} // namespace tir
+
+#endif // TENSORIR_TESTS_TEST_UTIL_H

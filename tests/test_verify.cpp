@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Whole-program validator tests (§3.3): threading validation and
+ * producer-consumer region cover, on both valid and deliberately broken
+ * programs.
+ */
+#include <gtest/gtest.h>
+
+#include "intrin/tensor_intrin.h"
+#include "meta/search.h"
+#include "tir/verify.h"
+#include "workloads/workloads.h"
+
+#include "test_util.h"
+
+namespace tir {
+namespace {
+
+/** One-block kernel with the given nesting of thread tags. */
+PrimFunc
+kernelWithTags(const std::vector<std::pair<std::string, int64_t>>& tags)
+{
+    int64_t total = 1;
+    for (const auto& [tag, extent] : tags) total *= extent;
+    Buffer a = makeBuffer("A", {total});
+    std::vector<Var> loop_vars;
+    Expr index = nullptr;
+    for (size_t i = 0; i < tags.size(); ++i) {
+        Var v = var("t" + std::to_string(i));
+        loop_vars.push_back(v);
+        index = index ? index * tags[i].second + v : Expr(v);
+    }
+    Var bv = var("v");
+    BlockPtr block = makeBlock(
+        "w", {IterVar(bv, Range::fromExtent(total), IterType::kSpatial)},
+        {}, {BufferRegion(a, {Range(Expr(bv), intImm(1))})},
+        bufferStore(a, floatImm(0), {Expr(bv)}));
+    Stmt body = blockRealize({index}, intImm(1, DataType::boolean()),
+                             block);
+    for (size_t i = tags.size(); i > 0; --i) {
+        body = makeFor(loop_vars[i - 1], intImm(0),
+                       intImm(tags[i - 1].second), body,
+                       ForKind::kThreadBinding, tags[i - 1].first);
+    }
+    return makeFunc("kernel", {a}, makeRootBlock(body));
+}
+
+TEST(ThreadVerifyTest, AcceptsStandardLaunch)
+{
+    PrimFunc func = kernelWithTags(
+        {{"blockIdx.x", 32}, {"threadIdx.y", 4}, {"threadIdx.x", 32}});
+    EXPECT_TRUE(verifyThreadBindings(func).ok);
+}
+
+TEST(ThreadVerifyTest, RejectsDuplicateTag)
+{
+    PrimFunc func = kernelWithTags(
+        {{"blockIdx.x", 4}, {"threadIdx.x", 8}, {"threadIdx.x", 8}});
+    VerifyResult result = verifyThreadBindings(func);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("twice"), std::string::npos);
+}
+
+TEST(ThreadVerifyTest, RejectsBlockInsideThread)
+{
+    PrimFunc func = kernelWithTags(
+        {{"threadIdx.x", 8}, {"blockIdx.x", 4}});
+    VerifyResult result = verifyThreadBindings(func);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("nested"), std::string::npos);
+}
+
+TEST(ThreadVerifyTest, RejectsOversizedBlock)
+{
+    PrimFunc func = kernelWithTags(
+        {{"blockIdx.x", 2}, {"threadIdx.y", 64}, {"threadIdx.x", 32}});
+    VerifyResult result = verifyThreadBindings(func, 1024);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("exceeds"), std::string::npos);
+    // The same launch fits a bigger limit.
+    EXPECT_TRUE(verifyThreadBindings(func, 4096).ok);
+}
+
+TEST(ThreadVerifyTest, SequentialLaunchesDoNotAccumulate)
+{
+    PrimFunc k1 = kernelWithTags(
+        {{"blockIdx.x", 4}, {"threadIdx.x", 512}});
+    PrimFunc k2 = kernelWithTags(
+        {{"blockIdx.x", 4}, {"threadIdx.x", 1024}});
+    Stmt body = seq({static_cast<const BlockRealizeNode&>(*k1->body)
+                         .block->body,
+                     static_cast<const BlockRealizeNode&>(*k2->body)
+                         .block->body});
+    PrimFunc combined =
+        makeFunc("two", {k1->params[0], k2->params[0]},
+                 makeRootBlock(body));
+    EXPECT_TRUE(verifyThreadBindings(combined).ok);
+}
+
+TEST(ThreadVerifyTest, WarpIntrinsicNeedsThreadScope)
+{
+    registerBuiltinIntrinsics();
+    // A tensorized block without any thread launch is invalid for a
+    // warp-scope intrinsic (the paper's execution-scope validation).
+    PrimFunc original = testutil::matmul(64, 64, 64, DataType::f16());
+    Schedule sch(original);
+    sch.cacheRead("C", 0, "wmma.matrix_a");
+    sch.cacheRead("C", 1, "wmma.matrix_b");
+    sch.cacheWrite("C", "wmma.accumulator");
+    std::vector<Var> loops = sch.getLoops("C");
+    std::vector<Var> i_split = sch.split(loops[0], {-1, 16});
+    std::vector<Var> j_split = sch.split(loops[1], {-1, 16});
+    std::vector<Var> k_split = sch.split(loops[2], {-1, 16});
+    sch.reorder({i_split[0], j_split[0], k_split[0], i_split[1],
+                 j_split[1], k_split[1]});
+    sch.decomposeReduction("C", k_split[0]);
+    std::string outer = sch.blockize(i_split[1]);
+    sch.tensorize(outer, "wmma_16x16x16_f16");
+
+    VerifyResult no_threads = verifyThreadBindings(sch.func());
+    EXPECT_FALSE(no_threads.ok);
+    EXPECT_NE(no_threads.error.find("warp"), std::string::npos);
+
+    // Binding the outer loop to a thread launch fixes it.
+    sch.bind(i_split[0], "blockIdx.x");
+    sch.bind(j_split[0], "threadIdx.y");
+    EXPECT_TRUE(verifyThreadBindings(sch.func()).ok);
+}
+
+TEST(CoverVerifyTest, AcceptsCompletePipelines)
+{
+    PrimFunc func = testutil::matmulRelu(16, 16, 8);
+    EXPECT_TRUE(verifyRegionCover(func).ok);
+}
+
+TEST(CoverVerifyTest, RejectsHalfProducedBuffer)
+{
+    // Producer writes only rows [0, 8) of B but the consumer reads all
+    // 16 rows.
+    Buffer a = makeBuffer("A", {16});
+    Buffer b = makeBuffer("B", {16});
+    Buffer c = makeBuffer("C", {16});
+    auto stage = [&](const std::string& name, const Buffer& src,
+                     const Buffer& dst, int64_t extent) {
+        Var lv = var(name + "_i");
+        Var bv = var(name + "_v");
+        BlockPtr block = makeBlock(
+            name,
+            {IterVar(bv, Range::fromExtent(extent), IterType::kSpatial)},
+            {BufferRegion(src, {Range(Expr(bv), intImm(1))})},
+            {BufferRegion(dst, {Range(Expr(bv), intImm(1))})},
+            bufferStore(dst, bufferLoad(src, {Expr(bv)}), {Expr(bv)}));
+        Stmt realize = blockRealize({Expr(lv)},
+                                    intImm(1, DataType::boolean()),
+                                    block);
+        return makeFor(lv, intImm(0), intImm(extent), realize);
+    };
+    Stmt half_producer = stage("produce", a, b, 8);
+    Stmt consumer = stage("consume", b, c, 16);
+    PrimFunc func = makeFunc("broken", {a, c},
+                             makeRootBlock(seq({half_producer, consumer}),
+                                           {b}));
+    VerifyResult result = verifyRegionCover(func);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("cover"), std::string::npos);
+}
+
+TEST(CoverVerifyTest, RejectsUseBeforeDef)
+{
+    Buffer a = makeBuffer("A", {8});
+    Buffer b = makeBuffer("B", {8});
+    Buffer c = makeBuffer("C", {8});
+    Var lv = var("i");
+    Var bv = var("v");
+    BlockPtr consume = makeBlock(
+        "consume",
+        {IterVar(bv, Range::fromExtent(8), IterType::kSpatial)},
+        {BufferRegion(b, {Range(Expr(bv), intImm(1))})},
+        {BufferRegion(c, {Range(Expr(bv), intImm(1))})},
+        bufferStore(c, bufferLoad(b, {Expr(bv)}), {Expr(bv)}));
+    Stmt body = makeFor(lv, intImm(0), intImm(8),
+                        blockRealize({Expr(lv)},
+                                     intImm(1, DataType::boolean()),
+                                     consume));
+    PrimFunc func = makeFunc("broken", {a, c},
+                             makeRootBlock(body, {b}));
+    VerifyResult result = verifyRegionCover(func);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("before"), std::string::npos);
+}
+
+TEST(CoverVerifyTest, AcceptsTunedPipelines)
+{
+    // Every tuned program must pass both validators (they run inside
+    // the search too, but check explicitly here).
+    registerBuiltinIntrinsics();
+    workloads::OpSpec op = workloads::gpuSuiteSmall()[1]; // C2D
+    hwsim::GpuDevice gpu;
+    meta::TuneTask task{op.func, op.einsum_block, "gpu",
+                        {"wmma_16x16x16_f16"}};
+    meta::TuneOptions options;
+    options.population = 4;
+    options.generations = 1;
+    meta::TuneResult result =
+        meta::autoTune(task, gpu, options, meta::TunerStyle::kTensorIR);
+    EXPECT_TRUE(verifyThreadBindings(result.best_func).ok);
+    EXPECT_TRUE(verifyRegionCover(result.best_func).ok);
+}
+
+} // namespace
+} // namespace tir
