@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_autocopy"
+  "../bench/ablation_autocopy.pdb"
+  "CMakeFiles/ablation_autocopy.dir/ablation_autocopy.cpp.o"
+  "CMakeFiles/ablation_autocopy.dir/ablation_autocopy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autocopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_autocopy.
+# This may be replaced when dependencies are built.

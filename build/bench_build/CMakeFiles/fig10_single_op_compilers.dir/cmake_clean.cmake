@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_single_op_compilers"
+  "../bench/fig10_single_op_compilers.pdb"
+  "CMakeFiles/fig10_single_op_compilers.dir/fig10_single_op_compilers.cpp.o"
+  "CMakeFiles/fig10_single_op_compilers.dir/fig10_single_op_compilers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_single_op_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_single_op_libraries"
+  "../bench/fig11_single_op_libraries.pdb"
+  "CMakeFiles/fig11_single_op_libraries.dir/fig11_single_op_libraries.cpp.o"
+  "CMakeFiles/fig11_single_op_libraries.dir/fig11_single_op_libraries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_single_op_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_single_op_libraries.
+# This may be replaced when dependencies are built.

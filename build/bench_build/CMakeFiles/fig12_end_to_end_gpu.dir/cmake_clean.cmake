@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_end_to_end_gpu"
+  "../bench/fig12_end_to_end_gpu.pdb"
+  "CMakeFiles/fig12_end_to_end_gpu.dir/fig12_end_to_end_gpu.cpp.o"
+  "CMakeFiles/fig12_end_to_end_gpu.dir/fig12_end_to_end_gpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_end_to_end_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

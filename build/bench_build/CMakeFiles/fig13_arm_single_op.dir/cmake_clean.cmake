@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_arm_single_op"
+  "../bench/fig13_arm_single_op.pdb"
+  "CMakeFiles/fig13_arm_single_op.dir/fig13_arm_single_op.cpp.o"
+  "CMakeFiles/fig13_arm_single_op.dir/fig13_arm_single_op.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_arm_single_op.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_infrastructure"
+  "../bench/micro_infrastructure.pdb"
+  "CMakeFiles/micro_infrastructure.dir/micro_infrastructure.cpp.o"
+  "CMakeFiles/micro_infrastructure.dir/micro_infrastructure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_auto_tensorize_conv2d"
+  "../examples/example_auto_tensorize_conv2d.pdb"
+  "CMakeFiles/example_auto_tensorize_conv2d.dir/auto_tensorize_conv2d.cpp.o"
+  "CMakeFiles/example_auto_tensorize_conv2d.dir/auto_tensorize_conv2d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_auto_tensorize_conv2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_custom_intrinsic"
+  "../examples/example_custom_intrinsic.pdb"
+  "CMakeFiles/example_custom_intrinsic.dir/custom_intrinsic.cpp.o"
+  "CMakeFiles/example_custom_intrinsic.dir/custom_intrinsic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_intrinsic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

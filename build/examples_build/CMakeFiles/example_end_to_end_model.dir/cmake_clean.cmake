@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_end_to_end_model"
+  "../examples/example_end_to_end_model.pdb"
+  "CMakeFiles/example_end_to_end_model.dir/end_to_end_model.cpp.o"
+  "CMakeFiles/example_end_to_end_model.dir/end_to_end_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_end_to_end_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

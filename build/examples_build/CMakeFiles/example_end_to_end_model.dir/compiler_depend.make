@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_end_to_end_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_generate_c_kernel"
+  "../examples/example_generate_c_kernel.pdb"
+  "CMakeFiles/example_generate_c_kernel.dir/generate_c_kernel.cpp.o"
+  "CMakeFiles/example_generate_c_kernel.dir/generate_c_kernel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_generate_c_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

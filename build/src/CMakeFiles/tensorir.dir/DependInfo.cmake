@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arith/analyzer.cpp" "src/CMakeFiles/tensorir.dir/arith/analyzer.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/arith/analyzer.cpp.o.d"
+  "/root/repo/src/arith/iter_map.cpp" "src/CMakeFiles/tensorir.dir/arith/iter_map.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/arith/iter_map.cpp.o.d"
+  "/root/repo/src/arith/region.cpp" "src/CMakeFiles/tensorir.dir/arith/region.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/arith/region.cpp.o.d"
+  "/root/repo/src/baselines/libraries.cpp" "src/CMakeFiles/tensorir.dir/baselines/libraries.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/baselines/libraries.cpp.o.d"
+  "/root/repo/src/codegen/c_codegen.cpp" "src/CMakeFiles/tensorir.dir/codegen/c_codegen.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/codegen/c_codegen.cpp.o.d"
+  "/root/repo/src/graph/executor.cpp" "src/CMakeFiles/tensorir.dir/graph/executor.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/graph/executor.cpp.o.d"
+  "/root/repo/src/graph/models.cpp" "src/CMakeFiles/tensorir.dir/graph/models.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/graph/models.cpp.o.d"
+  "/root/repo/src/hwsim/device.cpp" "src/CMakeFiles/tensorir.dir/hwsim/device.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/hwsim/device.cpp.o.d"
+  "/root/repo/src/hwsim/stats.cpp" "src/CMakeFiles/tensorir.dir/hwsim/stats.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/hwsim/stats.cpp.o.d"
+  "/root/repo/src/intrin/tensor_intrin.cpp" "src/CMakeFiles/tensorir.dir/intrin/tensor_intrin.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/intrin/tensor_intrin.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/tensorir.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/tensorir.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/CMakeFiles/tensorir.dir/ir/stmt.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/ir/stmt.cpp.o.d"
+  "/root/repo/src/ir/structural_equal.cpp" "src/CMakeFiles/tensorir.dir/ir/structural_equal.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/ir/structural_equal.cpp.o.d"
+  "/root/repo/src/ir/structural_hash.cpp" "src/CMakeFiles/tensorir.dir/ir/structural_hash.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/ir/structural_hash.cpp.o.d"
+  "/root/repo/src/ir/transform.cpp" "src/CMakeFiles/tensorir.dir/ir/transform.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/ir/transform.cpp.o.d"
+  "/root/repo/src/lower/lower.cpp" "src/CMakeFiles/tensorir.dir/lower/lower.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/lower/lower.cpp.o.d"
+  "/root/repo/src/meta/auto_tensorize.cpp" "src/CMakeFiles/tensorir.dir/meta/auto_tensorize.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/meta/auto_tensorize.cpp.o.d"
+  "/root/repo/src/meta/database.cpp" "src/CMakeFiles/tensorir.dir/meta/database.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/meta/database.cpp.o.d"
+  "/root/repo/src/meta/gbdt.cpp" "src/CMakeFiles/tensorir.dir/meta/gbdt.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/meta/gbdt.cpp.o.d"
+  "/root/repo/src/meta/search.cpp" "src/CMakeFiles/tensorir.dir/meta/search.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/meta/search.cpp.o.d"
+  "/root/repo/src/meta/sketch.cpp" "src/CMakeFiles/tensorir.dir/meta/sketch.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/meta/sketch.cpp.o.d"
+  "/root/repo/src/runtime/interpreter.cpp" "src/CMakeFiles/tensorir.dir/runtime/interpreter.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/runtime/interpreter.cpp.o.d"
+  "/root/repo/src/te/te.cpp" "src/CMakeFiles/tensorir.dir/te/te.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/te/te.cpp.o.d"
+  "/root/repo/src/tir/primitives_block.cpp" "src/CMakeFiles/tensorir.dir/tir/primitives_block.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/tir/primitives_block.cpp.o.d"
+  "/root/repo/src/tir/primitives_cache.cpp" "src/CMakeFiles/tensorir.dir/tir/primitives_cache.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/tir/primitives_cache.cpp.o.d"
+  "/root/repo/src/tir/primitives_compute.cpp" "src/CMakeFiles/tensorir.dir/tir/primitives_compute.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/tir/primitives_compute.cpp.o.d"
+  "/root/repo/src/tir/primitives_loop.cpp" "src/CMakeFiles/tensorir.dir/tir/primitives_loop.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/tir/primitives_loop.cpp.o.d"
+  "/root/repo/src/tir/schedule.cpp" "src/CMakeFiles/tensorir.dir/tir/schedule.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/tir/schedule.cpp.o.d"
+  "/root/repo/src/tir/verify.cpp" "src/CMakeFiles/tensorir.dir/tir/verify.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/tir/verify.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/tensorir.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/tensorir.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

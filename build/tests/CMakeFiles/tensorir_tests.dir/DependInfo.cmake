@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arith.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_arith.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_arith.cpp.o.d"
+  "/root/repo/tests/test_arith_extra.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_arith_extra.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_arith_extra.cpp.o.d"
+  "/root/repo/tests/test_database.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_database.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_database.cpp.o.d"
+  "/root/repo/tests/test_gbdt.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_gbdt.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_gbdt.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hwsim.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_hwsim.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_hwsim.cpp.o.d"
+  "/root/repo/tests/test_ir_basic.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_ir_basic.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_ir_basic.cpp.o.d"
+  "/root/repo/tests/test_itermap_chains.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_itermap_chains.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_itermap_chains.cpp.o.d"
+  "/root/repo/tests/test_lower_codegen.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_lower_codegen.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_lower_codegen.cpp.o.d"
+  "/root/repo/tests/test_meta.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_meta.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_meta.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_runtime_intrinsics.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_runtime_intrinsics.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_runtime_intrinsics.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_schedule_errors.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_schedule_errors.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_schedule_errors.cpp.o.d"
+  "/root/repo/tests/test_te_interp.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_te_interp.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_te_interp.cpp.o.d"
+  "/root/repo/tests/test_tensorize.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_tensorize.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_tensorize.cpp.o.d"
+  "/root/repo/tests/test_verify.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_verify.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_verify.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/tensorir_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/tensorir_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tensorir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
