@@ -10,6 +10,8 @@
 
 #include "meta/database.h"
 
+#include <chrono>
+
 using namespace tir;
 
 int
@@ -17,25 +19,37 @@ main()
 {
     hwsim::GpuDevice gpu;
     std::vector<std::string> intrins = {"wmma_16x16x16_f16"};
+    auto wall_start = std::chrono::steady_clock::now();
 
     bench::printHeader(
         "Table 1: tuning time, simulated minutes (profiling-dominated)");
     bench::printRow({"model", "TVM(min)", "TensorIR(min)", "speedup"});
 
+    // Our ~45-trial budget stands in for the ~2000 profiling rounds of
+    // a real tuning run, so a single search trajectory is noisy (the
+    // per-model speedup swings roughly 1.05-3.7x with the seed).
+    // Average a few replications to recover the expected shape.
+    constexpr int kReplications = 3;
     std::vector<graph::ModelSpec> models = {
         graph::resnet50Gpu(), graph::mobilenetV2Gpu(),
         graph::bertLargeGpu(), graph::vitGpu()};
     for (const graph::ModelSpec& model : models) {
-        graph::ModelResult tvm = graph::runModelTuned(
-            model, gpu, "gpu", intrins, meta::TunerStyle::kLoopOnly,
-            bench::endToEndOptions(41));
-        graph::ModelResult tensorir = graph::runModelTuned(
-            model, gpu, "gpu", intrins, meta::TunerStyle::kTensorIR,
-            bench::endToEndOptions(42));
-        bench::printRow({model.name, bench::fmt(tvm.tuning_minutes),
-                         bench::fmt(tensorir.tuning_minutes),
-                         bench::fmt(tvm.tuning_minutes /
-                                        tensorir.tuning_minutes,
+        double tvm_minutes = 0;
+        double tensorir_minutes = 0;
+        for (int rep = 0; rep < kReplications; ++rep) {
+            graph::ModelResult tvm = graph::runModelTuned(
+                model, gpu, "gpu", intrins, meta::TunerStyle::kLoopOnly,
+                bench::endToEndOptions(41 + 100 * rep));
+            graph::ModelResult tensorir = graph::runModelTuned(
+                model, gpu, "gpu", intrins,
+                meta::TunerStyle::kTensorIR,
+                bench::endToEndOptions(42 + 100 * rep));
+            tvm_minutes += tvm.tuning_minutes / kReplications;
+            tensorir_minutes += tensorir.tuning_minutes / kReplications;
+        }
+        bench::printRow({model.name, bench::fmt(tvm_minutes),
+                         bench::fmt(tensorir_minutes),
+                         bench::fmt(tvm_minutes / tensorir_minutes,
                                     "%.2fx")});
     }
     std::printf("\n(paper: ResNet-50 308 -> 156, MobileNet-V2 292 -> "
@@ -65,5 +79,40 @@ main()
                 "re-tune from database %.2f min (%.0fx less)\n",
                 cold_minutes, warm_minutes,
                 cold_minutes / warm_minutes);
+
+    // Real (not simulated) cost of running the search pipeline itself,
+    // with the per-stage breakdown recorded by TuneResult::timings.
+    // Thread count follows TENSORIR_PARALLELISM when set (see the
+    // "tuning-time speedup" table in EXPERIMENTS.md).
+    meta::TuneResult::StageTimings stages;
+    int parallelism = 0;
+    int memo_hits = 0;
+    int memo_measure_hits = 0;
+    for (const graph::Layer& layer : resnet.layers) {
+        meta::TuneTask task{layer.op.func, layer.op.einsum_block, "gpu",
+                            intrins};
+        meta::TuneResult tuned =
+            meta::autoTune(task, gpu, bench::endToEndOptions(seed++),
+                           meta::TunerStyle::kTensorIR);
+        stages.generate_s += tuned.timings.generate_s;
+        stages.evaluate_s += tuned.timings.evaluate_s;
+        stages.model_s += tuned.timings.model_s;
+        stages.reduce_s += tuned.timings.reduce_s;
+        stages.total_s += tuned.timings.total_s;
+        parallelism = tuned.parallelism_used;
+        memo_hits += tuned.memo_hits;
+        memo_measure_hits += tuned.memo_measure_hits;
+    }
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+    std::printf("\npipeline wall-clock (ResNet-50 re-tune, %d threads): "
+                "%.2f s total — generate %.2f s, evaluate %.2f s, "
+                "model %.2f s, reduce %.2f s; memo hits %d "
+                "(%d measurements skipped)\n",
+                parallelism, stages.total_s, stages.generate_s,
+                stages.evaluate_s, stages.model_s, stages.reduce_s,
+                memo_hits, memo_measure_hits);
+    std::printf("whole-benchmark wall-clock: %.2f s\n", wall_s);
     return 0;
 }

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Companion to docs/ARCHITECTURE.md: regenerates every IR listing and
+ * number quoted in the walkthrough, stage by stage, so the document can
+ * be checked against the actual printer output at any time:
+ *
+ *   TENSORIR_PARALLELISM=1 build/examples/example_architecture_walkthrough
+ *
+ * (Pinning the parallelism only silences thread-count variation in the
+ * timing printout; tuning results are byte-identical either way.)
+ */
+#include <cstdio>
+
+#include "hwsim/device.h"
+#include "hwsim/stats.h"
+#include "ir/printer.h"
+#include "lower/lower.h"
+#include "meta/auto_tensorize.h"
+#include "meta/search.h"
+#include "meta/sketch.h"
+#include "te/te.h"
+#include "tir/schedule.h"
+
+using namespace tir;
+
+int
+main()
+{
+    // Stage 1 — tensor-expression front end (src/te/): describe the
+    // computation, get a TensorIR function made of blocks.
+    te::Builder builder;
+    Buffer a = builder.placeholder("A", {64, 64}, DataType::f16());
+    Buffer b = builder.placeholder("B", {64, 64}, DataType::f16());
+    Buffer c = builder.sumReduce(
+        "C", {64, 64}, {64},
+        [&](const std::vector<Var>& s, const std::vector<Var>& r) -> Expr {
+            return bufferLoad(a, {s[0], r[0]}) *
+                   bufferLoad(b, {r[0], s[1]});
+        },
+        DataType::f16());
+    PrimFunc matmul = builder.build("matmul", {c});
+    std::printf("==== stage 1: te build ====\n%s\n",
+                funcToString(matmul).c_str());
+
+    // Stage 2 — auto-tensorization candidates (src/meta/): match the
+    // einsum block against registered tensor intrinsics (§4.2).
+    std::vector<meta::TensorizeCandidate> candidates =
+        meta::generateTensorizeCandidates(matmul, "C",
+                                          {"wmma_16x16x16_f16"});
+    std::printf("==== stage 2: candidates ====\n");
+    for (const meta::TensorizeCandidate& cand : candidates) {
+        std::printf("candidate: intrin=%s padding_waste=%.3f\n",
+                    cand.intrin.c_str(), cand.padding_waste);
+    }
+
+    // Stage 3 — sketch application (src/meta/sketch.*): one sampled
+    // point of the tensorized search space, as a schedule rewrite.
+    meta::SketchOptions sketch_options;
+    meta::SketchApplier applier = meta::makeTensorSketchApplier(
+        candidates[meta::selectTensorizeCandidate(candidates)],
+        /*gpu=*/true, sketch_options);
+    Schedule sch(matmul, /*seed=*/7);
+    applier(sch);
+    std::printf("==== stage 3: sketch ====\n%s\ndecisions: %zu\n",
+                funcToString(sch.func()).c_str(),
+                sch.decisions().size());
+
+    // Stage 4 — lowering (src/lower/): erase blocks, leaving the plain
+    // loop nest handed to code generation.
+    PrimFunc lowered = lowerToLoops(sch.func());
+    std::printf("==== stage 4: lowered ====\n%s\n",
+                funcToString(lowered).c_str());
+
+    // Stage 5 — performance model (src/hwsim/): static event counts
+    // feed the analytical device estimate.
+    hwsim::GpuDevice gpu;
+    hwsim::ProgramStats stats = hwsim::extractStats(sch.func());
+    hwsim::RunEstimate estimate = gpu.estimate(stats);
+    std::printf("==== stage 5: hwsim ====\n"
+                "scalar_ops=%.0f intrin_macs=%.0f latency=%.2fus "
+                "violation=%s\n",
+                stats.scalar_ops, stats.totalIntrinMacs(),
+                estimate.latency_us,
+                estimate.violation.empty() ? "-"
+                                           : estimate.violation.c_str());
+
+    // Stage 6 — evolutionary search (src/meta/search.*): the full
+    // auto-tuner over both sketch families.
+    meta::TuneOptions options;
+    options.population = 8;
+    options.generations = 4;
+    options.children_per_generation = 16;
+    options.measured_per_generation = 6;
+    options.seed = 91;
+    meta::TuneTask task{matmul, "C", "gpu", {"wmma_16x16x16_f16"}};
+    meta::TuneResult tuned =
+        meta::autoTune(task, gpu, options, meta::TunerStyle::kTensorIR);
+    std::printf("==== stage 6: search ====\n"
+                "best=%.2fus sketch=%s trials=%d memo_hits=%d\n",
+                tuned.best_latency_us, tuned.best_sketch.c_str(),
+                tuned.trials_measured, tuned.memo_hits);
+    return 0;
+}

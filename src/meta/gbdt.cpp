@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.h"
+#include "support/thread_pool.h"
 
 namespace tir {
 namespace meta {
@@ -40,11 +41,19 @@ Gbdt::buildNode(Tree& tree, const std::vector<FeatureVec>& features,
         double d = residuals[static_cast<size_t>(i)] - node_mean;
         base_err += d * d;
     }
-    int best_feature = -1;
-    double best_threshold = 0;
-    double best_gain = 1e-12;
+    // Per-feature exact scans are independent, so they distribute over
+    // the pool; the final argmax runs in feature order, which makes the
+    // chosen split identical to the serial scan (ties keep the earliest
+    // feature/position, as `>` did there).
     size_t num_features = features[0].size();
-    for (size_t f = 0; f < num_features; ++f) {
+    struct FeatureSplit
+    {
+        double gain = 1e-12;
+        double threshold = 0;
+        bool found = false;
+    };
+    std::vector<FeatureSplit> splits(num_features);
+    auto scanFeature = [&](size_t f) {
         std::vector<int> sorted = indices;
         std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
             return features[static_cast<size_t>(a)][f] <
@@ -59,6 +68,7 @@ Gbdt::buildNode(Tree& tree, const std::vector<FeatureVec>& features,
             total_sum += v;
             total_sq += v * v;
         }
+        FeatureSplit& best = splits[f];
         for (size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
             double v = residuals[static_cast<size_t>(sorted[pos])];
             left_sum += v;
@@ -79,11 +89,26 @@ Gbdt::buildNode(Tree& tree, const std::vector<FeatureVec>& features,
             double err = (left_sq - left_sum * left_sum / n_left) +
                          (right_sq - right_sum * right_sum / n_right);
             double gain = base_err - err;
-            if (gain > best_gain) {
-                best_gain = gain;
-                best_feature = static_cast<int>(f);
-                best_threshold = 0.5 * (x_here + x_next);
+            if (gain > best.gain) {
+                best.gain = gain;
+                best.threshold = 0.5 * (x_here + x_next);
+                best.found = true;
             }
+        }
+    };
+    if (pool_ && indices.size() >= 64) {
+        pool_->parallelFor(num_features, scanFeature);
+    } else {
+        for (size_t f = 0; f < num_features; ++f) scanFeature(f);
+    }
+    int best_feature = -1;
+    double best_threshold = 0;
+    double best_gain = 1e-12;
+    for (size_t f = 0; f < num_features; ++f) {
+        if (splits[f].found && splits[f].gain > best_gain) {
+            best_gain = splits[f].gain;
+            best_feature = static_cast<int>(f);
+            best_threshold = splits[f].threshold;
         }
     }
     if (best_feature < 0) return node_id;
@@ -121,12 +146,14 @@ Gbdt::treePredict(const Tree& tree, const FeatureVec& x)
 
 void
 Gbdt::fit(const std::vector<FeatureVec>& features,
-          const std::vector<double>& targets)
+          const std::vector<double>& targets,
+          support::ThreadPool* pool)
 {
     TIR_CHECK(features.size() == targets.size());
     trees_.clear();
     trained_ = false;
     if (features.size() < 4) return;
+    pool_ = pool;
 
     base_ = 0;
     for (double t : targets) base_ += t;
@@ -155,6 +182,7 @@ Gbdt::fit(const std::vector<FeatureVec>& features,
         trees_.push_back(std::move(tree));
     }
     trained_ = true;
+    pool_ = nullptr;
 }
 
 double
@@ -165,6 +193,20 @@ Gbdt::predict(const FeatureVec& features) const
         result += params_.learning_rate * treePredict(tree, features);
     }
     return result;
+}
+
+std::vector<double>
+Gbdt::predictBatch(const std::vector<FeatureVec>& features,
+                   support::ThreadPool* pool) const
+{
+    std::vector<double> predictions(features.size());
+    auto one = [&](size_t i) { predictions[i] = predict(features[i]); };
+    if (pool && features.size() > 1) {
+        pool->parallelFor(features.size(), one);
+    } else {
+        for (size_t i = 0; i < features.size(); ++i) one(i);
+    }
+    return predictions;
 }
 
 } // namespace meta

@@ -12,6 +12,11 @@
 #include <vector>
 
 namespace tir {
+
+namespace support {
+class ThreadPool;
+}
+
 namespace meta {
 
 /** One feature vector. */
@@ -32,12 +37,25 @@ class Gbdt
   public:
     explicit Gbdt(GbdtParams params = {}) : params_(params) {}
 
-    /** Fit to (features, targets); replaces any previous model. */
+    /**
+     * Fit to (features, targets); replaces any previous model. When a
+     * pool is given, the exact-greedy split search is distributed over
+     * features; the chosen splits are identical to the serial ones
+     * (ties resolve in feature order), so the fitted model does not
+     * depend on the pool size.
+     */
     void fit(const std::vector<FeatureVec>& features,
-             const std::vector<double>& targets);
+             const std::vector<double>& targets,
+             support::ThreadPool* pool = nullptr);
 
     /** Predict one sample (returns the target mean before fitting). */
     double predict(const FeatureVec& features) const;
+
+    /** Predict a batch, optionally distributed over a pool. Prediction
+     *  is read-only, so concurrent calls are safe. */
+    std::vector<double>
+    predictBatch(const std::vector<FeatureVec>& features,
+                 support::ThreadPool* pool = nullptr) const;
 
     /** Whether fit() has been called with enough data. */
     bool trained() const { return trained_; }
@@ -65,6 +83,8 @@ class Gbdt
     std::vector<Tree> trees_;
     double base_ = 0;
     bool trained_ = false;
+    /** Pool for the current fit() call only (not owned). */
+    support::ThreadPool* pool_ = nullptr;
 };
 
 } // namespace meta

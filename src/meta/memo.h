@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Structural-hash–keyed memo cache for the tuning pipeline. The
+ * evolutionary search re-derives the same candidate schedule
+ * surprisingly often — mutation moves a tile factor back, two parents
+ * produce the same child, the loop-sketch family revisits a prior
+ * configuration — and each duplicate used to pay full feature
+ * extraction plus a simulated hardware measurement. The memo keys every
+ * evaluated candidate by structuralHash(func): a hit returns the cached
+ * feature vector and device estimate, so a candidate whose hash has
+ * already been evaluated skips the stats walk, feature extraction, and
+ * device-model run entirely — the real wall-clock cost of a
+ * "measurement" in this substrate. The *simulated* Table 1 accounting
+ * still charges duplicates (the paper's tuners re-profile them; see
+ * commitMeasurement in search.cpp), so the cache changes how fast the
+ * pipeline runs, never what it reports.
+ *
+ * Thread-safety: the cache is only read and written from the search's
+ * sequential fold phase (the main thread), never from pool workers, so
+ * it needs no locking — and hit counts stay deterministic for any
+ * `parallelism` setting.
+ */
+#ifndef TENSORIR_META_MEMO_H
+#define TENSORIR_META_MEMO_H
+
+#include <unordered_map>
+
+#include "hwsim/device.h"
+#include "meta/gbdt.h"
+
+namespace tir {
+namespace meta {
+
+/** Cached evaluation of one structurally-distinct candidate. */
+struct MemoEntry
+{
+    FeatureVec features;
+    /** Device-model estimate (latency or constraint violation). */
+    hwsim::RunEstimate estimate;
+    /** Whether this candidate was already charged as a measurement. */
+    bool measured = false;
+};
+
+/** Per-search memo of candidate evaluations, keyed by structural hash. */
+class MemoCache
+{
+  public:
+    /** Entry for a hash, or nullptr when unseen. */
+    MemoEntry*
+    find(uint64_t hash)
+    {
+        auto it = entries_.find(hash);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /** Insert an entry (first writer wins); returns the stored entry. */
+    MemoEntry&
+    insert(uint64_t hash, MemoEntry entry)
+    {
+        return entries_.emplace(hash, std::move(entry)).first->second;
+    }
+
+    /** Number of structurally-distinct candidates evaluated. */
+    size_t size() const { return entries_.size(); }
+
+  private:
+    std::unordered_map<uint64_t, MemoEntry> entries_;
+};
+
+} // namespace meta
+} // namespace tir
+
+#endif // TENSORIR_META_MEMO_H

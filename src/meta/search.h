@@ -3,6 +3,22 @@
  * Evolutionary search over sketch decisions (§4.4) with a learned cost
  * model and validation filtering, plus the top-level auto-tuner that
  * wires together candidate generation, sketch generation, and search.
+ *
+ * The search runs as a parallel pipeline: per generation, candidate
+ * instantiation (schedule rewrites + validation), feature extraction,
+ * and simulated measurement are distributed over a std::jthread pool,
+ * while all result folding (cost-model training data, best tracking,
+ * population survival) happens sequentially in candidate-index order.
+ *
+ * Determinism contract: for a fixed `TuneOptions::seed`, tuning results
+ * — `best_decisions`, `best_latency_us`, `best_sketch`, `history`,
+ * `trials_measured`, memo hit counts — are byte-identical for every
+ * value of `TuneOptions::parallelism` (1, 4, hardware_concurrency, …).
+ * This holds because each candidate's RNG is derived from
+ * (seed, generation, child_index) via Rng::derive instead of a shared
+ * mutable generator, and every reduction over candidate results runs on
+ * the main thread in a fixed order. Only `TuneResult::timings` (real
+ * wall-clock) varies between runs.
  */
 #ifndef TENSORIR_META_SEARCH_H
 #define TENSORIR_META_SEARCH_H
@@ -19,25 +35,48 @@ namespace meta {
 
 /** Feature vector of a scheduled program (input to the cost model). */
 FeatureVec extractFeatures(const PrimFunc& func);
-
-/** Applies a full sketch to a fresh schedule; throws on invalid. */
-using SketchApplier = std::function<void(Schedule&)>;
+/** Same, from already-extracted program stats (avoids a second walk
+ *  when the stats also feed the device model). */
+FeatureVec extractFeatures(const hwsim::ProgramStats& stats);
 
 /** Search configuration. */
 struct TuneOptions
 {
+    /** Survivor population size kept between generations. Larger values
+     *  preserve more diversity at the cost of more initial
+     *  measurements. */
     int population = 16;
+    /** Number of evolution rounds after the initial random population.
+     *  `history` gets one entry per generation plus the initial one. */
     int generations = 5;
-    /** Candidates generated per generation (cost-model pre-screened). */
+    /** Candidates generated per generation by mutating sampled parents.
+     *  All of them are instantiated, validated, and feature-extracted
+     *  (in parallel); only the cost-model favorites are measured. */
     int children_per_generation = 32;
-    /** How many pre-screened children get a simulated measurement. */
+    /** How many cost-model–screened children get a simulated hardware
+     *  measurement per generation (the expensive step: Table 1's
+     *  tuning time is dominated by it). */
     int measured_per_generation = 8;
+    /** Root seed. Every candidate RNG is derived from
+     *  (seed, generation, child_index), so results are reproducible for
+     *  any parallelism (see the determinism contract above). */
     uint64_t seed = 1;
+    /** Train a GBDT cost model on measured candidates and use it to
+     *  pre-screen children. Disabled by the AMOS-like persona. */
     bool use_cost_model = true;
     /** Simulated cost charged per hardware measurement (compile + run
      *  repetitions), used for the Table 1 tuning-time accounting. */
     double measure_overhead_us = 300000.0; // ~0.3 s compile+launch
+    /** Simulated run repetitions charged per measurement. */
     double measure_repeats = 100;
+    /**
+     * Worker threads for the pipeline (candidate instantiation, feature
+     * extraction, cost-model fit). 0 (the default) resolves to the
+     * TENSORIR_PARALLELISM environment variable if set, otherwise to
+     * std::thread::hardware_concurrency(). 1 disables threading
+     * entirely; any value yields byte-identical tuning results.
+     */
+    int parallelism = 0;
 };
 
 /** Outcome of a tuning run. */
@@ -57,6 +96,35 @@ struct TuneResult
     std::vector<double> history;
     /** True when the result was replayed from a database record. */
     bool from_database = false;
+
+    /** Candidates whose features/estimate came from the structural-hash
+     *  memo instead of being recomputed (duplicate schedules). */
+    int memo_hits = 0;
+    /** Measurements whose estimate was served from the memo because a
+     *  structurally identical candidate was already measured (nothing
+     *  re-run; the simulated profiling cost is still charged so the
+     *  Table 1 accounting stays comparable across personas). */
+    int memo_measure_hits = 0;
+    /** Threads the pipeline actually used (resolved parallelism). */
+    int parallelism_used = 1;
+
+    /** Real wall-clock spent per pipeline stage, in seconds. Unlike
+     *  everything above, these are *not* deterministic — they time this
+     *  process, not the simulated hardware. */
+    struct StageTimings
+    {
+        /** Candidate instantiation: schedule rewrites + validation. */
+        double generate_s = 0;
+        /** Stats/feature extraction + device-model estimates. */
+        double evaluate_s = 0;
+        /** Cost-model fitting and child ranking. */
+        double model_s = 0;
+        /** Sequential folds: measurement commits, survival, bookkeeping. */
+        double reduce_s = 0;
+        /** Whole search. */
+        double total_s = 0;
+    };
+    StageTimings timings;
 };
 
 /** Evolutionary search over the decisions of one sketch family. */

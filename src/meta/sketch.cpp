@@ -69,6 +69,52 @@ isScheduled(const Schedule& sch, const std::string& block)
 
 } // namespace
 
+size_t
+selectTensorizeCandidate(const std::vector<TensorizeCandidate>& candidates)
+{
+    TIR_CHECK(!candidates.empty())
+        << "selectTensorizeCandidate needs at least one candidate";
+    // Prefer the intrinsic that amortizes the most work per call while
+    // wasting the least padding.
+    size_t best = 0;
+    double best_score = -1;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        const TensorizeCandidate& c = candidates[i];
+        double score = TensorIntrin::get(c.intrin).macs / c.padding_waste;
+        if (score > best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    return best;
+}
+
+SketchApplier
+makeTensorSketchApplier(const TensorizeCandidate& cand, bool gpu,
+                        const SketchOptions& options)
+{
+    return [cand, gpu, options](Schedule& sch) {
+        ReindexBlocks rb = applyReindexAndLayout(sch, cand);
+        if (gpu) {
+            applyGpuTensorSketch(sch, cand, rb, options);
+        } else {
+            applyCpuTensorSketch(sch, cand, rb, options);
+        }
+    };
+}
+
+SketchApplier
+makeLoopSketchApplier(const std::string& einsum_block, bool gpu)
+{
+    return [einsum_block, gpu](Schedule& sch) {
+        if (gpu) {
+            applyGpuLoopSketch(sch, einsum_block);
+        } else {
+            applyCpuLoopSketch(sch, einsum_block);
+        }
+    };
+}
+
 void
 scheduleInjectiveGpu(Schedule& sch, const std::string& block)
 {

@@ -10,6 +10,8 @@
 #ifndef TENSORIR_META_SKETCH_H
 #define TENSORIR_META_SKETCH_H
 
+#include <functional>
+
 #include "meta/auto_tensorize.h"
 
 namespace tir {
@@ -23,6 +25,36 @@ struct SketchOptions
     /** Let the data-movement scheduler vectorize copies. */
     bool vectorize_copies = true;
 };
+
+/**
+ * Applies a full sketch to a fresh schedule; throws FatalError on
+ * invalid sampled decisions (the search filters these out).
+ *
+ * Thread-safety: appliers returned by the factories below capture only
+ * immutable state (candidate descriptors, option structs, block names),
+ * so one applier may be invoked concurrently from many threads, each on
+ * its own Schedule. This is what lets the parallel tuning pipeline
+ * instantiate a whole generation of candidates at once.
+ */
+using SketchApplier = std::function<void(Schedule&)>;
+
+/**
+ * Rank tensorize candidates by amortized work per intrinsic call
+ * (intrinsic MACs divided by padding waste) and return the index of the
+ * best one. Requires a non-empty candidate list.
+ */
+size_t selectTensorizeCandidate(
+    const std::vector<TensorizeCandidate>& candidates);
+
+/** Applier for the tensorized sketch family (ReIndex + layout + tile +
+ *  tensorize), targeting the GPU or CPU variant. */
+SketchApplier makeTensorSketchApplier(const TensorizeCandidate& cand,
+                                      bool gpu,
+                                      const SketchOptions& options);
+
+/** Applier for the non-tensorized loop-nest family (Ansor-style). */
+SketchApplier makeLoopSketchApplier(const std::string& einsum_block,
+                                    bool gpu);
 
 /**
  * GPU sketch with tensor-core style tensorization: multi-level tiling,

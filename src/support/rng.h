@@ -20,6 +20,29 @@ class Rng
   public:
     explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
 
+    /** Avalanche-mix two words (splitmix64 finalizer over a ^ mix). */
+    static uint64_t
+    mixSeed(uint64_t a, uint64_t b)
+    {
+        uint64_t z = a + 0x9e3779b97f4a7c15ull + b;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /**
+     * Derive an independent stream from (seed, stream, index) — e.g.
+     * (tuning seed, generation, child index). Candidates drawn from
+     * derived streams are statistically independent but fully
+     * reproducible, which lets the parallel search evaluate them in any
+     * order (or on any thread) without changing the result.
+     */
+    static Rng
+    derive(uint64_t seed, uint64_t stream, uint64_t index)
+    {
+        return Rng(mixSeed(mixSeed(seed, stream), index));
+    }
+
     /** Next raw 64-bit value. */
     uint64_t
     next()

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * A small fixed-size std::jthread pool used by the parallel tuning
+ * pipeline (candidate instantiation, feature extraction, cost-model
+ * fitting). Deliberately work-stealing-free: one shared batch with an
+ * atomic claim index is all the §4.4 search needs, because every batch
+ * is an embarrassingly parallel map over independent candidates.
+ *
+ * Determinism contract: parallelFor(n, fn) only parallelizes the *order
+ * of execution*, never the work itself — fn(i) must be a pure function
+ * of i and of state that is read-only for the duration of the call.
+ * Callers that fold results do so sequentially, in index order, after
+ * parallelFor returns; that is what makes `parallelism=1` and
+ * `parallelism=N` produce byte-identical tuning results.
+ *
+ * parallelFor must be called from the thread that owns the pool (it
+ * participates in the batch itself); calling it from inside a worker
+ * task would deadlock and is not supported.
+ */
+#ifndef TENSORIR_SUPPORT_THREAD_POOL_H
+#define TENSORIR_SUPPORT_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace tir {
+namespace support {
+
+/** Fixed pool of jthreads executing index-batch loops. */
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool that runs batches on `threads` threads in total.
+     * The calling thread counts as one of them, so `threads = 1` spawns
+     * nothing and parallelFor degenerates to an inline loop; `threads =
+     * 0` means "one per hardware thread".
+     */
+    explicit ThreadPool(int threads = 0)
+    {
+        if (threads <= 0) threads = hardwareParallelism();
+        for (int t = 0; t < threads - 1; ++t) {
+            workers_.emplace_back(
+                [this](std::stop_token st) { workerLoop(st); });
+        }
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (std::jthread& w : workers_) w.request_stop();
+        }
+        batch_ready_.notify_all();
+        // jthread joins on destruction.
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Total threads a batch runs on (including the calling thread). */
+    int
+    parallelism() const
+    {
+        return static_cast<int>(workers_.size()) + 1;
+    }
+
+    /** The OS-reported hardware thread count (at least 1). */
+    static int
+    hardwareParallelism()
+    {
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : static_cast<int>(hw);
+    }
+
+    /**
+     * Run fn(0) ... fn(n-1), distributed over the pool; returns when all
+     * calls finished. The first exception thrown by any fn is rethrown
+     * on the calling thread (after the batch drains).
+     */
+    void
+    parallelFor(size_t n, const std::function<void(size_t)>& fn)
+    {
+        if (n == 0) return;
+        if (workers_.empty() || n == 1) {
+            for (size_t i = 0; i < n; ++i) fn(i);
+            return;
+        }
+        auto batch = std::make_shared<Batch>();
+        batch->fn = &fn;
+        batch->n = n;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            TIR_ICHECK(!batch_) << "nested parallelFor is not supported";
+            batch_ = batch;
+        }
+        batch_ready_.notify_all();
+        runBatch(*batch);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            batch_done_.wait(lock, [&] {
+                return batch->done.load() == batch->n;
+            });
+            batch_ = nullptr;
+        }
+        if (batch->error) std::rethrow_exception(batch->error);
+    }
+
+  private:
+    /** One parallelFor invocation: claim indices until exhausted. */
+    struct Batch
+    {
+        const std::function<void(size_t)>* fn = nullptr;
+        size_t n = 0;
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> done{0};
+        std::exception_ptr error; // first error; guarded by owner mutex_
+    };
+
+    void
+    runBatch(Batch& batch)
+    {
+        for (size_t i = batch.next.fetch_add(1); i < batch.n;
+             i = batch.next.fetch_add(1)) {
+            try {
+                (*batch.fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!batch.error) batch.error = std::current_exception();
+            }
+            if (batch.done.fetch_add(1) + 1 == batch.n) {
+                // Lock so the notify cannot slip between the waiter's
+                // predicate check and its sleep.
+                std::lock_guard<std::mutex> lock(mutex_);
+                batch_done_.notify_all();
+            }
+        }
+    }
+
+    void
+    workerLoop(std::stop_token st)
+    {
+        while (true) {
+            std::shared_ptr<Batch> batch;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                batch_ready_.wait(lock, st, [&] {
+                    return batch_ && batch_->next.load() < batch_->n;
+                });
+                if (st.stop_requested()) return;
+                batch = batch_;
+            }
+            if (batch) runBatch(*batch);
+        }
+    }
+
+    std::vector<std::jthread> workers_;
+    std::mutex mutex_;
+    std::condition_variable_any batch_ready_;
+    std::condition_variable_any batch_done_;
+    std::shared_ptr<Batch> batch_;
+};
+
+} // namespace support
+} // namespace tir
+
+#endif // TENSORIR_SUPPORT_THREAD_POOL_H
