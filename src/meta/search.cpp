@@ -306,8 +306,16 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
          round < 8 &&
          static_cast<int>(population.size()) < options.population;
          ++round) {
-        std::vector<Candidate> batch(
-            static_cast<size_t>(options.population));
+        // Later rounds only cover the remaining deficit (times a slack
+        // factor for the invalid rate) instead of instantiating and
+        // device-estimating a full population-sized batch for one or
+        // two missing survivors.
+        int needed = options.population -
+                     static_cast<int>(population.size());
+        int round_size = round == 0
+                             ? options.population
+                             : std::min(options.population, needed * 2);
+        std::vector<Candidate> batch(static_cast<size_t>(round_size));
         for (Candidate& c : batch) {
             Rng rng = Rng::derive(options.seed, 0, attempt_index++);
             c.schedule_seed = rng.next();
@@ -315,12 +323,15 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         processBatch(batch);
         Clock::time_point t0 = Clock::now();
         for (Candidate& c : batch) {
-            if (static_cast<int>(population.size()) >=
-                options.population) {
-                break;
-            }
+            // Every generated attempt is accounted for — even once the
+            // population is full — so invalid_filtered keeps the serial
+            // meaning of "attempts that failed validation".
             if (!c.valid) {
                 ++result.invalid_filtered;
+                continue;
+            }
+            if (static_cast<int>(population.size()) >=
+                options.population) {
                 continue;
             }
             double latency = commitMeasurement(c);
@@ -417,12 +428,23 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             Rng pick_rng = Rng::derive(
                 options.seed, static_cast<uint64_t>(gen) + 1,
                 static_cast<uint64_t>(options.children_per_generation));
-            for (int k = 0; k < explore && k < to_measure; ++k) {
-                size_t slot = static_cast<size_t>(to_measure - 1 - k);
+            // Sample without replacement: each pick first moves to the
+            // end of a shrinking window, and the ranked candidate it
+            // evicts lands outside that window, so a later pick can
+            // neither repeat a tail candidate nor pull an evicted one
+            // back into the measured set.
+            for (int k = 0; k < explore && k < to_measure &&
+                            static_cast<size_t>(k) < tail_size;
+                 ++k) {
+                size_t window = tail_size - static_cast<size_t>(k);
+                size_t last =
+                    static_cast<size_t>(to_measure) + window - 1;
                 size_t j = static_cast<size_t>(to_measure) +
                            static_cast<size_t>(pick_rng.randInt(
-                               static_cast<int64_t>(tail_size)));
-                std::swap(children[slot], children[j]);
+                               static_cast<int64_t>(window)));
+                std::swap(children[j], children[last]);
+                size_t slot = static_cast<size_t>(to_measure - 1 - k);
+                std::swap(children[slot], children[last]);
             }
         }
         for (int c = 0; c < to_measure; ++c) {

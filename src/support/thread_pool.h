@@ -60,7 +60,10 @@ class ThreadPool
             for (std::jthread& w : workers_) w.request_stop();
         }
         batch_ready_.notify_all();
-        // jthread joins on destruction.
+        // Join here, in the destructor body, so every worker has fully
+        // returned from batch_ready_.wait (which reacquires mutex_)
+        // before the mutex and condition variables are destroyed.
+        workers_.clear();
     }
 
     ThreadPool(const ThreadPool&) = delete;
@@ -162,11 +165,14 @@ class ThreadPool
         }
     }
 
-    std::vector<std::jthread> workers_;
     std::mutex mutex_;
     std::condition_variable_any batch_ready_;
     std::condition_variable_any batch_done_;
     std::shared_ptr<Batch> batch_;
+    // Last member: even if the explicit join in ~ThreadPool is ever
+    // bypassed, the jthreads' own destructors run before the mutex and
+    // condition variables above are torn down.
+    std::vector<std::jthread> workers_;
 };
 
 } // namespace support

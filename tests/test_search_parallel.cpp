@@ -154,6 +154,20 @@ TEST(ThreadPoolTest, PropagatesWorkerExceptions)
     EXPECT_EQ(ran.load(), 8);
 }
 
+TEST(ThreadPoolTest, DestructionRightAfterBatchIsClean)
+{
+    // Regression: ~ThreadPool must join workers before tearing down the
+    // mutex/condition variables they wait on. Destroying the pool
+    // immediately after a batch — while workers may still be inside
+    // batch_ready_.wait — is exactly the end-of-search pattern.
+    for (int iter = 0; iter < 50; ++iter) {
+        support::ThreadPool pool(4);
+        std::atomic<int> ran{0};
+        pool.parallelFor(16, [&](size_t) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), 16);
+    }
+}
+
 TEST(ThreadPoolTest, SingleThreadRunsInline)
 {
     support::ThreadPool pool(1);
