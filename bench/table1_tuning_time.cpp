@@ -33,7 +33,15 @@ main()
     std::vector<graph::ModelSpec> models = {
         graph::resnet50Gpu(), graph::mobilenetV2Gpu(),
         graph::bertLargeGpu(), graph::vitGpu()};
-    for (const graph::ModelSpec& model : models) {
+    struct FilterTotals
+    {
+        int invalid = 0;
+        int race = 0;
+        int bounds = 0;
+    };
+    std::vector<FilterTotals> filters(models.size());
+    for (size_t m = 0; m < models.size(); ++m) {
+        const graph::ModelSpec& model = models[m];
         double tvm_minutes = 0;
         double tensorir_minutes = 0;
         for (int rep = 0; rep < kReplications; ++rep) {
@@ -46,6 +54,12 @@ main()
                 bench::endToEndOptions(42 + 100 * rep));
             tvm_minutes += tvm.tuning_minutes / kReplications;
             tensorir_minutes += tensorir.tuning_minutes / kReplications;
+            filters[m].invalid +=
+                tvm.invalid_filtered + tensorir.invalid_filtered;
+            filters[m].race +=
+                tvm.race_filtered + tensorir.race_filtered;
+            filters[m].bounds +=
+                tvm.bounds_filtered + tensorir.bounds_filtered;
         }
         bench::printRow({model.name, bench::fmt(tvm_minutes),
                          bench::fmt(tensorir_minutes),
@@ -54,6 +68,18 @@ main()
     }
     std::printf("\n(paper: ResNet-50 308 -> 156, MobileNet-V2 292 -> "
                 "261, BERT 410 -> 189, ViT 247 -> 145 minutes)\n");
+
+    // Candidates the validators discarded before any measurement, per
+    // workload (both personas, all replications): structural rejects
+    // (failed sketch instantiation / thread-binding rules) vs the new
+    // static-analysis rejects (provable races / out-of-bounds).
+    std::printf("\ncandidate filter counts (structural / race / "
+                "out-of-bounds):\n");
+    for (size_t m = 0; m < models.size(); ++m) {
+        std::printf("  %-14s %5d / %3d / %3d\n", models[m].name.c_str(),
+                    filters[m].invalid, filters[m].race,
+                    filters[m].bounds);
+    }
 
     // §5.2's further claim: cached search records eliminate the search
     // entirely for operators already tuned.

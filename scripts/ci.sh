@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure a fresh build tree with warnings-as-errors,
 # build everything (library, tests, benches), and run the test suite.
+# A second job rebuilds the tests with AddressSanitizer+UBSan and reruns
+# them (skippable with TENSORIR_CI_SKIP_SANITIZERS=1 for quick local
+# iterations).
 #
 #   scripts/ci.sh [build-dir]     (default: build-ci)
 #
@@ -23,3 +26,23 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo "ci: build (-Wall -Wextra -Werror) and tests passed"
+
+if [[ "${TENSORIR_CI_SKIP_SANITIZERS:-0}" == "1" ]]; then
+    echo "ci: sanitizer job skipped (TENSORIR_CI_SKIP_SANITIZERS=1)"
+    exit 0
+fi
+
+# ASan+UBSan job: library + tests only (the bench binaries triple the
+# build for no extra coverage), RelWithDebInfo so reports carry line
+# numbers without the Debug-build slowdown. Leak checking stays off:
+# the intrinsic/test registries are immortal by design.
+SAN_DIR="${BUILD_DIR}-asan"
+rm -rf "$SAN_DIR"
+cmake -B "$SAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTENSORIR_SANITIZE=address,undefined \
+    -DCMAKE_CXX_FLAGS="-Wno-restrict -fno-sanitize-recover=all"
+cmake --build "$SAN_DIR" -j "$(nproc)" --target tensorir_tests
+ASAN_OPTIONS=detect_leaks=0 ctest --test-dir "$SAN_DIR" --output-on-failure
+
+echo "ci: ASan+UBSan build and tests passed"

@@ -328,6 +328,13 @@ class CEmitter
             return;
           }
           case StmtKind::kEvaluate: {
+            // Storage barriers order GPU threads; the emitted C runs
+            // thread loops sequentially, so they compile away.
+            if (asStorageSync(*s)) {
+                indent(os, level);
+                os << "/* storage_sync */;\n";
+                return;
+            }
             const auto& n = static_cast<const EvaluateNode&>(*s);
             indent(os, level);
             os << emitExpr(n.value) << ";\n";

@@ -32,6 +32,9 @@ runModelTuned(const ModelSpec& model, const hwsim::DeviceModel& device,
             meta::autoTune(task, device, opts, style);
         result.latency_us += tuned.best_latency_us * layer.count;
         result.tuning_minutes += tuned.tuning_cost_us / 60e6;
+        result.invalid_filtered += tuned.invalid_filtered;
+        result.race_filtered += tuned.race_filtered;
+        result.bounds_filtered += tuned.bounds_filtered;
     }
     return result;
 }

@@ -23,6 +23,12 @@ struct ModelResult
     /** Simulated wall-clock time spent tuning (profiling-dominated). */
     double tuning_minutes = 0;
     bool supported = true;
+    /** Candidate-filter totals summed over all tuned layers: structural
+     *  rejects, provable-race rejects, and provable-out-of-bounds
+     *  rejects (TuneResult's invalid/race/bounds counters). */
+    int invalid_filtered = 0;
+    int race_filtered = 0;
+    int bounds_filtered = 0;
 };
 
 /** Tune a model with one of our tuner personas and sum layer times. */

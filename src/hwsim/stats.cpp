@@ -236,6 +236,10 @@ class StatsExtractor : public StmtExprVisitor
     void
     visitStmt(const Stmt& s) override
     {
+        if (asStorageSync(*s)) {
+            stats.syncs += trip_;
+            return;
+        }
         if (s->kind == StmtKind::kIfThenElse) {
             // Predicated copies (e.g. padding gathers) mostly take the
             // then-branch; attribute full cost there only.

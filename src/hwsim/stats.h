@@ -51,6 +51,9 @@ struct ProgramStats
     double shared_alloc_bytes = 0;
     /** Bytes of register-scope allocations per thread. */
     double local_alloc_bytes = 0;
+    /** Storage-sync barrier executions (trip-count weighted); each one
+     *  stalls the whole thread block. */
+    double syncs = 0;
     /** True when any thread binding exists. */
     bool uses_gpu_threads = false;
 

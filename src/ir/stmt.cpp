@@ -104,6 +104,28 @@ makeRootBlock(Stmt body, std::vector<Buffer> allocs)
     return blockRealize({}, intImm(1, DataType::boolean()), std::move(root));
 }
 
+Stmt
+storageSync(std::string scope)
+{
+    return evaluate(call(DataType::handle(), kStorageSyncOp,
+                         {stringImm(std::move(scope))}));
+}
+
+std::optional<std::string>
+asStorageSync(const StmtNode& stmt)
+{
+    if (stmt.kind != StmtKind::kEvaluate) return std::nullopt;
+    const Expr& value = static_cast<const EvaluateNode&>(stmt).value;
+    if (value->kind != ExprKind::kCall) return std::nullopt;
+    const auto& callee = static_cast<const CallNode&>(*value);
+    if (callee.op != kStorageSyncOp) return std::nullopt;
+    if (callee.args.size() == 1 &&
+        callee.args[0]->kind == ExprKind::kStringImm) {
+        return static_cast<const StringImmNode&>(*callee.args[0]).value;
+    }
+    return std::string("shared");
+}
+
 const BlockNode*
 asBlockRealize(const Stmt& stmt, std::vector<Expr>* values)
 {

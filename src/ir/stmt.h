@@ -291,6 +291,20 @@ PrimFunc makeFunc(std::string name, std::vector<Buffer> params, Stmt body,
 /** Wrap `body` in the canonical argument-less root block + realize. */
 Stmt makeRootBlock(Stmt body, std::vector<Buffer> allocs = {});
 
+/** Intrinsic name of the cross-thread storage barrier (CUDA's
+ *  __syncthreads analogue). Represented as Evaluate(Call(handle,
+ *  kStorageSyncOp, {StringImm(scope)})); a no-op on the sequential
+ *  interpreter but load-bearing for the static race analysis. */
+inline constexpr const char kStorageSyncOp[] = "tir.storage_sync";
+
+/** Barrier statement synchronizing all threads of a launch on the
+ *  given storage scope. */
+Stmt storageSync(std::string scope = "shared");
+
+/** The synchronized scope when `stmt` is a storage-sync barrier,
+ *  std::nullopt otherwise. */
+std::optional<std::string> asStorageSync(const StmtNode& stmt);
+
 /** The Block of a statement that must be a BlockRealize. */
 const BlockNode* asBlockRealize(const Stmt& stmt, std::vector<Expr>* values =
                                 nullptr);

@@ -82,6 +82,13 @@ lowerToLoops(const PrimFunc& func)
     return makeFunc(func->name, func->params, body, func->attrs);
 }
 
+Stmt
+eraseBlocks(const Stmt& stmt)
+{
+    BlockEraser eraser;
+    return eraser.mutateStmt(stmt);
+}
+
 bool
 isBlockFree(const Stmt& stmt)
 {

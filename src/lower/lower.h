@@ -21,8 +21,24 @@ namespace tir {
  */
 PrimFunc lowerToLoops(const PrimFunc& func);
 
+/** Lower one statement subtree to block-free form (same rewrite as
+ *  lowerToLoops, without requiring a whole function). Used by analyses
+ *  that inspect individual pipeline stages. */
+Stmt eraseBlocks(const Stmt& stmt);
+
 /** True when a statement tree contains no blocks. */
 bool isBlockFree(const Stmt& stmt);
+
+/**
+ * Insert storage-sync barriers into a lowered (block-free) function:
+ * between statements of a sequence whenever a later statement touches a
+ * shared-scope buffer an earlier one wrote, and at the top of any serial
+ * loop inside a thread launch whose body both writes and reads shared
+ * buffers (the staged-pipeline loop-carried hazard). Barriers are never
+ * placed under thread-divergent conditionals. Idempotent: existing
+ * barriers satisfy the dependency and suppress duplicates.
+ */
+PrimFunc insertStorageSync(const PrimFunc& lowered);
 
 } // namespace tir
 

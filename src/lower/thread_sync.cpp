@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Storage-sync insertion for lowered functions. Mirrors TVM's
+ * ThreadSync pass in miniature: within a kernel launch, a barrier is
+ * required before any statement that touches a shared-scope buffer some
+ * earlier statement of the same sequence wrote, and at the top of a
+ * serial loop whose body both writes and reads shared memory (the
+ * loop-carried hazard of software-pipelined staging copies). The
+ * sequential interpreter does not need the barriers to compute correct
+ * values; the static race analysis does need them to prove cross-thread
+ * read-after-write ordering.
+ */
+#include "lower/lower.h"
+
+#include <set>
+
+#include "ir/functor.h"
+#include "ir/transform.h"
+
+namespace tir {
+
+namespace {
+
+/** Shared-scope buffers touched by a statement, split by direction. */
+struct SharedTouch
+{
+    std::set<const BufferNode*> reads;
+    std::set<const BufferNode*> writes;
+};
+
+SharedTouch
+sharedTouch(const Stmt& stmt)
+{
+    SharedTouch touch;
+    for (const BufferNode* b : buffersRead(stmt)) {
+        if (b->scope == "shared") touch.reads.insert(b);
+    }
+    for (const BufferNode* b : buffersWritten(stmt)) {
+        if (b->scope == "shared") touch.writes.insert(b);
+    }
+    return touch;
+}
+
+bool
+intersects(const std::set<const BufferNode*>& a,
+           const std::set<const BufferNode*>& b)
+{
+    for (const BufferNode* x : a) {
+        if (b.count(x)) return true;
+    }
+    return false;
+}
+
+bool
+startsWithSync(const Stmt& body)
+{
+    if (asStorageSync(*body)) return true;
+    return body->kind == StmtKind::kSeq &&
+           asStorageSync(
+               *static_cast<const SeqStmtNode&>(*body).seq.front());
+}
+
+class SyncInserter : public StmtExprMutator
+{
+  public:
+    Stmt
+    mutateStmt(const Stmt& s) override
+    {
+        if (s->kind == StmtKind::kIfThenElse) {
+            // Inside an If whose condition depends on a thread
+            // variable no barrier may be inserted: only part of the
+            // thread block would reach it.
+            const auto& n = static_cast<const IfThenElseNode&>(*s);
+            bool saved = divergent_;
+            for (const VarNode* v : collectVars(n.cond)) {
+                if (thread_vars_.count(v)) divergent_ = true;
+            }
+            Stmt result = StmtExprMutator::mutateStmt(s);
+            divergent_ = saved;
+            return result;
+        }
+        if (s->kind != StmtKind::kSeq || !in_launch_ || divergent_) {
+            return StmtExprMutator::mutateStmt(s);
+        }
+        const auto& n = static_cast<const SeqStmtNode&>(*s);
+        std::vector<Stmt> rewritten;
+        rewritten.reserve(n.seq.size());
+        // Shared buffers written since the last barrier in this
+        // sequence; any later touch of one of them needs a barrier.
+        std::set<const BufferNode*> pending;
+        for (const Stmt& sub : n.seq) {
+            if (asStorageSync(*sub)) {
+                pending.clear();
+                rewritten.push_back(sub);
+                continue;
+            }
+            SharedTouch touch = sharedTouch(sub);
+            if (intersects(pending, touch.reads) ||
+                intersects(pending, touch.writes)) {
+                rewritten.push_back(storageSync());
+                pending.clear();
+            }
+            rewritten.push_back(mutateStmt(sub));
+            pending.insert(touch.writes.begin(), touch.writes.end());
+        }
+        return seq(std::move(rewritten));
+    }
+
+  protected:
+    Stmt
+    mutateFor(const Stmt& s) override
+    {
+        const auto& n = static_cast<const ForNode&>(*s);
+        bool was_launch = in_launch_;
+        bool is_thread = n.for_kind == ForKind::kThreadBinding;
+        if (is_thread) {
+            in_launch_ = true;
+            thread_vars_.insert(n.loop_var.get());
+        }
+        Stmt result = StmtExprMutator::mutateFor(s);
+        // A serial loop inside a launch whose body both writes and
+        // reads shared memory carries a hazard across iterations:
+        // barrier at the top of every iteration.
+        if (in_launch_ && !divergent_ && !is_thread) {
+            SharedTouch touch = sharedTouch(n.body);
+            if (intersects(touch.writes, touch.reads)) {
+                const auto& rewritten =
+                    static_cast<const ForNode&>(*result);
+                if (!startsWithSync(rewritten.body)) {
+                    result = makeFor(rewritten.loop_var, rewritten.min,
+                                     rewritten.extent,
+                                     seq({storageSync(),
+                                          rewritten.body}),
+                                     rewritten.for_kind,
+                                     rewritten.thread_tag,
+                                     rewritten.annotations);
+                }
+            }
+        }
+        if (is_thread) {
+            in_launch_ = was_launch;
+            thread_vars_.erase(n.loop_var.get());
+        }
+        return result;
+    }
+
+  private:
+    bool in_launch_ = false;
+    bool divergent_ = false;
+    std::set<const VarNode*> thread_vars_;
+};
+
+} // namespace
+
+PrimFunc
+insertStorageSync(const PrimFunc& lowered)
+{
+    TIR_CHECK(isBlockFree(lowered->body))
+        << "insertStorageSync expects a lowered (block-free) function";
+    SyncInserter inserter;
+    Stmt body = inserter.mutateStmt(lowered->body);
+    return makeFunc(lowered->name, lowered->params, body, lowered->attrs);
+}
+
+} // namespace tir

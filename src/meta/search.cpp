@@ -5,6 +5,7 @@
 #include "meta/database.h"
 #include "meta/memo.h"
 #include "support/thread_pool.h"
+#include "tir/analysis/analysis.h"
 #include "tir/verify.h"
 
 #include <algorithm>
@@ -92,6 +93,18 @@ resolveParallelism(const TuneOptions& options)
     return support::ThreadPool::hardwareParallelism();
 }
 
+/** Why an invalid candidate was rejected (for the filter counters). */
+enum class RejectKind : uint8_t
+{
+    kNone,
+    /** Sketch application threw or threading validation failed. */
+    kStructure,
+    /** Static race analysis found a provable memory hazard. */
+    kRace,
+    /** Static bounds analysis found a provable out-of-bounds access. */
+    kBounds,
+};
+
 /** One candidate flowing through the per-generation pipeline. */
 struct Candidate
 {
@@ -100,6 +113,7 @@ struct Candidate
     std::vector<Decision> overrides;
     // Instantiation outputs, filled by pool workers.
     bool valid = false;
+    RejectKind reject = RejectKind::kNone;
     std::vector<Decision> decisions;
     PrimFunc func;
     uint64_t hash = 0;
@@ -121,12 +135,34 @@ instantiateCandidate(const PrimFunc& workload, const SketchApplier& sketch,
     try {
         sketch(sch);
     } catch (const FatalError&) {
+        cand.reject = RejectKind::kStructure;
         return; // valid stays false; counted in the sequential fold
     }
     // Threading validation (§3.3) filters false positives before they
     // reach a measurement.
     VerifyResult threads = verifyThreadBindings(sch.func());
-    if (!threads.ok) return;
+    if (!threads.ok) {
+        cand.reject = RejectKind::kStructure;
+        return;
+    }
+    // Static memory analysis on the lowered program: candidates with a
+    // *provable* cross-thread hazard or out-of-bounds access never
+    // reach a measurement. Only error-severity findings reject — a
+    // correct-but-unprovable schedule survives as a warning, so the
+    // population cannot be emptied by analysis incompleteness. The
+    // concrete-enumeration fallback stays off here (it is quadratic in
+    // thread extents; the symbolic proofs are the cheap path).
+    analysis::AnalysisOptions analysis_opts;
+    analysis_opts.exhaustive_pair_limit = 0;
+    analysis_opts.max_diagnostics = 4;
+    analysis::AnalysisReport report =
+        analysis::analyzeFunc(sch.func(), analysis_opts);
+    if (!report.ok()) {
+        cand.reject = report.hasError(analysis::DiagKind::kOutOfBounds)
+                          ? RejectKind::kBounds
+                          : RejectKind::kRace;
+        return;
+    }
     cand.decisions = sch.decisions();
     cand.func = sch.func();
     cand.hash = structuralHash(cand.func);
@@ -166,6 +202,23 @@ mutate(const std::vector<Decision>& decisions, Rng& rng)
         }
     }
     return result;
+}
+
+/** Fold one rejected candidate into the filter counters. */
+void
+countReject(TuneResult& result, RejectKind reject)
+{
+    switch (reject) {
+      case RejectKind::kRace:
+        ++result.race_filtered;
+        break;
+      case RejectKind::kBounds:
+        ++result.bounds_filtered;
+        break;
+      default:
+        ++result.invalid_filtered;
+        break;
+    }
 }
 
 /** A measured survivor in the population. */
@@ -324,10 +377,10 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         Clock::time_point t0 = Clock::now();
         for (Candidate& c : batch) {
             // Every generated attempt is accounted for — even once the
-            // population is full — so invalid_filtered keeps the serial
-            // meaning of "attempts that failed validation".
+            // population is full — so the filter counters keep the
+            // serial meaning of "attempts that failed validation".
             if (!c.valid) {
-                ++result.invalid_filtered;
+                countReject(result, c.reject);
                 continue;
             }
             if (static_cast<int>(population.size()) >=
@@ -380,7 +433,7 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             if (batch[i].valid) {
                 children.push_back(i);
             } else {
-                ++result.invalid_filtered;
+                countReject(result, batch[i].reject);
             }
         }
         result.timings.reduce_s += secondsSince(t0);
@@ -478,6 +531,8 @@ accumulate(TuneResult& into, const TuneResult& from)
 {
     into.trials_measured += from.trials_measured;
     into.invalid_filtered += from.invalid_filtered;
+    into.race_filtered += from.race_filtered;
+    into.bounds_filtered += from.bounds_filtered;
     into.tuning_cost_us += from.tuning_cost_us;
     into.memo_hits += from.memo_hits;
     into.memo_measure_hits += from.memo_measure_hits;
@@ -589,6 +644,14 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
         TIR_CHECK(cover.ok)
             << "tuned program failed producer-consumer validation: "
             << cover.error;
+        // The winner already passed the per-candidate filter; this
+        // re-check runs the full-budget analysis (enumeration enabled)
+        // on the single program that actually ships.
+        analysis::AnalysisReport report =
+            analysis::analyzeFunc(result.best_func);
+        TIR_CHECK(report.ok())
+            << "tuned program failed static memory analysis:\n"
+            << report.summary();
     }
     return result;
 }

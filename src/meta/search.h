@@ -90,6 +90,15 @@ struct TuneResult
     std::string best_sketch;
     int trials_measured = 0;
     int invalid_filtered = 0;
+    /** Candidates rejected by the static race analysis (a provable
+     *  cross-thread write-write or unsynchronized read-after-write
+     *  hazard in the lowered program), before any measurement. Counted
+     *  separately from invalid_filtered so Table 1 can report how many
+     *  sketches each workload loses to memory hazards. */
+    int race_filtered = 0;
+    /** Candidates rejected by the static bounds analysis (an access
+     *  provably outside its buffer's declared shape). */
+    int bounds_filtered = 0;
     /** Simulated wall-clock tuning cost (profiling dominates). */
     double tuning_cost_us = 0;
     /** Best latency after each generation. */

@@ -1,11 +1,26 @@
 #include "runtime/interpreter.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <optional>
 
 #include "arith/interval.h"
+#include "tir/analysis/analysis.h"
 
 namespace tir {
 namespace runtime {
+
+namespace {
+
+/** Explicit setDebugChecks override; unset falls through to the env. */
+std::optional<bool>&
+debugChecksOverride()
+{
+    static std::optional<bool> value;
+    return value;
+}
+
+} // namespace
 
 std::unordered_map<std::string, IntrinsicImpl>&
 Interpreter::registry()
@@ -27,6 +42,20 @@ Interpreter::hasIntrinsic(const std::string& name)
 }
 
 void
+Interpreter::setDebugChecks(bool enabled)
+{
+    debugChecksOverride() = enabled;
+}
+
+bool
+Interpreter::debugChecksEnabled()
+{
+    if (debugChecksOverride()) return *debugChecksOverride();
+    const char* env = std::getenv("TENSORIR_DEBUG_CHECKS");
+    return env && *env && std::string(env) != "0";
+}
+
+void
 Interpreter::run(const PrimFunc& func, const std::vector<NDArray*>& args)
 {
     TIR_CHECK(args.size() == func->params.size())
@@ -39,6 +68,13 @@ Interpreter::run(const PrimFunc& func, const std::vector<NDArray*>& args)
         TIR_CHECK(args[i]->numel() == func->params[i]->numel())
             << "argument " << i << " size mismatch for " << func->name;
         bound_[func->params[i].get()] = args[i];
+    }
+    if (debugChecksEnabled()) {
+        analysis::AnalysisReport report = analysis::analyzeFunc(func);
+        TIR_CHECK(report.ok())
+            << "static memory analysis failed for " << func->name
+            << " before execution:\n"
+            << report.summary();
     }
     exec(func->body);
 }
@@ -220,6 +256,9 @@ Interpreter::exec(const Stmt& stmt)
         return;
       }
       case StmtKind::kEvaluate: {
+        // Storage barriers order threads on real hardware; sequential
+        // execution is already ordered, so they are no-ops here.
+        if (asStorageSync(*stmt)) return;
         const auto& n = static_cast<const EvaluateNode&>(*stmt);
         TIR_ICHECK(n.value->kind == ExprKind::kCall)
             << "Evaluate expects an intrinsic call";

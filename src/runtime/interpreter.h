@@ -59,6 +59,16 @@ class Interpreter
     /** Whether an intrinsic implementation is registered. */
     static bool hasIntrinsic(const std::string& name);
 
+    /** Force the pre-execution static memory analysis on or off for
+     *  every subsequent run() (overrides the environment). */
+    static void setDebugChecks(bool enabled);
+    /** Whether run() asserts the static memory analysis before
+     *  executing: an explicit setDebugChecks wins, otherwise the
+     *  TENSORIR_DEBUG_CHECKS environment variable (any non-empty value
+     *  other than "0"). Off by default — the analysis re-lowers the
+     *  function, which is wasted work in tight test loops. */
+    static bool debugChecksEnabled();
+
   private:
     void exec(const Stmt& stmt);
     int64_t linearOffset(const Buffer& buffer,

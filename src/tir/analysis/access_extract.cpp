@@ -1,0 +1,336 @@
+#include "tir/analysis/access_extract.h"
+
+#include "arith/iter_map.h"
+#include "ir/functor.h"
+#include "ir/transform.h"
+
+namespace tir {
+namespace analysis {
+
+namespace {
+
+/** Flip a comparison for `!(a REL b)`; kNE → kEQ is not produced. */
+bool
+negateRel(ExprKind rel, ExprKind* out)
+{
+    switch (rel) {
+      case ExprKind::kLT: *out = ExprKind::kGE; return true;
+      case ExprKind::kLE: *out = ExprKind::kGT; return true;
+      case ExprKind::kGT: *out = ExprKind::kLE; return true;
+      case ExprKind::kGE: *out = ExprKind::kLT; return true;
+      case ExprKind::kNE: *out = ExprKind::kEQ; return true;
+      default: return false;
+    }
+}
+
+bool
+isComparison(ExprKind kind)
+{
+    switch (kind) {
+      case ExprKind::kLT:
+      case ExprKind::kLE:
+      case ExprKind::kGT:
+      case ExprKind::kGE:
+      case ExprKind::kEQ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+class AccessExtractor : public StmtExprVisitor
+{
+  public:
+    explicit AccessExtractor(bool widen_threads)
+        : widen_threads_(widen_threads)
+    {}
+
+    FuncAccesses out;
+
+    void
+    visitStmt(const Stmt& s) override
+    {
+        if (asStorageSync(*s)) {
+            SyncSite sync;
+            sync.launch = launch_;
+            sync.seq = seq_++;
+            sync.divergent = guard_thread_depth_ > 0;
+            sync.loop_path = joinPath();
+            out.syncs.push_back(std::move(sync));
+            if (concurrency_depth_ > 0) ++sync_epoch_;
+            return;
+        }
+        if (s->kind == StmtKind::kIfThenElse) {
+            visitIf(static_cast<const IfThenElseNode&>(*s));
+            return;
+        }
+        StmtExprVisitor::visitStmt(s);
+    }
+
+    void
+    visitExpr(const Expr& e) override
+    {
+        // select(cond, tval, fval) guards its branches the same way an
+        // if guards its cases — the padding idiom
+        // select(lo <= i && i < hi, A[i - lo], 0) reads A only when
+        // the condition holds, and the bounds proof needs that fact.
+        if (e->kind == ExprKind::kSelect) {
+            const auto& sel = static_cast<const SelectNode&>(*e);
+            visitExpr(sel.cond);
+
+            size_t guard_mark = guards_.size();
+            int opaque_added = 0;
+            std::vector<Expr> conjuncts =
+                arith::splitConjunction(sel.cond);
+            for (const Expr& c : conjuncts) {
+                if (!pushConstraint(c, /*negated=*/false)) ++opaque_added;
+            }
+            opaque_guard_depth_ += opaque_added;
+            visitExpr(sel.tval);
+            opaque_guard_depth_ -= opaque_added;
+            guards_.resize(guard_mark);
+
+            bool parsed_negation =
+                conjuncts.size() == 1 &&
+                pushConstraint(conjuncts[0], /*negated=*/true);
+            if (!parsed_negation) ++opaque_guard_depth_;
+            visitExpr(sel.fval);
+            if (!parsed_negation) --opaque_guard_depth_;
+            guards_.resize(guard_mark);
+            return;
+        }
+        StmtExprVisitor::visitExpr(e);
+    }
+
+  protected:
+    void
+    visitFor(const ForNode& node) override
+    {
+        bool concurrent = node.for_kind == ForKind::kThreadBinding ||
+                          node.for_kind == ForKind::kParallel;
+        if (!concurrent) {
+            env_[node.loop_var.get()] = Range(node.min, node.extent);
+            out.full.bind(node.loop_var, Range(node.min, node.extent));
+            path_.push_back(node.loop_var->name);
+            visitStmt(node.body);
+            path_.pop_back();
+            env_.erase(node.loop_var.get());
+            return;
+        }
+
+        std::string tag = node.for_kind == ForKind::kThreadBinding
+                              ? node.thread_tag
+                              : "parallel:" + node.loop_var->name;
+        bool launch_root = concurrency_depth_ == 0;
+        if (launch_root) {
+            launch_ = out.num_launches++;
+            launch_axes_.clear();
+            sync_epoch_ = 0;
+        }
+        ++concurrency_depth_;
+
+        int64_t extent = constIntOr(node.extent, -1);
+        if (constIntOr(node.min, 0) != 0) extent = -1;
+        bool remapped = false;
+        auto it = launch_axes_.find(tag);
+        if (it == launch_axes_.end()) {
+            ThreadAxis axis;
+            axis.var = node.loop_var;
+            axis.tag = tag;
+            axis.extent = extent;
+            launch_axes_.emplace(tag, axis);
+            thread_stack_.push_back(axis);
+            out.full.bind(node.loop_var, Range(node.min, node.extent));
+        } else {
+            // Sibling loop re-binding an already-seen tag: canonicalize
+            // onto the first variable so footprints of both loops live
+            // in one coordinate space.
+            if (it->second.extent != extent) it->second.extent = -1;
+            thread_remap_[node.loop_var.get()] = it->second.var;
+            thread_stack_.push_back(it->second);
+            remapped = true;
+        }
+        if (widen_threads_) {
+            const Var& canonical = thread_stack_.back().var;
+            env_.emplace(canonical.get(), Range(node.min, node.extent));
+        }
+
+        path_.push_back(tag);
+        visitStmt(node.body);
+        path_.pop_back();
+
+        if (widen_threads_) env_.erase(thread_stack_.back().var.get());
+        if (remapped) thread_remap_.erase(node.loop_var.get());
+        thread_stack_.pop_back();
+        --concurrency_depth_;
+        if (launch_root) launch_axes_.clear();
+    }
+
+    void
+    visitBufferStore(const BufferStoreNode& node) override
+    {
+        visitExpr(node.value);
+        for (const Expr& idx : node.indices) visitExpr(idx);
+        record(node.buffer, node.indices, /*is_write=*/true,
+               node.value, /*opaque=*/false);
+    }
+
+    void
+    visitBufferLoad(const BufferLoadNode& node) override
+    {
+        for (const Expr& idx : node.indices) visitExpr(idx);
+        record(node.buffer, node.indices, /*is_write=*/false, nullptr,
+               /*opaque=*/false);
+    }
+
+    void
+    visitBufferPtr(const BufferPtrNode& node) override
+    {
+        for (const Expr& idx : node.indices) visitExpr(idx);
+        record(node.buffer, node.indices, /*is_write=*/true, nullptr,
+               /*opaque=*/true);
+    }
+
+    void
+    visitBlock(const BlockNode&) override
+    {
+        TIR_PANIC << "access extraction expects a lowered, block-free "
+                     "statement";
+    }
+
+  private:
+    void
+    visitIf(const IfThenElseNode& node)
+    {
+        visitExpr(node.cond); // record loads inside the condition
+        bool thread_cond = condUsesThread(node.cond);
+
+        size_t guard_mark = guards_.size();
+        int opaque_added = 0;
+        std::vector<Expr> conjuncts = arith::splitConjunction(node.cond);
+        for (const Expr& c : conjuncts) {
+            if (!pushConstraint(c, /*negated=*/false)) ++opaque_added;
+        }
+        opaque_guard_depth_ += opaque_added;
+        if (thread_cond) ++guard_thread_depth_;
+        visitStmt(node.then_case);
+        opaque_guard_depth_ -= opaque_added;
+        guards_.resize(guard_mark);
+
+        if (node.else_case) {
+            bool parsed_negation =
+                conjuncts.size() == 1 &&
+                pushConstraint(conjuncts[0], /*negated=*/true);
+            if (!parsed_negation) ++opaque_guard_depth_;
+            visitStmt(node.else_case);
+            if (!parsed_negation) --opaque_guard_depth_;
+            guards_.resize(guard_mark);
+        }
+        if (thread_cond) --guard_thread_depth_;
+    }
+
+    /** Parse one conjunct into a GuardConstraint; false when the shape
+     *  is unsupported (the caller then marks the scope opaque). */
+    bool
+    pushConstraint(const Expr& cond, bool negated)
+    {
+        if (!isComparison(cond->kind) && cond->kind != ExprKind::kNE) {
+            return false;
+        }
+        const auto& cmp = static_cast<const BinaryNode&>(*cond);
+        ExprKind rel = cond->kind;
+        if (negated && !negateRel(rel, &rel)) return false;
+        if (!negated && rel == ExprKind::kNE) return false;
+        GuardConstraint guard;
+        guard.lhs = remap(cmp.a);
+        guard.rhs = remap(cmp.b);
+        guard.rel = rel;
+        guards_.push_back(std::move(guard));
+        return true;
+    }
+
+    bool
+    condUsesThread(const Expr& cond)
+    {
+        for (const VarNode* v : collectVars(remap(cond))) {
+            for (const ThreadAxis& axis : thread_stack_) {
+                if (axis.var.get() == v) return true;
+            }
+        }
+        return false;
+    }
+
+    Expr
+    remap(const Expr& e) const
+    {
+        return thread_remap_.empty() ? e : substitute(e, thread_remap_);
+    }
+
+    void
+    record(const Buffer& buffer, const std::vector<Expr>& indices,
+           bool is_write, const Expr& value, bool opaque)
+    {
+        AccessSite site;
+        site.buffer = buffer;
+        site.is_write = is_write;
+        site.opaque = opaque;
+        site.indices.reserve(indices.size());
+        for (const Expr& idx : indices) {
+            site.indices.push_back(remap(idx));
+        }
+        if (!opaque) {
+            site.bounds.reserve(indices.size());
+            for (const Expr& idx : site.indices) {
+                site.bounds.push_back(
+                    arith::evalSymBound(idx, env_, out.full));
+            }
+        }
+        if (value) site.value = remap(value);
+        site.threads = thread_stack_;
+        site.guards = guards_;
+        site.opaque_guard = opaque_guard_depth_ > 0;
+        site.launch = concurrency_depth_ > 0 ? launch_ : -1;
+        site.sync_epoch = sync_epoch_;
+        site.seq = seq_++;
+        site.loop_path = joinPath();
+        out.sites.push_back(std::move(site));
+    }
+
+    std::string
+    joinPath() const
+    {
+        std::string path;
+        for (const std::string& p : path_) {
+            if (!path.empty()) path += "/";
+            path += p;
+        }
+        return path.empty() ? "<top>" : path;
+    }
+
+    bool widen_threads_;
+    arith::RangeEnv env_;
+    VarMap thread_remap_;
+    std::vector<ThreadAxis> thread_stack_;
+    std::map<std::string, ThreadAxis> launch_axes_;
+    std::vector<GuardConstraint> guards_;
+    std::vector<std::string> path_;
+    int concurrency_depth_ = 0;
+    int opaque_guard_depth_ = 0;
+    int guard_thread_depth_ = 0;
+    int launch_ = -1;
+    int sync_epoch_ = 0;
+    int seq_ = 0;
+};
+
+} // namespace
+
+FuncAccesses
+extractAccesses(const Stmt& body, bool widen_threads)
+{
+    AccessExtractor extractor(widen_threads);
+    extractor.visitStmt(body);
+    return std::move(extractor.out);
+}
+
+} // namespace analysis
+} // namespace tir

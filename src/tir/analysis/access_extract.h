@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Access-site extraction for lowered TensorIR. Walks a block-free
+ * statement tree and records every buffer access together with the
+ * symbolic per-dimension footprint it touches, the thread axes live at
+ * the site, the guard constraints implied by enclosing conditionals,
+ * and its position relative to storage-sync barriers. This is the raw
+ * material of the race detector and the out-of-bounds checker
+ * (tir/analysis/analysis.h) and of the per-region producer-consumer
+ * cover check (tir/verify.h).
+ */
+#ifndef TENSORIR_TIR_ANALYSIS_ACCESS_EXTRACT_H
+#define TENSORIR_TIR_ANALYSIS_ACCESS_EXTRACT_H
+
+#include <map>
+
+#include "arith/analyzer.h"
+#include "arith/region.h"
+#include "ir/stmt.h"
+
+namespace tir {
+namespace analysis {
+
+/** A concurrency axis live at an access site: a GPU thread binding or
+ *  a CPU parallel loop. */
+struct ThreadAxis
+{
+    /** Canonical variable of this axis within its launch. Sibling loops
+     *  re-binding the same tag are remapped onto the first one seen. */
+    Var var;
+    /** "blockIdx.x", "threadIdx.y", ... or "parallel:<name>" for CPU
+     *  parallel loops. */
+    std::string tag;
+    /** Constant trip count, or -1 when symbolic / inconsistent between
+     *  sibling bindings (axis then proves nothing). */
+    int64_t extent = 1;
+
+    bool isBlockAxis() const { return tag.rfind("blockIdx", 0) == 0; }
+};
+
+/** One guard constraint `lhs REL rhs` (REL in {<, <=, >, >=, ==})
+ *  contributed by an enclosing IfThenElse. */
+struct GuardConstraint
+{
+    Expr lhs;
+    Expr rhs;
+    ExprKind rel;
+};
+
+/** One buffer access in a lowered function. */
+struct AccessSite
+{
+    Buffer buffer;
+    bool is_write = false;
+    /** BufferPtr handed to an opaque intrinsic: unknown footprint,
+     *  counts as both read and write. */
+    bool opaque = false;
+    /** Index expressions with sibling thread vars canonicalized; serial
+     *  loop vars appear as-is (they are bound in FuncAccesses::env). */
+    std::vector<Expr> indices;
+    /** Per-dimension inclusive symbolic footprint with serial loop vars
+     *  widened away; only thread-axis vars remain symbolic. Null lo/hi
+     *  for dimensions the interval machinery cannot express. */
+    std::vector<arith::SymBound> bounds;
+    /** Stored value (writes only). */
+    Expr value;
+    /** Concurrency axes enclosing the site, outermost first. */
+    std::vector<ThreadAxis> threads;
+    /** Parsed guard constraints of enclosing conditionals. */
+    std::vector<GuardConstraint> guards;
+    /** Some enclosing condition could not be parsed into constraints
+     *  (negated branches, non-comparison predicates). */
+    bool opaque_guard = false;
+    /** Kernel-launch ordinal (outermost concurrency scope); sites from
+     *  different launches are separated by an implicit device sync. */
+    int launch = -1;
+    /** Barriers executed before this site within its launch. */
+    int sync_epoch = 0;
+    /** Program-order sequence number across the whole function. */
+    int seq = 0;
+    /** Human-readable loop nest, e.g. "blockIdx.x/threadIdx.x/k". */
+    std::string loop_path;
+};
+
+/** A storage-sync barrier site. */
+struct SyncSite
+{
+    int launch = -1;
+    int seq = 0;
+    /** Barrier sits under thread-divergent control flow: only part of
+     *  the block reaches it (deadlock on real hardware). */
+    bool divergent = false;
+    std::string loop_path;
+};
+
+/** All accesses of one lowered function. */
+struct FuncAccesses
+{
+    std::vector<AccessSite> sites;
+    std::vector<SyncSite> syncs;
+    int num_launches = 0;
+    /** Analyzer with every loop variable of the function bound to its
+     *  range (serial vars and canonical thread vars alike). Shared by
+     *  the checks; variable identity is unique per loop. */
+    arith::Analyzer full;
+};
+
+/**
+ * Extract the access sites of a lowered (block-free) statement.
+ * When `widen_threads` is set, thread-axis variables are widened over
+ * their ranges like serial loops (footprints then contain no loop vars
+ * at all) — the mode the stage-cover check uses; race analysis keeps
+ * them symbolic.
+ */
+FuncAccesses extractAccesses(const Stmt& body, bool widen_threads = false);
+
+} // namespace analysis
+} // namespace tir
+
+#endif // TENSORIR_TIR_ANALYSIS_ACCESS_EXTRACT_H

@@ -6,6 +6,7 @@
 #include "ir/functor.h"
 #include "ir/printer.h"
 #include "ir/transform.h"
+#include "tir/analysis/analysis.h"
 
 namespace tir {
 
@@ -432,6 +433,22 @@ void
 Schedule::validateAffineBindings() const
 {
     validateRec(func_->body, {});
+}
+
+void
+Schedule::validateMemoryAnalysis() const
+{
+    analysis::AnalysisReport report = analysis::analyzeFunc(func_);
+    TIR_CHECK(report.ok())
+        << "schedule of " << func_->name
+        << " fails static memory analysis:\n"
+        << report.summary();
+}
+
+std::string
+Schedule::analysisDiagnostics() const
+{
+    return analysis::analyzeFunc(func_).summary();
 }
 
 // --- Annotations & loop kinds -------------------------------------------

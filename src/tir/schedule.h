@@ -170,6 +170,20 @@ class Schedule
      */
     void validateAffineBindings() const;
 
+    /**
+     * Run the static memory analysis (tir/analysis) over the lowered
+     * form of the current function; fatal with the full diagnostic list
+     * (offending buffer, thread axis, loop nest, regions) when it finds
+     * a provable cross-thread race or out-of-bounds access. Warnings do
+     * not throw.
+     */
+    void validateMemoryAnalysis() const;
+
+    /** Diagnostics of the static memory analysis on the current
+     *  function, rendered one per line; empty when clean. Non-fatal
+     *  companion to validateMemoryAnalysis for inspection flows. */
+    std::string analysisDiagnostics() const;
+
     /** Location of a block: its realize, enclosing loops, parent block. */
     struct BlockSite
     {

@@ -6,6 +6,8 @@
 #include "arith/region.h"
 #include "intrin/tensor_intrin.h"
 #include "ir/functor.h"
+#include "ir/printer.h"
+#include "tir/analysis/analysis.h"
 
 namespace tir {
 
@@ -123,7 +125,31 @@ verifyThreadBindings(const PrimFunc& func, int64_t max_threads_per_block)
 
 namespace {
 
-/** Stage-ordered cover check over root-level statements. */
+std::string
+renderRegion(const BufferRegion& region, const arith::Analyzer& analyzer)
+{
+    std::string text = region.buffer->name + "[";
+    for (size_t d = 0; d < region.region.size(); ++d) {
+        if (d) text += ", ";
+        text += exprToString(analyzer.simplify(region.region[d].min));
+        text += "..";
+        text += exprToString(analyzer.simplify(
+            region.region[d].min + region.region[d].extent - 1));
+    }
+    return text + "]";
+}
+
+/**
+ * Stage-ordered cover check over root-level statements. Producer
+ * coverage is tracked at two granularities: the exact per-access pieces
+ * of the new region extractor (tir/analysis), and the conservative
+ * per-buffer union hull the old check used. The precise pieces are
+ * authoritative whenever both the read and every write of the buffer
+ * are exact — catching gap reads the hull hides (writes [0..3] and
+ * [8..11] never cover a read at [5]); anything inexact (guards, opaque
+ * intrinsics, non-affine bounds) falls back to the hull check, so this
+ * is never accidentally stricter on programs we cannot reason about.
+ */
 class CoverChecker
 {
   public:
@@ -143,56 +169,190 @@ class CoverChecker
         } else {
             stages = {root.body};
         }
-        arith::Analyzer analyzer;
-        std::map<const BufferNode*, BufferRegion> written;
         for (const Stmt& stage : stages) {
-            arith::AccessRegions regions =
-                arith::detectRegions(stage, {});
+            std::vector<analysis::RegionPiece> pieces =
+                analysis::stageRegionPieces(stage);
             // Register this stage's writes first: staging copies moved
             // inside a consumer's loop nest (compute_at) produce within
             // the same stage, before their consumers.
-            for (const BufferRegion& write : regions.writes) {
-                auto it = written.find(write.buffer.get());
-                if (it == written.end()) {
-                    written.emplace(write.buffer.get(), write);
-                } else {
-                    it->second = arith::regionUnion(it->second, write,
-                                                    analyzer);
-                }
+            for (const analysis::RegionPiece& piece : pieces) {
+                if (piece.is_write) registerWrite(piece);
             }
-            for (const BufferRegion& read : regions.reads) {
-                if (params.count(read.buffer.get())) continue;
-                auto it = written.find(read.buffer.get());
-                if (it == written.end()) {
-                    return VerifyResult::fail(
-                        "buffer " + read.buffer->name +
-                        " is read before any producer wrote it");
-                }
-                // Conservative index analysis may widen gather regions
-                // past the buffer: actual accesses are in bounds, so
-                // clamp before comparing.
-                BufferRegion clamped = read;
-                std::vector<Range> ranges;
-                for (size_t d = 0; d < read.region.size(); ++d) {
-                    Expr lo = analyzer.simplify(
-                        maxExpr(read.region[d].min, intImm(0)));
-                    Expr hi = analyzer.simplify(minExpr(
-                        read.region[d].min + read.region[d].extent,
-                        read.buffer->shape[d]));
-                    ranges.emplace_back(lo,
-                                        analyzer.simplify(hi - lo));
-                }
-                clamped = BufferRegion(read.buffer, std::move(ranges));
-                if (!arith::regionCovers(it->second, clamped,
-                                         analyzer)) {
-                    return VerifyResult::fail(
-                        "producers of " + read.buffer->name +
-                        " do not cover a consumer's read region");
-                }
+            for (const analysis::RegionPiece& piece : pieces) {
+                if (piece.is_write) continue;
+                if (params.count(piece.region.buffer.get())) continue;
+                VerifyResult result = checkRead(piece);
+                if (!result.ok) return result;
             }
         }
         return VerifyResult::pass();
     }
+
+  private:
+    struct BufferCover
+    {
+        BufferRegion hull;
+        std::vector<BufferRegion> exact_pieces;
+        bool all_exact = true;
+    };
+
+    void
+    registerWrite(const analysis::RegionPiece& piece)
+    {
+        auto it = written_.find(piece.region.buffer.get());
+        if (it == written_.end()) {
+            BufferCover cover;
+            cover.hull = piece.region;
+            it = written_.emplace(piece.region.buffer.get(),
+                                  std::move(cover))
+                     .first;
+        } else {
+            it->second.hull = arith::regionUnion(it->second.hull,
+                                                 piece.region,
+                                                 analyzer_);
+        }
+        if (piece.exact) {
+            it->second.exact_pieces.push_back(piece.region);
+        } else {
+            it->second.all_exact = false;
+        }
+    }
+
+    VerifyResult
+    checkRead(const analysis::RegionPiece& piece)
+    {
+        const Buffer& buffer = piece.region.buffer;
+        auto it = written_.find(buffer.get());
+        if (it == written_.end()) {
+            return VerifyResult::fail(
+                "buffer " + buffer->name +
+                " is read before any producer wrote it");
+        }
+        const BufferCover& cover = it->second;
+        // Conservative index analysis may widen gather regions past
+        // the buffer: actual accesses are in bounds, so clamp before
+        // comparing.
+        BufferRegion clamped = clampToShape(piece.region);
+        for (const BufferRegion& write : cover.exact_pieces) {
+            if (arith::regionCovers(write, clamped, analyzer_)) {
+                return VerifyResult::pass();
+            }
+        }
+        std::vector<BufferRegion> stitched =
+            stitchPieces(cover.exact_pieces);
+        for (const BufferRegion& write : stitched) {
+            if (arith::regionCovers(write, clamped, analyzer_)) {
+                return VerifyResult::pass();
+            }
+        }
+        if (piece.exact && cover.all_exact) {
+            // Every producer footprint is exactly known and none of
+            // them (nor their rectangular unions) contains the read:
+            // a real coverage gap, even when the hull hides it.
+            std::string writes;
+            for (const BufferRegion& write : cover.exact_pieces) {
+                if (!writes.empty()) writes += ", ";
+                writes += renderRegion(write, analyzer_);
+            }
+            return VerifyResult::fail(
+                "producers of " + buffer->name +
+                " do not cover a consumer's read region: read " +
+                renderRegion(clamped, analyzer_) + " vs written " +
+                writes);
+        }
+        if (!arith::regionCovers(cover.hull, clamped, analyzer_)) {
+            return VerifyResult::fail(
+                "producers of " + buffer->name +
+                " do not cover a consumer's read region");
+        }
+        return VerifyResult::pass();
+    }
+
+    BufferRegion
+    clampToShape(const BufferRegion& read) const
+    {
+        std::vector<Range> ranges;
+        ranges.reserve(read.region.size());
+        for (size_t d = 0; d < read.region.size(); ++d) {
+            Expr lo = analyzer_.simplify(
+                maxExpr(read.region[d].min, intImm(0)));
+            Expr hi = analyzer_.simplify(
+                minExpr(read.region[d].min + read.region[d].extent,
+                        read.buffer->shape[d]));
+            ranges.emplace_back(lo, analyzer_.simplify(hi - lo));
+        }
+        return BufferRegion(read.buffer, std::move(ranges));
+    }
+
+    /** Whether `a` and `b` agree on every dimension except at most one,
+     *  and along that one are adjacent or overlapping; merge then. */
+    bool
+    tryMerge(const BufferRegion& a, const BufferRegion& b,
+             BufferRegion* merged) const
+    {
+        int differing = -1;
+        for (size_t d = 0; d < a.region.size(); ++d) {
+            bool same =
+                analyzer_.provablyEqual(a.region[d].min,
+                                        b.region[d].min) &&
+                analyzer_.provablyEqual(a.region[d].extent,
+                                        b.region[d].extent);
+            if (same) continue;
+            if (differing >= 0) return false;
+            differing = static_cast<int>(d);
+        }
+        if (differing < 0) {
+            *merged = a;
+            return true;
+        }
+        const Range& ra = a.region[differing];
+        const Range& rb = b.region[differing];
+        // Touching or overlapping intervals: b starts no later than a
+        // ends and vice versa.
+        Expr a_end = ra.min + ra.extent;
+        Expr b_end = rb.min + rb.extent;
+        if (!analyzer_.provablyLE(
+                analyzer_.simplify(rb.min - a_end), 0) ||
+            !analyzer_.provablyLE(
+                analyzer_.simplify(ra.min - b_end), 0)) {
+            return false;
+        }
+        std::vector<Range> ranges = a.region;
+        Expr lo = analyzer_.simplify(minExpr(ra.min, rb.min));
+        Expr hi = analyzer_.simplify(maxExpr(a_end, b_end));
+        ranges[differing] = Range(lo, analyzer_.simplify(hi - lo));
+        *merged = BufferRegion(a.buffer, std::move(ranges));
+        return true;
+    }
+
+    /** Greedily merge exact pieces that line up along one dimension
+     *  into larger rectangles (the 1-D stitching of split producers). */
+    std::vector<BufferRegion>
+    stitchPieces(const std::vector<BufferRegion>& pieces) const
+    {
+        std::vector<BufferRegion> merged = pieces;
+        bool changed = merged.size() > 1;
+        while (changed) {
+            changed = false;
+            for (size_t i = 0; i < merged.size() && !changed; ++i) {
+                for (size_t j = i + 1; j < merged.size(); ++j) {
+                    BufferRegion combined;
+                    if (!tryMerge(merged[i], merged[j], &combined)) {
+                        continue;
+                    }
+                    merged[i] = std::move(combined);
+                    merged.erase(merged.begin() +
+                                 static_cast<ptrdiff_t>(j));
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        return merged;
+    }
+
+    arith::Analyzer analyzer_;
+    std::map<const BufferNode*, BufferCover> written_;
 };
 
 } // namespace

@@ -42,9 +42,12 @@ VerifyResult verifyThreadBindings(const PrimFunc& func,
 
 /**
  * Producer-consumer cover validation: for every intermediate buffer,
- * the union of regions written before a consumer must cover the region
- * that consumer reads (conservatively, at whole-buffer granularity per
- * root-level stage ordering).
+ * the regions written before a consumer must cover the region that
+ * consumer reads. Coverage is checked per access piece (the symbolic
+ * footprints of the tir/analysis region extractor, stitched into
+ * rectangles when producers split a buffer) whenever all footprints are
+ * exact; guarded, opaque, or non-affine accesses fall back to the old
+ * conservative per-buffer union-hull check.
  */
 VerifyResult verifyRegionCover(const PrimFunc& func);
 
