@@ -114,6 +114,7 @@ main()
     int parallelism = 0;
     int memo_hits = 0;
     int memo_measure_hits = 0;
+    std::string trace_summary;
     for (const graph::Layer& layer : resnet.layers) {
         meta::TuneTask task{layer.op.func, layer.op.einsum_block, "gpu",
                             intrins};
@@ -128,6 +129,9 @@ main()
         parallelism = tuned.parallelism_used;
         memo_hits += tuned.memo_hits;
         memo_measure_hits += tuned.memo_measure_hits;
+        if (!tuned.trace_summary.empty()) {
+            trace_summary = tuned.trace_summary;
+        }
     }
     double wall_s = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - wall_start)
@@ -140,5 +144,11 @@ main()
                 stages.evaluate_s, stages.model_s, stages.reduce_s,
                 memo_hits, memo_measure_hits);
     std::printf("whole-benchmark wall-clock: %.2f s\n", wall_s);
+    // With TENSORIR_TRACE set, the last task's in-session aggregate
+    // (per-span totals, counters, gauges) rides along with the table.
+    if (!trace_summary.empty()) {
+        std::printf("\ntrace summary (last re-tuned task):\n%s",
+                    trace_summary.c_str());
+    }
     return 0;
 }

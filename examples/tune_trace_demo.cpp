@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Traced tuning demo: one small end-to-end session that exercises
+ * every instrumented subsystem — the evolutionary search (generation
+ * and candidate spans, memo/filter counters), the GBDT cost model
+ * (retrain spans, loss gauges), the static analysis filter, and the
+ * functional interpreter running the winning schedule.
+ *
+ * Two ways to capture the trace:
+ *
+ *   TENSORIR_TRACE=trace.json ./examples/example_tune_trace_demo
+ *   ./examples/example_tune_trace_demo trace.json
+ *
+ * The first opens a process-wide session (flushed at exit); the second
+ * opens it explicitly from main via trace::SessionGuard. Either way
+ * the output is Chrome trace-event JSON — open it at ui.perfetto.dev,
+ * or validate its structure with scripts/check_trace.py (CI does).
+ */
+#include <cstdio>
+
+#include "hwsim/device.h"
+#include "meta/search.h"
+#include "runtime/interpreter.h"
+#include "support/trace.h"
+#include "workloads/workloads.h"
+
+using namespace tir;
+
+int
+main(int argc, char** argv)
+{
+    // With a path argument this guard owns the session; with
+    // TENSORIR_TRACE set instead, the env session is already active
+    // and the guard is a no-op (outermost owner wins).
+    trace::SessionGuard session(argc > 1 ? argv[1] : "");
+
+    workloads::OpSpec op = workloads::gmm(256, 256, 256);
+    hwsim::GpuDevice gpu;
+    meta::TuneTask task{op.func, op.einsum_block, "gpu",
+                        {"wmma_16x16x16_f16"}};
+    meta::TuneOptions options;
+    options.population = 8;
+    options.generations = 3;
+    options.children_per_generation = 16;
+    options.measured_per_generation = 8;
+    options.seed = 7;
+
+    meta::TuneResult result =
+        meta::autoTune(task, gpu, options, meta::TunerStyle::kTensorIR);
+    std::printf("tuned %s: best %.1f us (%s sketch), %d trials, "
+                "%d/%d/%d filtered (structure/race/bounds)\n",
+                op.name.c_str(), result.best_latency_us,
+                result.best_sketch.c_str(), result.trials_measured,
+                result.invalid_filtered, result.race_filtered,
+                result.bounds_filtered);
+
+    // Run the winner through the interpreter so the trace also shows
+    // an execution span, not just the search.
+    Rng rng(1);
+    runtime::NDArray a(DataType::f16(), {256, 256});
+    runtime::NDArray b(DataType::f16(), {256, 256});
+    runtime::NDArray c(DataType::f16(), {256, 256});
+    a.fillRandom(rng);
+    b.fillRandom(rng);
+    runtime::Interpreter interp;
+    interp.run(result.best_func, {&a, &b, &c});
+    std::printf("executed winner through the interpreter\n");
+
+    if (trace::enabled()) {
+        std::printf("\n%s", trace::summaryText().c_str());
+    } else {
+        std::printf("(no trace session: set TENSORIR_TRACE=<path> or "
+                    "pass a path argument)\n");
+    }
+    return 0;
+}

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by support/trace.
+
+Checks that CI runs against the traced demo session
+(examples/tune_trace_demo.cpp):
+
+  1. The file parses as JSON with a `traceEvents` list.
+  2. Complete spans ("ph":"X") nest properly per (pid, tid): two spans
+     on one thread either nest or are disjoint — a partial overlap
+     means the RAII scopes (or the clock math) are broken.
+  3. Every counter series ("cat":"counter") is non-decreasing: the
+     collector folds deltas into monotonic totals, so a decreasing
+     sample means lost or reordered updates.
+  4. The span taxonomy covers the whole pipeline: search, candidate
+     filtering, cost model, lowering, analysis, and the interpreter.
+
+Usage: check_trace.py <trace.json>
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+# Spans the demo's tuning session must have produced, one per
+# instrumented subsystem (see docs/ARCHITECTURE.md "Observability").
+REQUIRED_SPANS = [
+    "meta.auto_tune",
+    "search.run",
+    "search.generation",
+    "candidate.instantiate",
+    "candidate.analysis",
+    "candidate.evaluate",
+    "gbdt.fit",
+    "lower.to_loops",
+    "analysis.analyze_func",
+    "interp.run",
+]
+REQUIRED_COUNTERS = ["search.trials_measured"]
+
+# Timestamps are serialized in microseconds with three decimals, so
+# two adjacent spans can disagree by one rounding step.
+EPS_US = 0.002
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_nesting(events):
+    """Spans per thread must nest or be disjoint, never interleave."""
+    by_thread = defaultdict(list)
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        for key in ("ts", "dur", "name"):
+            if key not in e:
+                fail(f"X event missing {key!r}: {e}")
+        by_thread[(e.get("pid"), e.get("tid"))].append(e)
+    checked = 0
+    for thread, spans in by_thread.items():
+        # Outermost first at equal start times.
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # (end, name) of open enclosing spans
+        for e in spans:
+            start, end = e["ts"], e["ts"] + e["dur"]
+            while stack and stack[-1][0] <= start + EPS_US:
+                stack.pop()
+            if stack and end > stack[-1][0] + EPS_US:
+                fail(
+                    f"span {e['name']!r} [{start}, {end}] on thread "
+                    f"{thread} partially overlaps enclosing "
+                    f"{stack[-1][1]!r} (ends {stack[-1][0]})"
+                )
+            stack.append((end, e["name"]))
+            checked += 1
+    return checked
+
+
+def check_counters(events):
+    """Counter series carry monotonically non-decreasing totals."""
+    last = {}
+    samples = 0
+    for e in events:
+        if e.get("ph") != "C" or e.get("cat") != "counter":
+            continue
+        name = e["name"]
+        value = e["args"]["value"]
+        if name in last and value < last[name]:
+            fail(
+                f"counter {name!r} decreased: {last[name]} -> {value}"
+            )
+        last[name] = value
+        samples += 1
+    return last, samples
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot parse {path}: {err}")
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents array")
+
+    names = {e.get("name") for e in events}
+    missing = [s for s in REQUIRED_SPANS if s not in names]
+    if missing:
+        fail(f"missing required spans: {', '.join(missing)}")
+    counters, samples = check_counters(events)
+    missing = [c for c in REQUIRED_COUNTERS if c not in counters]
+    if missing:
+        fail(f"missing required counters: {', '.join(missing)}")
+    spans = check_nesting(events)
+
+    print(
+        f"check_trace: OK: {len(events)} events, {spans} spans nested "
+        f"cleanly, {len(counters)} counter series "
+        f"({samples} samples) monotone"
+    )
+
+
+if __name__ == "__main__":
+    main()

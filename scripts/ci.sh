@@ -27,6 +27,19 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo "ci: build (-Wall -Wextra -Werror) and tests passed"
 
+# Traced tuning session: run the demo under a process-wide
+# TENSORIR_TRACE session, then validate the emitted Chrome-trace JSON
+# (parses, spans nest per thread, counter series are monotone, and the
+# span taxonomy covers search/analysis/cost-model/lowering/interpreter).
+if command -v python3 >/dev/null 2>&1; then
+    TENSORIR_TRACE="$BUILD_DIR/trace.json" \
+        "$BUILD_DIR/examples/example_tune_trace_demo" >/dev/null
+    python3 scripts/check_trace.py "$BUILD_DIR/trace.json"
+    echo "ci: traced tuning session validated"
+else
+    echo "ci: python3 not found; trace validation skipped"
+fi
+
 if [[ "${TENSORIR_CI_SKIP_SANITIZERS:-0}" == "1" ]]; then
     echo "ci: sanitizer job skipped (TENSORIR_CI_SKIP_SANITIZERS=1)"
     exit 0

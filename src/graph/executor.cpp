@@ -1,5 +1,7 @@
 #include "graph/executor.h"
 
+#include "support/trace.h"
+
 namespace tir {
 namespace graph {
 
@@ -9,6 +11,11 @@ runModelTuned(const ModelSpec& model, const hwsim::DeviceModel& device,
               const std::vector<std::string>& intrins,
               meta::TunerStyle style, const meta::TuneOptions& options)
 {
+    // Owns the trace session for the whole model when per-task autoTune
+    // calls would otherwise each open and close their own.
+    trace::SessionGuard trace_session(options.trace_path);
+    trace::Span model_span("graph.run_model",
+                           trace::arg("model", model.name));
     ModelResult result;
     switch (style) {
       case meta::TunerStyle::kTensorIR: result.system = "TensorIR"; break;
@@ -17,6 +24,10 @@ runModelTuned(const ModelSpec& model, const hwsim::DeviceModel& device,
     }
     uint64_t seed = options.seed;
     for (const Layer& layer : model.layers) {
+        trace::Span layer_span("graph.layer");
+        layer_span.addArg(trace::arg("func", layer.op.func->name));
+        layer_span.addArg(
+            trace::arg("count", static_cast<int64_t>(layer.count)));
         meta::TuneTask task{layer.op.func, layer.op.einsum_block, target,
                             intrins};
         meta::TuneOptions opts = options;

@@ -3,6 +3,7 @@
 #include "arith/analyzer.h"
 #include "ir/functor.h"
 #include "ir/transform.h"
+#include "support/trace.h"
 
 namespace tir {
 
@@ -77,6 +78,8 @@ class BlockFinder : public StmtExprVisitor
 PrimFunc
 lowerToLoops(const PrimFunc& func)
 {
+    trace::Span span("lower.to_loops",
+                     trace::arg("func", func->name));
     BlockEraser eraser;
     Stmt body = eraser.mutateStmt(func->body);
     return makeFunc(func->name, func->params, body, func->attrs);

@@ -16,6 +16,7 @@
 
 #include "ir/functor.h"
 #include "ir/transform.h"
+#include "support/trace.h"
 
 namespace tir {
 
@@ -157,6 +158,8 @@ insertStorageSync(const PrimFunc& lowered)
 {
     TIR_CHECK(isBlockFree(lowered->body))
         << "insertStorageSync expects a lowered (block-free) function";
+    trace::Span span("lower.insert_storage_sync",
+                     trace::arg("func", lowered->name));
     SyncInserter inserter;
     Stmt body = inserter.mutateStmt(lowered->body);
     return makeFunc(lowered->name, lowered->params, body, lowered->attrs);

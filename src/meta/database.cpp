@@ -113,6 +113,13 @@ TuningDatabase::save(const std::string& path) const
     std::ofstream out(path);
     TIR_CHECK(out.good()) << "cannot open " << path << " for writing";
     out << serialize();
+    // A disk-full or I/O error surfaces on the stream only once the
+    // buffered bytes actually hit the file; checking before the write
+    // alone would report success for a truncated database.
+    out.flush();
+    TIR_CHECK(out.good())
+        << "write to " << path
+        << " failed (disk full or I/O error); database not saved";
 }
 
 TuningDatabase

@@ -5,6 +5,7 @@
 
 #include "support/logging.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace tir {
 namespace meta {
@@ -150,6 +151,10 @@ Gbdt::fit(const std::vector<FeatureVec>& features,
           support::ThreadPool* pool)
 {
     TIR_CHECK(features.size() == targets.size());
+    trace::Span span(
+        "gbdt.fit",
+        trace::arg("samples", static_cast<int64_t>(features.size())));
+    trace::counterAdd("gbdt.retrains", 1);
     trees_.clear();
     trained_ = false;
     if (features.size() < 4) return;
@@ -171,7 +176,12 @@ Gbdt::fit(const std::vector<FeatureVec>& features,
             residuals[i] = targets[i] - predictions[i];
             total_abs += std::fabs(residuals[i]);
         }
-        if (total_abs / static_cast<double>(targets.size()) < 1e-9) break;
+        double mean_abs_residual =
+            total_abs / static_cast<double>(targets.size());
+        // Training-loss trajectory of the retrain (one sample per
+        // boosting round), visible as a gauge track in the trace.
+        trace::gauge("gbdt.mean_abs_residual", mean_abs_residual);
+        if (mean_abs_residual < 1e-9) break;
         Tree tree;
         std::vector<int> indices = all_indices;
         buildNode(tree, features, residuals, indices, 0);
@@ -199,6 +209,9 @@ std::vector<double>
 Gbdt::predictBatch(const std::vector<FeatureVec>& features,
                    support::ThreadPool* pool) const
 {
+    trace::Span span(
+        "gbdt.predict_batch",
+        trace::arg("samples", static_cast<int64_t>(features.size())));
     std::vector<double> predictions(features.size());
     auto one = [&](size_t i) { predictions[i] = predict(features[i]); };
     if (pool && features.size() > 1) {

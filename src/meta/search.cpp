@@ -5,11 +5,11 @@
 #include "meta/database.h"
 #include "meta/memo.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 #include "tir/analysis/analysis.h"
 #include "tir/verify.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <optional>
@@ -73,14 +73,6 @@ extractFeatures(const PrimFunc& func)
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double
-secondsSince(Clock::time_point start)
-{
-    return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
 /** Resolve TuneOptions::parallelism (explicit > env > hardware). */
 int
 resolveParallelism(const TuneOptions& options)
@@ -126,16 +118,30 @@ struct Candidate
  * candidate (the workload IR is immutable and the sketch applier
  * captures only read-only state), so it runs on any pool thread.
  */
+/** Reject-kind label for trace args. */
+const char*
+rejectName(RejectKind reject)
+{
+    switch (reject) {
+      case RejectKind::kStructure: return "structure";
+      case RejectKind::kRace: return "race";
+      case RejectKind::kBounds: return "bounds";
+      default: return "none";
+    }
+}
+
 void
 instantiateCandidate(const PrimFunc& workload, const SketchApplier& sketch,
                      Candidate& cand)
 {
+    trace::Span span("candidate.instantiate");
     Schedule sch(workload, cand.schedule_seed);
     sch.setDecisionOverrides(std::move(cand.overrides));
     try {
         sketch(sch);
     } catch (const FatalError&) {
         cand.reject = RejectKind::kStructure;
+        span.addArg(trace::arg("reject", std::string("structure")));
         return; // valid stays false; counted in the sequential fold
     }
     // Threading validation (§3.3) filters false positives before they
@@ -143,6 +149,7 @@ instantiateCandidate(const PrimFunc& workload, const SketchApplier& sketch,
     VerifyResult threads = verifyThreadBindings(sch.func());
     if (!threads.ok) {
         cand.reject = RejectKind::kStructure;
+        span.addArg(trace::arg("reject", std::string("structure")));
         return;
     }
     // Static memory analysis on the lowered program: candidates with a
@@ -155,12 +162,23 @@ instantiateCandidate(const PrimFunc& workload, const SketchApplier& sketch,
     analysis::AnalysisOptions analysis_opts;
     analysis_opts.exhaustive_pair_limit = 0;
     analysis_opts.max_diagnostics = 4;
-    analysis::AnalysisReport report =
-        analysis::analyzeFunc(sch.func(), analysis_opts);
+    analysis::AnalysisReport report;
+    {
+        // Per-candidate analysis latency gets its own span: the filter
+        // runs on every candidate, so this is where an analysis
+        // slowdown would hide.
+        trace::Span analysis_span("candidate.analysis");
+        report = analysis::analyzeFunc(sch.func(), analysis_opts);
+        analysis_span.addArg(trace::arg(
+            "diagnostics",
+            static_cast<int64_t>(report.diagnostics.size())));
+    }
     if (!report.ok()) {
         cand.reject = report.hasError(analysis::DiagKind::kOutOfBounds)
                           ? RejectKind::kBounds
                           : RejectKind::kRace;
+        span.addArg(
+            trace::arg("reject", std::string(rejectName(cand.reject))));
         return;
     }
     cand.decisions = sch.decisions();
@@ -211,12 +229,15 @@ countReject(TuneResult& result, RejectKind reject)
     switch (reject) {
       case RejectKind::kRace:
         ++result.race_filtered;
+        trace::counterAdd("search.race_filtered", 1);
         break;
       case RejectKind::kBounds:
         ++result.bounds_filtered;
+        trace::counterAdd("search.bounds_filtered", 1);
         break;
       default:
         ++result.invalid_filtered;
+        trace::counterAdd("search.invalid_filtered", 1);
         break;
     }
 }
@@ -236,8 +257,19 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
                    const hwsim::DeviceModel& device,
                    const TuneOptions& options)
 {
-    Clock::time_point search_start = Clock::now();
     TuneResult result;
+    // The trace span bracketing every per-generation and per-candidate
+    // event below; timings.total_s is assigned explicitly before
+    // return (an AccumSpan on `result` would race named-return-value
+    // optimization).
+    trace::Span search_span(
+        "search.run",
+        trace::arg("population",
+                   static_cast<int64_t>(options.population)) +
+            "," +
+            trace::arg("generations",
+                       static_cast<int64_t>(options.generations)));
+    double search_start = trace::nowSeconds();
     result.parallelism_used = resolveParallelism(options);
     // Touch the intrinsic registry before spawning workers: its lazy
     // builtin registration is the one piece of mutable global state the
@@ -268,46 +300,56 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
     // stats/feature-extract and device-estimate the structurally-new
     // ones concurrently, folding into the memo in index order.
     auto processBatch = [&](std::vector<Candidate>& batch) {
-        Clock::time_point t0 = Clock::now();
-        forEach(batch.size(), [&](size_t i) {
-            instantiateCandidate(workload, sketch, batch[i]);
-        });
-        result.timings.generate_s += secondsSince(t0);
+        {
+            trace::AccumSpan stage("search.instantiate_batch",
+                                   result.timings.generate_s);
+            forEach(batch.size(), [&](size_t i) {
+                instantiateCandidate(workload, sketch, batch[i]);
+            });
+        }
 
-        t0 = Clock::now();
         std::vector<size_t> fresh; // batch indices with unseen hashes
-        std::unordered_map<uint64_t, bool> pending;
-        for (size_t i = 0; i < batch.size(); ++i) {
-            const Candidate& c = batch[i];
-            if (!c.valid) continue;
-            if (memo.find(c.hash) || pending.count(c.hash)) {
-                ++result.memo_hits;
-            } else {
-                pending.emplace(c.hash, true);
-                fresh.push_back(i);
+        {
+            trace::AccumSpan stage("search.memo_scan",
+                                   result.timings.reduce_s);
+            std::unordered_map<uint64_t, bool> pending;
+            for (size_t i = 0; i < batch.size(); ++i) {
+                const Candidate& c = batch[i];
+                if (!c.valid) continue;
+                if (memo.find(c.hash) || pending.count(c.hash)) {
+                    ++result.memo_hits;
+                    trace::counterAdd("search.memo_hits", 1);
+                } else {
+                    pending.emplace(c.hash, true);
+                    fresh.push_back(i);
+                }
             }
         }
-        result.timings.reduce_s += secondsSince(t0);
 
-        t0 = Clock::now();
         std::vector<MemoEntry> fresh_entries(fresh.size());
-        forEach(fresh.size(), [&](size_t j) {
-            const Candidate& c = batch[fresh[j]];
-            hwsim::ProgramStats stats = hwsim::extractStats(c.func);
-            fresh_entries[j].features = extractFeatures(stats);
-            fresh_entries[j].estimate = device.estimate(stats);
-        });
-        result.timings.evaluate_s += secondsSince(t0);
+        {
+            trace::AccumSpan stage("search.evaluate_batch",
+                                   result.timings.evaluate_s);
+            forEach(fresh.size(), [&](size_t j) {
+                trace::Span span("candidate.evaluate");
+                const Candidate& c = batch[fresh[j]];
+                hwsim::ProgramStats stats = hwsim::extractStats(c.func);
+                fresh_entries[j].features = extractFeatures(stats);
+                fresh_entries[j].estimate = device.estimate(stats);
+            });
+        }
 
-        t0 = Clock::now();
-        for (size_t j = 0; j < fresh.size(); ++j) {
-            memo.insert(batch[fresh[j]].hash,
-                        std::move(fresh_entries[j]));
+        {
+            trace::AccumSpan stage("search.memo_commit",
+                                   result.timings.reduce_s);
+            for (size_t j = 0; j < fresh.size(); ++j) {
+                memo.insert(batch[fresh[j]].hash,
+                            std::move(fresh_entries[j]));
+            }
+            for (Candidate& c : batch) {
+                if (c.valid) c.memo = memo.find(c.hash);
+            }
         }
-        for (Candidate& c : batch) {
-            if (c.valid) c.memo = memo.find(c.hash);
-        }
-        result.timings.reduce_s += secondsSince(t0);
     };
 
     // Charge one simulated hardware measurement for a candidate. The
@@ -322,10 +364,12 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         MemoEntry* entry = cand.memo;
         if (entry->measured) {
             ++result.memo_measure_hits;
+            trace::counterAdd("search.memo_measure_hits", 1);
         } else {
             entry->measured = true;
         }
         ++result.trials_measured;
+        trace::counterAdd("search.trials_measured", 1);
         // Charge compile+launch always; run repetitions only for
         // programs the device accepts (a rejected one has latency
         // infinity, which would poison the simulated total).
@@ -336,15 +380,21 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         }
         if (!entry->estimate.valid()) {
             ++result.invalid_filtered;
+            trace::counterAdd("search.invalid_filtered", 1);
+            trace::instant("search.measure",
+                           trace::arg("valid", int64_t{0}));
             return std::numeric_limits<double>::infinity();
         }
         double latency = entry->estimate.latency_us;
+        trace::instant("search.measure",
+                       trace::arg("latency_us", latency));
         train_x.push_back(entry->features);
         train_y.push_back(std::log1p(latency));
         if (latency < result.best_latency_us) {
             result.best_latency_us = latency;
             result.best_func = cand.func;
             result.best_decisions = cand.decisions;
+            trace::gauge("search.best_latency_us", latency);
         }
         return latency;
     };
@@ -359,6 +409,9 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
          round < 8 &&
          static_cast<int>(population.size()) < options.population;
          ++round) {
+        trace::Span round_span(
+            "search.init_round",
+            trace::arg("round", static_cast<int64_t>(round)));
         // Later rounds only cover the remaining deficit (times a slack
         // factor for the invalid rate) instead of instantiating and
         // device-estimating a full population-sized batch for one or
@@ -374,7 +427,8 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             c.schedule_seed = rng.next();
         }
         processBatch(batch);
-        Clock::time_point t0 = Clock::now();
+        trace::AccumSpan fold("search.init_fold",
+                              result.timings.reduce_s);
         for (Candidate& c : batch) {
             // Every generated attempt is accounted for — even once the
             // population is full — so the filter counters keep the
@@ -393,17 +447,19 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
                                       std::move(c.func), latency});
             }
         }
-        result.timings.reduce_s += secondsSince(t0);
     }
     TIR_CHECK(!population.empty())
         << "search could not instantiate any valid schedule";
     result.history.push_back(result.best_latency_us);
 
     for (int gen = 0; gen < options.generations; ++gen) {
+        trace::Span gen_span(
+            "search.generation",
+            trace::arg("gen", static_cast<int64_t>(gen)));
         if (options.use_cost_model && train_x.size() >= 8) {
-            Clock::time_point t0 = Clock::now();
+            trace::AccumSpan fit("search.model_fit",
+                                 result.timings.model_s);
             cost_model.fit(train_x, train_y, pool);
-            result.timings.model_s += secondsSince(t0);
         }
         // Parents weighted by fitness (inverse latency).
         std::vector<double> weights;
@@ -427,20 +483,23 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         }
         processBatch(batch);
 
-        Clock::time_point t0 = Clock::now();
         std::vector<size_t> children; // valid candidates, batch order
-        for (size_t i = 0; i < batch.size(); ++i) {
-            if (batch[i].valid) {
-                children.push_back(i);
-            } else {
-                countReject(result, batch[i].reject);
+        {
+            trace::AccumSpan fold("search.validity_fold",
+                                  result.timings.reduce_s);
+            for (size_t i = 0; i < batch.size(); ++i) {
+                if (batch[i].valid) {
+                    children.push_back(i);
+                } else {
+                    countReject(result, batch[i].reject);
+                }
             }
         }
-        result.timings.reduce_s += secondsSince(t0);
 
         // Rank by predicted latency, measure the most promising.
         if (cost_model.trained()) {
-            t0 = Clock::now();
+            trace::AccumSpan rank("search.model_rank",
+                                  result.timings.model_s);
             std::vector<FeatureVec> child_features;
             child_features.reserve(children.size());
             for (size_t i : children) {
@@ -458,9 +517,9 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             ranked.reserve(children.size());
             for (size_t i : order) ranked.push_back(children[i]);
             children = std::move(ranked);
-            result.timings.model_s += secondsSince(t0);
         }
-        t0 = Clock::now();
+        trace::AccumSpan fold("search.measure_fold",
+                              result.timings.reduce_s);
         int to_measure = std::min<int>(
             options.measured_per_generation,
             static_cast<int>(children.size()));
@@ -498,6 +557,12 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
                 std::swap(children[j], children[last]);
                 size_t slot = static_cast<size_t>(to_measure - 1 - k);
                 std::swap(children[slot], children[last]);
+                trace::instant(
+                    "search.epsilon_pick",
+                    trace::arg("slot", static_cast<int64_t>(slot)) +
+                        "," +
+                        trace::arg("tail_index",
+                                   static_cast<int64_t>(j)));
             }
         }
         for (int c = 0; c < to_measure; ++c) {
@@ -517,9 +582,8 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             population.resize(static_cast<size_t>(options.population));
         }
         result.history.push_back(result.best_latency_us);
-        result.timings.reduce_s += secondsSince(t0);
     }
-    result.timings.total_s = secondsSince(search_start);
+    result.timings.total_s = trace::nowSeconds() - search_start;
     return result;
 }
 
@@ -550,6 +614,13 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
          const TuneOptions& options, TunerStyle style,
          TuningDatabase* database)
 {
+    // Opens a trace session for TuneOptions::trace_path unless one is
+    // already active (model-level guard in runModelTuned, or the
+    // TENSORIR_TRACE env session); the file is written when the
+    // owning guard goes out of scope.
+    trace::SessionGuard trace_session(options.trace_path);
+    trace::Span tune_span("meta.auto_tune",
+                          trace::arg("workload", task.func->name));
     bool gpu = (task.target == "gpu");
     std::vector<TensorizeCandidate> candidates;
     if (style != TunerStyle::kLoopOnly) {
@@ -603,6 +674,11 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
                 options.measure_overhead_us +
                 estimate.latency_us * options.measure_repeats;
             replayed.from_database = true;
+            trace::instant("meta.database_replay",
+                           trace::arg("workload", task.func->name));
+            if (trace::enabled()) {
+                replayed.trace_summary = trace::summaryText();
+            }
             return replayed;
         }
     }
@@ -640,6 +716,7 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
         database->commit(std::move(record));
     }
     if (result.best_func) {
+        trace::Span verify_span("meta.verify_winner");
         VerifyResult cover = verifyRegionCover(result.best_func);
         TIR_CHECK(cover.ok)
             << "tuned program failed producer-consumer validation: "
@@ -653,6 +730,10 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
             << "tuned program failed static memory analysis:\n"
             << report.summary();
     }
+    // Captured before the session guard closes (and resets) the
+    // session, so callers get the human-readable roll-up even when
+    // this autoTune owned the session.
+    if (trace::enabled()) result.trace_summary = trace::summaryText();
     return result;
 }
 

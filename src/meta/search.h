@@ -77,6 +77,17 @@ struct TuneOptions
      * entirely; any value yields byte-identical tuning results.
      */
     int parallelism = 0;
+    /**
+     * When non-empty, autoTune opens a trace session (support/trace.h)
+     * writing Chrome-trace JSON here — per-generation and per-candidate
+     * spans, memo/filter counters, cost-model loss gauges — unless a
+     * session is already active (e.g. started by runModelTuned for a
+     * whole model, or by the TENSORIR_TRACE environment variable for
+     * the whole process), in which case events join that session.
+     * Tracing is observational only: tuning decisions and simulated
+     * latencies are byte-identical with tracing on or off.
+     */
+    std::string trace_path;
 };
 
 /** Outcome of a tuning run. */
@@ -117,7 +128,16 @@ struct TuneResult
     /** Threads the pipeline actually used (resolved parallelism). */
     int parallelism_used = 1;
 
-    /** Real wall-clock spent per pipeline stage, in seconds. Unlike
+    /** Human-readable aggregate of the trace session (span totals,
+     *  counter finals) captured at the end of autoTune; empty when
+     *  tracing was not active. Cumulative over the session, so with a
+     *  model-level or process-level session it covers everything traced
+     *  so far, not just this task. */
+    std::string trace_summary;
+
+    /** Real wall-clock spent per pipeline stage, in seconds, recorded
+     *  by trace::AccumSpan scopes around each stage (the same scopes
+     *  that emit trace spans when a session is active). Unlike
      *  everything above, these are *not* deterministic — they time this
      *  process, not the simulated hardware. */
     struct StageTimings

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "arith/interval.h"
+#include "support/trace.h"
 #include "tir/analysis/analysis.h"
 
 namespace tir {
@@ -61,6 +62,7 @@ Interpreter::run(const PrimFunc& func, const std::vector<NDArray*>& args)
     TIR_CHECK(args.size() == func->params.size())
         << func->name << " expects " << func->params.size()
         << " arguments, got " << args.size();
+    trace::Span span("interp.run", trace::arg("func", func->name));
     env_.clear();
     storage_.clear();
     bound_.clear();

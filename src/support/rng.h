@@ -7,6 +7,7 @@
 #ifndef TENSORIR_SUPPORT_RNG_H
 #define TENSORIR_SUPPORT_RNG_H
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -53,12 +54,26 @@ class Rng
         return z ^ (z >> 31);
     }
 
-    /** Uniform integer in [0, n). */
+    /**
+     * Uniform integer in [0, n). Rejection sampling: a plain
+     * `next() % n` over-weights the first `2^64 mod n` outcomes, a
+     * bias that becomes measurable once n approaches the word size
+     * (pinned in tests/test_search_parallel.cpp). Draws above the
+     * largest multiple of n are re-rolled, so every outcome is exactly
+     * equally likely; the expected number of re-rolls is below one for
+     * every n.
+     */
     int64_t
     randInt(int64_t n)
     {
         TIR_ICHECK(n > 0) << "randInt needs positive bound, got " << n;
-        return static_cast<int64_t>(next() % static_cast<uint64_t>(n));
+        uint64_t bound = static_cast<uint64_t>(n);
+        // 2^64 mod bound, computed in 64-bit arithmetic: values below
+        // this threshold are the remainder that would be over-weighted.
+        uint64_t threshold = (0 - bound) % bound;
+        uint64_t draw = next();
+        while (draw < threshold) draw = next();
+        return static_cast<int64_t>(draw % bound);
     }
 
     /** Uniform integer in [lo, hi). */
@@ -76,19 +91,58 @@ class Rng
         return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
     }
 
-    /** Sample an index according to non-negative weights. */
+    /**
+     * Sample an index according to non-negative finite weights.
+     * Zero-weight entries are never returned (when any weight is
+     * positive); all-zero weights fall back to a uniform pick, which
+     * keeps degenerate fitness vectors usable. Negative or non-finite
+     * weights are a caller bug and fail an internal check instead of
+     * silently skewing the distribution.
+     */
     size_t
     weightedChoice(const std::vector<double>& weights)
     {
+        TIR_ICHECK(!weights.empty())
+            << "weightedChoice needs at least one weight";
+        double total = 0;
+        for (double w : weights) {
+            TIR_ICHECK(std::isfinite(w) && w >= 0)
+                << "weightedChoice needs non-negative finite weights, "
+                << "got " << w;
+            total += w;
+        }
+        if (total <= 0) {
+            return static_cast<size_t>(
+                randInt(static_cast<int64_t>(weights.size())));
+        }
+        return weightedIndex(weights, randDouble());
+    }
+
+    /**
+     * The deterministic core of weightedChoice: map `r01` in [0, 1) to
+     * an index of a positive-total weight vector. Exposed so the
+     * boundary behaviour is directly testable: `r01 == 0` with weights
+     * {0, 1} must select index 1, never the zero-weight entry (the
+     * pre-fix scan returned index 0 there because `r - 0 <= 0` matched
+     * immediately).
+     */
+    static size_t
+    weightedIndex(const std::vector<double>& weights, double r01)
+    {
         double total = 0;
         for (double w : weights) total += w;
-        if (total <= 0) return randInt(static_cast<int64_t>(weights.size()));
-        double r = randDouble() * total;
+        double r = r01 * total;
+        size_t last_positive = weights.size();
         for (size_t i = 0; i < weights.size(); ++i) {
+            if (weights[i] <= 0) continue; // never select zero weight
+            last_positive = i;
             r -= weights[i];
             if (r <= 0) return i;
         }
-        return weights.size() - 1;
+        // Floating-point accumulation can leave a sliver of r; land on
+        // the last entry that is actually selectable.
+        TIR_ICHECK(last_positive < weights.size());
+        return last_positive;
     }
 
   private:

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Structured tracing and metrics for the tuning pipeline.
+ *
+ * One process-wide collector records three kinds of events while a
+ * trace session is active:
+ *
+ *  - **Spans** — RAII scopes (`trace::Span`) that become Chrome-trace
+ *    complete events (`"ph":"X"`) with per-thread track assignment, so
+ *    the parallel pipeline's fan-out is visible in Perfetto /
+ *    `chrome://tracing`.
+ *  - **Counters** — `counterAdd` keeps a process-wide monotonic total
+ *    per name (memo hits, filter rejects, trials measured) and emits a
+ *    `"ph":"C"` sample on every increment; `gauge` emits free-form
+ *    sampled values (cost-model loss, population latency).
+ *  - **Instants** — point events (`"ph":"i"`) for things with no
+ *    duration (an ε-greedy exploration pick, a measurement commit).
+ *
+ * Cost model: when no session is active every hook is one relaxed
+ * atomic load and a branch — no clock reads, no allocation, no locks —
+ * so instrumentation can stay in hot per-candidate paths. When active,
+ * events append to thread-local buffers; the only locks are on
+ * first-touch thread registration, counter-total updates, and final
+ * export. Tracing is purely observational: it never touches an RNG or
+ * reorders work, so tuning results are byte-identical with tracing on
+ * or off (asserted in tests/test_trace.cpp).
+ *
+ * Sessions start either explicitly (`trace::start(path)`, or
+ * `TuneOptions::trace_path` via `trace::SessionGuard`) or from the
+ * `TENSORIR_TRACE=<path>` environment variable, which opens a session
+ * at process start and flushes it at exit. `trace::stop()` writes the
+ * JSON file (Chrome trace-event format, loadable in Perfetto) and
+ * resets the collector. `trace::summaryText()` renders a
+ * human-readable per-span aggregate of the active session — surfaced
+ * as `TuneResult::trace_summary` at the end of a tuning run.
+ */
+#ifndef TENSORIR_SUPPORT_TRACE_H
+#define TENSORIR_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tir {
+namespace trace {
+
+namespace detail {
+/** Session-active flag; the fast path every hook checks first. */
+extern std::atomic<bool> g_enabled;
+/** Nanoseconds on the session's steady clock. */
+uint64_t nowNs();
+/** Record a completed span [start_ns, end "now"] on this thread. */
+void emitSpan(const char* name, uint64_t start_ns, std::string args);
+} // namespace detail
+
+/** Whether a trace session is active (one relaxed atomic load). */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Monotonic seconds on the trace clock (valid with or without a
+ *  session), for code that keeps its own elapsed-time accounting. */
+inline double
+nowSeconds()
+{
+    return static_cast<double>(detail::nowNs()) * 1e-9;
+}
+
+/**
+ * Begin a session that will be written to `path` (Chrome trace-event
+ * JSON). Returns false (and changes nothing) when a session is already
+ * active — the outermost owner wins, so nested tuners compose.
+ */
+bool start(const std::string& path);
+
+/**
+ * End the active session: write the JSON file, then reset the
+ * collector. Safe to call with no session active (no-op). Must be
+ * called when no other thread is concurrently recording events (the
+ * pipeline's worker pools are torn down between searches, which is
+ * where sessions end).
+ */
+void stop();
+
+/**
+ * Bump the process-wide monotonic counter `name` by `delta` (>= 0) and
+ * emit a counter sample. Chrome category "counter"; scripts/
+ * check_trace.py asserts every such series is non-decreasing.
+ */
+void counterAdd(const char* name, int64_t delta);
+
+/** Emit a sampled gauge value (category "gauge", no monotonicity). */
+void gauge(const char* name, double value);
+
+/** Emit an instant (zero-duration) event, optionally with rendered
+ *  JSON args (see `arg`). */
+void instant(const char* name, std::string args = std::string());
+
+/**
+ * Human-readable aggregate of the active session: per-span call
+ * counts and total/mean wall-clock, counter totals, and gauge finals.
+ * Call from the session-owning thread while workers are idle. Returns
+ * an empty string when no session is active.
+ */
+std::string summaryText();
+
+/** Render one `"key":value` JSON fragment for span/instant args.
+ *  Join multiple with `+ "," +`. */
+std::string arg(const char* key, int64_t value);
+std::string arg(const char* key, double value);
+std::string arg(const char* key, const std::string& value);
+
+/**
+ * RAII scoped span. Does nothing when no session is active at
+ * construction. `addArg` attaches args discovered mid-scope (e.g. a
+ * candidate's reject reason).
+ */
+class Span
+{
+  public:
+    explicit Span(const char* name)
+    {
+        if (enabled()) {
+            name_ = name;
+            start_ = detail::nowNs();
+        }
+    }
+    Span(const char* name, std::string args) : Span(name)
+    {
+        if (name_) args_ = std::move(args);
+    }
+    ~Span()
+    {
+        if (name_) detail::emitSpan(name_, start_, std::move(args_));
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /** Append one more rendered arg (no-op when inactive). */
+    void
+    addArg(std::string rendered)
+    {
+        if (!name_) return;
+        if (!args_.empty()) args_ += ',';
+        args_ += std::move(rendered);
+    }
+
+  private:
+    const char* name_ = nullptr; // nullptr: inactive
+    uint64_t start_ = 0;
+    std::string args_;
+};
+
+/**
+ * Scoped span that *always* adds its duration to a caller-owned
+ * seconds accumulator — the pipeline's stage timings
+ * (`TuneResult::timings`) are fed through these, replacing ad-hoc
+ * stopwatch code — and additionally emits a trace event when a
+ * session is active.
+ */
+class AccumSpan
+{
+  public:
+    AccumSpan(const char* name, double& seconds)
+        : seconds_(seconds), span_(name)
+    {
+        start_ = detail::nowNs();
+    }
+    ~AccumSpan()
+    {
+        seconds_ +=
+            static_cast<double>(detail::nowNs() - start_) * 1e-9;
+    }
+    AccumSpan(const AccumSpan&) = delete;
+    AccumSpan& operator=(const AccumSpan&) = delete;
+
+  private:
+    double& seconds_;
+    uint64_t start_ = 0;
+    Span span_; // destroyed after the accumulation above
+};
+
+/**
+ * Starts a session for `path` unless one is already active (or `path`
+ * is empty); stops and writes it on destruction only if this guard
+ * started it. This is how `TuneOptions::trace_path` scopes a session
+ * to one `autoTune` (or one `runModelTuned`) call.
+ */
+class SessionGuard
+{
+  public:
+    explicit SessionGuard(const std::string& path)
+        : owns_(!path.empty() && start(path))
+    {
+    }
+    ~SessionGuard()
+    {
+        if (owns_) stop();
+    }
+    SessionGuard(const SessionGuard&) = delete;
+    SessionGuard& operator=(const SessionGuard&) = delete;
+
+    /** Whether this guard opened (and will close) the session. */
+    bool owns() const { return owns_; }
+
+  private:
+    bool owns_;
+};
+
+} // namespace trace
+} // namespace tir
+
+#endif // TENSORIR_SUPPORT_TRACE_H

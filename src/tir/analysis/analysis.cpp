@@ -9,6 +9,7 @@
 #include "ir/printer.h"
 #include "ir/transform.h"
 #include "lower/lower.h"
+#include "support/trace.h"
 #include "tir/analysis/access_extract.h"
 
 namespace tir {
@@ -850,6 +851,8 @@ AnalysisReport::summary() const
 AnalysisReport
 analyzeFunc(const PrimFunc& func, const AnalysisOptions& options)
 {
+    trace::Span span("analysis.analyze_func",
+                     trace::arg("func", func->name));
     PrimFunc lowered =
         isBlockFree(func->body) ? func : lowerToLoops(func);
     FuncAccesses fa = extractAccesses(lowered->body,

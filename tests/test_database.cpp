@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "ir/structural_hash.h"
 #include "meta/database.h"
@@ -144,6 +145,29 @@ TEST(DatabaseTest, SaveAndLoadFile)
     meta::TuningDatabase loaded = meta::TuningDatabase::load(path);
     EXPECT_EQ(loaded.size(), 1u);
     std::remove(path.c_str());
+}
+
+TEST(DatabaseTest, SaveReportsWriteFailures)
+{
+    // Regression: save() used to check the stream only before writing,
+    // so a disk that filled up mid-write (or any I/O error surfacing
+    // once the buffered bytes were flushed) silently left a truncated
+    // or empty database behind. /dev/full reproduces exactly that:
+    // opening succeeds, the flush fails with ENOSPC.
+    std::ofstream probe("/dev/full");
+    if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+    probe.close();
+
+    meta::TuningDatabase db;
+    meta::TuneRecord record;
+    record.workload_hash = 7;
+    record.workload_name = "doomed";
+    record.latency_us = 1.0;
+    db.commit(record);
+    EXPECT_THROW(db.save("/dev/full"), FatalError);
+    // The pre-existing open check still catches bad paths.
+    EXPECT_THROW(db.save("/nonexistent-dir-tensorir/db.txt"),
+                 FatalError);
 }
 
 TEST(DatabaseTest, AutoTuneReplaysRecords)

@@ -10,11 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
 #include <set>
 
 #include "ir/printer.h"
 #include "meta/search.h"
+#include "meta/sketch.h"
 #include "support/thread_pool.h"
 #include "workloads/workloads.h"
 
@@ -154,6 +156,36 @@ TEST(ThreadPoolTest, PropagatesWorkerExceptions)
     EXPECT_EQ(ran.load(), 8);
 }
 
+TEST(ThreadPoolTest, ThrowingWorkerDrainsBatchAndFirstErrorWins)
+{
+    // One candidate throwing must not strand the rest of the batch:
+    // every index still runs (workers keep claiming after a failure),
+    // exactly one exception reaches the caller, and the pool stays
+    // usable. This is the search's behaviour when sketch instantiation
+    // fails for some candidates of a generation.
+    support::ThreadPool pool(4);
+    std::vector<std::atomic<int>> ran(64);
+    int caught = 0;
+    try {
+        pool.parallelFor(ran.size(), [&](size_t i) {
+            ran[i].fetch_add(1);
+            throw std::runtime_error("candidate " + std::to_string(i));
+        });
+    } catch (const std::runtime_error& e) {
+        ++caught;
+        EXPECT_NE(std::string(e.what()).find("candidate"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(caught, 1) << "exactly the first error must propagate";
+    for (const auto& r : ran) {
+        EXPECT_EQ(r.load(), 1) << "batch must drain despite the errors";
+    }
+    // Reusable after a fully-failing batch.
+    std::atomic<int> ok{0};
+    pool.parallelFor(16, [&](size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 16);
+}
+
 TEST(ThreadPoolTest, DestructionRightAfterBatchIsClean)
 {
     // Regression: ~ThreadPool must join workers before tearing down the
@@ -177,6 +209,109 @@ TEST(ThreadPoolTest, SingleThreadRunsInline)
         order.push_back(static_cast<int>(i));
     });
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelSearchTest, ThrowingCandidatesKeepDeterminism)
+{
+    // A sketch that throws FatalError for a deterministic subset of
+    // candidates (a stand-in for instantiation failures) must leave
+    // the parallelism contract intact: throwing candidates are counted
+    // as structural rejects and the surviving trajectory is identical
+    // for any thread count.
+    workloads::OpSpec op = workloads::gmm(128, 128, 128);
+    hwsim::GpuDevice gpu;
+    meta::SketchApplier base =
+        meta::makeLoopSketchApplier("C", /*gpu=*/true);
+    meta::SketchApplier flaky = [base](Schedule& sch) {
+        base(sch);
+        // Pure function of the candidate's decisions, so the same
+        // candidates fail no matter which worker instantiates them.
+        int64_t sum = 0;
+        for (const Decision& d : sch.decisions()) {
+            for (int64_t v : d.values) sum += v;
+        }
+        if (sum % 3 == 0) TIR_FATAL << "deterministic flaky candidate";
+    };
+
+    auto run = [&](int parallelism) {
+        meta::TuneOptions options = searchOptions(parallelism);
+        return meta::evolutionarySearch(op.func, flaky, gpu, options);
+    };
+    meta::TuneResult serial = run(1);
+    meta::TuneResult parallel = run(4);
+
+    EXPECT_GT(serial.invalid_filtered, 0)
+        << "the flaky sketch never fired; the test lost its point";
+    expectSameDecisions(serial.best_decisions, parallel.best_decisions);
+    EXPECT_EQ(serial.best_latency_us, parallel.best_latency_us);
+    EXPECT_EQ(serial.history, parallel.history);
+    EXPECT_EQ(serial.trials_measured, parallel.trials_measured);
+    EXPECT_EQ(serial.invalid_filtered, parallel.invalid_filtered);
+    EXPECT_EQ(serial.tuning_cost_us, parallel.tuning_cost_us);
+}
+
+TEST(RngTest, WeightedIndexNeverSelectsZeroWeightAtBoundary)
+{
+    // Regression: r01 == 0 used to land on a leading zero-weight entry
+    // (`r - 0 <= 0` matched immediately); zero weight means "never
+    // pick me", even at the boundary.
+    EXPECT_EQ(Rng::weightedIndex({0.0, 1.0}, 0.0), 1u);
+    EXPECT_EQ(Rng::weightedIndex({0.0, 0.0, 5.0, 0.0}, 0.0), 2u);
+    // Interior zero entries are skipped too.
+    EXPECT_EQ(Rng::weightedIndex({1.0, 0.0, 1.0}, 0.6), 2u);
+    // A float sliver past the last positive weight lands on it instead
+    // of falling off the end.
+    EXPECT_EQ(Rng::weightedIndex({1.0, 1.0, 0.0}, 0.999999999), 1u);
+}
+
+TEST(RngTest, WeightedChoiceValidatesAndSkipsZeros)
+{
+    Rng rng(5);
+    // Zero-weight entries are never drawn when any weight is positive.
+    for (int i = 0; i < 2000; ++i) {
+        size_t pick = rng.weightedChoice({0.0, 1.0, 0.0, 2.0});
+        EXPECT_TRUE(pick == 1 || pick == 3) << "picked " << pick;
+    }
+    // All-zero weights degrade to a uniform pick instead of crashing.
+    std::set<size_t> seen;
+    for (int i = 0; i < 64; ++i) {
+        seen.insert(rng.weightedChoice({0.0, 0.0, 0.0}));
+    }
+    for (size_t pick : seen) EXPECT_LT(pick, 3u);
+    EXPECT_GT(seen.size(), 1u);
+    // Negative or non-finite weights are caller bugs, not silent skew.
+    EXPECT_THROW(rng.weightedChoice({1.0, -0.5}), InternalError);
+    EXPECT_THROW(rng.weightedChoice({1.0, std::nan("")}),
+                 InternalError);
+    EXPECT_THROW(
+        rng.weightedChoice({std::numeric_limits<double>::infinity()}),
+        InternalError);
+    EXPECT_THROW(rng.weightedChoice({}), InternalError);
+}
+
+TEST(RngTest, RandIntIsUnbiasedNearTheWordSize)
+{
+    // Regression for the modulo bias of `next() % n`. With
+    // n = 3 * 2^61, the biased mapping lands in [0, 2^62) with
+    // probability 3/4 (those outcomes have three 64-bit preimages,
+    // the rest two); the uniform distribution puts only 2/3 there.
+    // 4000 draws resolve that 0.083 gap at ~11 sigma, so this fails
+    // reliably against the old implementation and passes against
+    // rejection sampling.
+    Rng rng(123);
+    const int64_t n = int64_t{3} << 61;
+    const int64_t cut = int64_t{1} << 62;
+    const int kDraws = 4000;
+    int below = 0;
+    for (int i = 0; i < kDraws; ++i) {
+        int64_t v = rng.randInt(n);
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, n);
+        if (v < cut) ++below;
+    }
+    double fraction = static_cast<double>(below) / kDraws;
+    EXPECT_NEAR(fraction, 2.0 / 3.0, 0.04)
+        << "biased modulo mapping would give ~0.75";
 }
 
 TEST(RngDeriveTest, DeterministicAndIndependent)
