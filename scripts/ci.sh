@@ -40,6 +40,18 @@ else
     echo "ci: python3 not found; trace validation skipped"
 fi
 
+# Chaos job: the whole suite again with a failpoint schedule injecting
+# faults into ~10% of search candidates (TENSORIR_FAILPOINTS is read at
+# process start; see src/support/failpoint.h for the grammar). Only
+# search-contained sites go in this schedule — sites like gbdt.fit or
+# interp.run would also fire inside unit tests that exercise those
+# layers directly and expect no interference. The containment contract
+# under test: every injected failure becomes an accounted per-candidate
+# reject, never a failed test or a dead process.
+TENSORIR_FAILPOINTS='seed=7; search.instantiate=throw(0.05); search.evaluate=error(0.05)' \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure
+echo "ci: chaos run (failpoints in the search pipeline) passed"
+
 if [[ "${TENSORIR_CI_SKIP_SANITIZERS:-0}" == "1" ]]; then
     echo "ci: sanitizer job skipped (TENSORIR_CI_SKIP_SANITIZERS=1)"
     exit 0
@@ -59,3 +71,20 @@ cmake --build "$SAN_DIR" -j "$(nproc)" --target tensorir_tests
 ASAN_OPTIONS=detect_leaks=0 ctest --test-dir "$SAN_DIR" --output-on-failure
 
 echo "ci: ASan+UBSan build and tests passed"
+
+# TSan job (mutually exclusive with ASan, hence its own tree): the
+# concurrency-heavy suites — thread pool, trace buffers, failpoint
+# registry, the parallel search pipeline and its watchdog/journal
+# paths. The full suite under TSan's ~10x slowdown buys no extra
+# coverage: everything else is single-threaded.
+TSAN_DIR="${BUILD_DIR}-tsan"
+rm -rf "$TSAN_DIR"
+cmake -B "$TSAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTENSORIR_SANITIZE=thread \
+    -DCMAKE_CXX_FLAGS="-Wno-restrict -fno-sanitize-recover=all"
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target tensorir_tests
+"$TSAN_DIR/tests/tensorir_tests" \
+    --gtest_filter='ThreadPool*:ParallelSearch*:Trace*:Failpoint*'
+
+echo "ci: TSan build and concurrency tests passed"

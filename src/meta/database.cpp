@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "ir/structural_hash.h"
+#include "support/failpoint.h"
+#include "support/trace.h"
 
 namespace tir {
 namespace meta {
@@ -64,46 +66,83 @@ TuningDatabase::serialize() const
 }
 
 TuningDatabase
-TuningDatabase::deserialize(const std::string& text)
+TuningDatabase::deserialize(const std::string& text, LoadReport* report)
 {
+    const bool strict = report == nullptr;
     TuningDatabase db;
     std::istringstream is(text);
     std::string line;
     TuneRecord current;
     bool in_record = false;
+    // Tolerant mode: after damage, discard lines until the next
+    // `record` header — the only resync point the format offers.
+    bool skipping = false;
+    auto drop = [&] {
+        ++report->dropped;
+        in_record = false;
+        skipping = true;
+    };
     while (std::getline(is, line)) {
         std::istringstream ls(line);
         std::string tag;
         ls >> tag;
         if (tag == "record") {
-            TIR_CHECK(!in_record) << "malformed database: nested record";
+            if (in_record) {
+                TIR_CHECK(!strict) << "malformed database: nested record";
+                ++report->dropped; // the open record never saw its end
+            }
+            skipping = false;
             current = TuneRecord();
             ls >> current.workload_hash >> current.latency_us >>
                 current.sketch >> current.workload_name;
+            if (!strict && ls.fail()) {
+                drop();
+                continue;
+            }
             if (current.sketch == "-") current.sketch.clear();
             if (current.workload_name == "-") {
                 current.workload_name.clear();
             }
             in_record = true;
         } else if (tag == "tile" || tag == "cat") {
-            TIR_CHECK(in_record) << "malformed database: stray decision";
+            if (!in_record) {
+                TIR_CHECK(!strict) << "malformed database: stray decision";
+                if (!skipping) drop();
+                continue;
+            }
             Decision d;
             d.kind = tag == "tile" ? Decision::Kind::kPerfectTile
                                    : Decision::Kind::kCategorical;
             ls >> d.extent >> d.number >> d.max_innermost >>
                 d.num_candidates;
+            if (!strict && ls.fail()) {
+                drop();
+                continue;
+            }
             int64_t v;
             while (ls >> v) d.values.push_back(v);
             current.decisions.push_back(std::move(d));
         } else if (tag == "end") {
-            TIR_CHECK(in_record) << "malformed database: stray end";
+            if (!in_record) {
+                TIR_CHECK(!strict) << "malformed database: stray end";
+                if (!skipping) drop();
+                continue;
+            }
             db.commit(std::move(current));
+            if (report) ++report->loaded;
             in_record = false;
         } else if (!tag.empty()) {
-            TIR_FATAL << "malformed database line: " << line;
+            TIR_CHECK(!strict) << "malformed database line: " << line;
+            if (in_record || !skipping) drop();
         }
     }
-    TIR_CHECK(!in_record) << "malformed database: unterminated record";
+    if (in_record) {
+        TIR_CHECK(!strict) << "malformed database: unterminated record";
+        // The crash-mid-write case: the trailing record lost its `end`
+        // (and possibly part of its last line). Everything before it
+        // was committed already.
+        ++report->dropped;
+    }
     return db;
 }
 
@@ -112,7 +151,11 @@ TuningDatabase::save(const std::string& path) const
 {
     std::ofstream out(path);
     TIR_CHECK(out.good()) << "cannot open " << path << " for writing";
-    out << serialize();
+    std::string text = serialize();
+    // Chaos hook: corrupt the serialized bytes before they hit disk so
+    // the tolerant load path is testable end to end.
+    failpoint::injectCorrupt("db.save", text);
+    out << text;
     // A disk-full or I/O error surfaces on the stream only once the
     // buffered bytes actually hit the file; checking before the write
     // alone would report success for a truncated database.
@@ -123,13 +166,23 @@ TuningDatabase::save(const std::string& path) const
 }
 
 TuningDatabase
-TuningDatabase::load(const std::string& path)
+TuningDatabase::load(const std::string& path, LoadReport* report)
 {
     std::ifstream in(path);
-    TIR_CHECK(in.good()) << "cannot open " << path;
+    TIR_CHECK(in.good() && !failpoint::inject("db.load"))
+        << "cannot open " << path;
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return deserialize(buffer.str());
+    // Always tolerant: a file that crossed a crash or a disk can hold a
+    // truncated trailing record, and dropping it beats aborting the
+    // session that wanted to reuse the intact ones.
+    LoadReport local;
+    TuningDatabase db = deserialize(buffer.str(), &local);
+    if (local.dropped > 0) {
+        trace::counterAdd("database.records_dropped", local.dropped);
+    }
+    if (report) *report = local;
+    return db;
 }
 
 } // namespace meta

@@ -31,6 +31,17 @@ struct TuneRecord
     std::string sketch;
 };
 
+/** Outcome of a tolerant parse: how much survived, how much did not. */
+struct LoadReport
+{
+    /** Records recovered intact. */
+    int loaded = 0;
+    /** Records dropped because they were malformed or truncated (the
+     *  crash-mid-write case: a torn trailing record loses itself, never
+     *  the complete records before it). */
+    int dropped = 0;
+};
+
 /** In-memory store of tuning records keyed by workload hash. */
 class TuningDatabase
 {
@@ -46,12 +57,24 @@ class TuningDatabase
 
     /** Serialize all records to a line-oriented text format. */
     std::string serialize() const;
-    /** Parse records produced by serialize(); replaces the contents. */
-    static TuningDatabase deserialize(const std::string& text);
+    /**
+     * Parse records produced by serialize(). Without a report this is
+     * strict: any malformed line aborts with FatalError (an in-memory
+     * round-trip that fails is a bug, not damage). With a report the
+     * parse is tolerant — corrupt or truncated records are skipped and
+     * counted, and parsing resyncs at the next `record` line — which is
+     * the mode for data that crossed a crash or a disk.
+     */
+    static TuningDatabase deserialize(const std::string& text,
+                                      LoadReport* report = nullptr);
 
-    /** Save to / load from a file. */
+    /** Save to / load from a file. load() parses tolerantly (a crash
+     *  mid-save leaves a truncated trailing record; the session keeps
+     *  every intact record instead of aborting), filling `report` with
+     *  the recovered/dropped counts when given. */
     void save(const std::string& path) const;
-    static TuningDatabase load(const std::string& path);
+    static TuningDatabase load(const std::string& path,
+                               LoadReport* report = nullptr);
 
   private:
     std::map<uint64_t, TuneRecord> records_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/failpoint.h"
 #include "support/logging.h"
 #include "support/thread_pool.h"
 #include "support/trace.h"
@@ -151,12 +152,16 @@ Gbdt::fit(const std::vector<FeatureVec>& features,
           support::ThreadPool* pool)
 {
     TIR_CHECK(features.size() == targets.size());
+    if (failpoint::inject("gbdt.fit")) {
+        throw failpoint::InjectedFault("failpoint 'gbdt.fit' fired");
+    }
     trace::Span span(
         "gbdt.fit",
         trace::arg("samples", static_cast<int64_t>(features.size())));
     trace::counterAdd("gbdt.retrains", 1);
     trees_.clear();
     trained_ = false;
+    last_loss_ = 0;
     if (features.size() < 4) return;
     pool_ = pool;
 
@@ -181,6 +186,7 @@ Gbdt::fit(const std::vector<FeatureVec>& features,
         // Training-loss trajectory of the retrain (one sample per
         // boosting round), visible as a gauge track in the trace.
         trace::gauge("gbdt.mean_abs_residual", mean_abs_residual);
+        last_loss_ = mean_abs_residual;
         if (mean_abs_residual < 1e-9) break;
         Tree tree;
         std::vector<int> indices = all_indices;

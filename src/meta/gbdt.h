@@ -60,6 +60,12 @@ class Gbdt
     /** Whether fit() has been called with enough data. */
     bool trained() const { return trained_; }
 
+    /** Mean absolute residual at the last boosting round of the most
+     *  recent fit (0 before any fit). The tuner checks this is finite
+     *  before adopting a retrained model; a NaN target slipping into
+     *  the training set would otherwise poison every prediction. */
+    double lastFitLoss() const { return last_loss_; }
+
   private:
     struct Node
     {
@@ -83,6 +89,7 @@ class Gbdt
     std::vector<Tree> trees_;
     double base_ = 0;
     bool trained_ = false;
+    double last_loss_ = 0;
     /** Pool for the current fit() call only (not owned). */
     support::ThreadPool* pool_ = nullptr;
 };

@@ -1,0 +1,427 @@
+#include "meta/journal.h"
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "support/failpoint.h"
+#include "support/logging.h"
+
+namespace tir {
+namespace meta {
+
+namespace {
+
+// --- CRC-32 (IEEE 802.3, reflected) ------------------------------------
+
+uint32_t
+crc32(const std::string& data)
+{
+    static const auto table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            }
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t crc = 0xffffffffu;
+    for (char ch : data) {
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xff] ^
+              (crc >> 8);
+    }
+    return crc ^ 0xffffffffu;
+}
+
+// --- exact double round-trip -------------------------------------------
+
+std::string
+bitsOf(double value)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, bits);
+    return buf;
+}
+
+double
+doubleOf(const std::string& hex, bool* ok)
+{
+    if (hex.size() != 16 ||
+        hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+        *ok = false;
+        return 0;
+    }
+    uint64_t bits = std::strtoull(hex.c_str(), nullptr, 16);
+    double value = 0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+// --- decision (de)serialization, same shape as database.cpp ------------
+
+void
+writeDecision(std::ostringstream& os, const char* tag, const Decision& d)
+{
+    os << tag << " "
+       << (d.kind == Decision::Kind::kPerfectTile ? "tile" : "cat") << " "
+       << d.extent << " " << d.number << " " << d.max_innermost << " "
+       << d.num_candidates;
+    for (int64_t v : d.values) os << " " << v;
+    os << "\n";
+}
+
+bool
+readDecision(std::istringstream& ls, Decision* d)
+{
+    std::string kind;
+    ls >> kind;
+    if (kind == "tile") {
+        d->kind = Decision::Kind::kPerfectTile;
+    } else if (kind == "cat") {
+        d->kind = Decision::Kind::kCategorical;
+    } else {
+        return false;
+    }
+    ls >> d->extent >> d->number >> d->max_innermost >> d->num_candidates;
+    if (ls.fail()) return false;
+    int64_t v;
+    while (ls >> v) d->values.push_back(v);
+    return true;
+}
+
+// --- record bodies ------------------------------------------------------
+
+std::string
+headerBody(const JournalHeader& h)
+{
+    std::ostringstream os;
+    os << "section " << h.workload_hash << " " << h.seed << " "
+       << (h.label.empty() ? "-" : h.label) << "\n";
+    os << "options " << h.population << " " << h.generations << " "
+       << h.children_per_generation << " " << h.measured_per_generation
+       << " " << (h.use_cost_model ? 1 : 0) << " "
+       << bitsOf(h.measure_overhead_us) << " " << bitsOf(h.measure_repeats)
+       << "\n";
+    return os.str();
+}
+
+std::string
+generationBody(const JournalGeneration& g)
+{
+    std::ostringstream os;
+    os << "gen " << g.index << " " << g.trials_measured << " "
+       << g.invalid_filtered << " " << g.race_filtered << " "
+       << g.bounds_filtered << " " << g.runtime_filtered << " "
+       << g.timeout_filtered << " " << g.memo_hits << " "
+       << g.memo_measure_hits << " " << g.model_fallbacks << " "
+       << bitsOf(g.tuning_cost_us) << "\n";
+    os << "best " << bitsOf(g.best_latency_us) << "\n";
+    for (const Decision& d : g.best_decisions) writeDecision(os, "bd", d);
+    os << "history";
+    for (double h : g.history) os << " " << bitsOf(h);
+    os << "\n";
+    for (const JournalIndividual& ind : g.population) {
+        os << "indiv " << bitsOf(ind.latency_us) << " "
+           << ind.decisions.size() << "\n";
+        for (const Decision& d : ind.decisions) writeDecision(os, "id", d);
+    }
+    for (const JournalSample& s : g.new_samples) {
+        os << "sample " << bitsOf(s.target);
+        for (double f : s.features) os << " " << bitsOf(f);
+        os << "\n";
+    }
+    for (const JournalMemoEntry& m : g.new_memo) {
+        os << "memo " << m.hash << " " << (m.measured ? 1 : 0) << " "
+           << (m.eval_failed ? 1 : 0) << " " << bitsOf(m.latency_us);
+        for (double f : m.features) os << " " << bitsOf(f);
+        // The violation text can hold spaces; keep it last, behind an
+        // unambiguous separator, so the feature list stays parseable.
+        if (!m.violation.empty()) os << " | " << m.violation;
+        os << "\n";
+    }
+    os << "measured";
+    for (uint64_t h : g.measured_hashes) os << " " << h;
+    os << "\n";
+    return os.str();
+}
+
+// --- record parsing -----------------------------------------------------
+
+/** Parse one record body into `section`/`gen`. Returns false on any
+ *  malformed line (the caller treats the record as damaged). */
+bool
+parseRecord(const std::string& body, JournalContents* out)
+{
+    std::istringstream is(body);
+    std::string line;
+    JournalGeneration gen;
+    bool is_gen = false;
+    JournalIndividual* open_indiv = nullptr;
+    size_t open_indiv_decisions = 0;
+    while (std::getline(is, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        bool ok = true;
+        if (tag == "section") {
+            JournalSection section;
+            ls >> section.header.workload_hash >> section.header.seed >>
+                section.header.label;
+            if (ls.fail()) return false;
+            if (section.header.label == "-") section.header.label.clear();
+            if (!std::getline(is, line)) return false;
+            std::istringstream opts(line);
+            std::string opt_tag, overhead, repeats;
+            int cost_model = 1;
+            opts >> opt_tag >> section.header.population >>
+                section.header.generations >>
+                section.header.children_per_generation >>
+                section.header.measured_per_generation >> cost_model >>
+                overhead >> repeats;
+            if (opts.fail() || opt_tag != "options") return false;
+            section.header.use_cost_model = cost_model != 0;
+            section.header.measure_overhead_us = doubleOf(overhead, &ok);
+            section.header.measure_repeats = doubleOf(repeats, &ok);
+            if (!ok) return false;
+            out->sections.push_back(std::move(section));
+        } else if (tag == "gen") {
+            ls >> gen.index >> gen.trials_measured >>
+                gen.invalid_filtered >> gen.race_filtered >>
+                gen.bounds_filtered >> gen.runtime_filtered >>
+                gen.timeout_filtered >> gen.memo_hits >>
+                gen.memo_measure_hits >> gen.model_fallbacks;
+            std::string cost;
+            ls >> cost;
+            if (ls.fail()) return false;
+            gen.tuning_cost_us = doubleOf(cost, &ok);
+            if (!ok) return false;
+            is_gen = true;
+        } else if (tag == "best") {
+            std::string lat;
+            ls >> lat;
+            gen.best_latency_us = doubleOf(lat, &ok);
+            if (ls.fail() || !ok) return false;
+        } else if (tag == "bd") {
+            Decision d;
+            if (!readDecision(ls, &d)) return false;
+            gen.best_decisions.push_back(std::move(d));
+        } else if (tag == "history") {
+            std::string h;
+            while (ls >> h) {
+                gen.history.push_back(doubleOf(h, &ok));
+                if (!ok) return false;
+            }
+        } else if (tag == "indiv") {
+            std::string lat;
+            ls >> lat;
+            JournalIndividual ind;
+            ind.latency_us = doubleOf(lat, &ok);
+            size_t n_decisions = 0;
+            ls >> n_decisions;
+            if (ls.fail() || !ok) return false;
+            gen.population.push_back(std::move(ind));
+            open_indiv = &gen.population.back();
+            open_indiv_decisions = n_decisions;
+        } else if (tag == "id") {
+            if (!open_indiv ||
+                open_indiv->decisions.size() >= open_indiv_decisions) {
+                return false;
+            }
+            Decision d;
+            if (!readDecision(ls, &d)) return false;
+            open_indiv->decisions.push_back(std::move(d));
+        } else if (tag == "sample") {
+            JournalSample s;
+            std::string word;
+            ls >> word;
+            s.target = doubleOf(word, &ok);
+            if (ls.fail() || !ok) return false;
+            while (ls >> word) {
+                s.features.push_back(doubleOf(word, &ok));
+                if (!ok) return false;
+            }
+            gen.new_samples.push_back(std::move(s));
+        } else if (tag == "memo") {
+            JournalMemoEntry m;
+            int measured = 0, failed = 0;
+            std::string word;
+            ls >> m.hash >> measured >> failed >> word;
+            if (ls.fail()) return false;
+            m.measured = measured != 0;
+            m.eval_failed = failed != 0;
+            m.latency_us = doubleOf(word, &ok);
+            if (!ok) return false;
+            while (ls >> word) {
+                if (word == "|") {
+                    std::getline(ls, m.violation);
+                    if (!m.violation.empty() && m.violation.front() == ' ') {
+                        m.violation.erase(0, 1);
+                    }
+                    break;
+                }
+                m.features.push_back(doubleOf(word, &ok));
+                if (!ok) return false;
+            }
+            gen.new_memo.push_back(std::move(m));
+        } else if (tag == "measured") {
+            uint64_t h;
+            while (ls >> h) gen.measured_hashes.push_back(h);
+        } else if (!tag.empty()) {
+            return false;
+        }
+    }
+    if (is_gen) {
+        if (out->sections.empty()) return false;
+        JournalSection& section = out->sections.back();
+        // Checkpoints append in index order within a section; anything
+        // else means frames from different runs interleaved.
+        if (gen.index != static_cast<int>(section.generations.size())) {
+            return false;
+        }
+        section.generations.push_back(std::move(gen));
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+JournalHeader::matches(const JournalHeader& other) const
+{
+    return workload_hash == other.workload_hash && seed == other.seed &&
+           label == other.label && population == other.population &&
+           generations == other.generations &&
+           children_per_generation == other.children_per_generation &&
+           measured_per_generation == other.measured_per_generation &&
+           use_cost_model == other.use_cost_model &&
+           measure_overhead_us == other.measure_overhead_us &&
+           measure_repeats == other.measure_repeats;
+}
+
+const JournalSection*
+JournalContents::findSection(const JournalHeader& header) const
+{
+    for (auto it = sections.rbegin(); it != sections.rend(); ++it) {
+        if (it->header.matches(header)) return &*it;
+    }
+    return nullptr;
+}
+
+JournalContents
+readJournal(const std::string& path)
+{
+    JournalContents out;
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) return out;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    // Records are framed by a trailing "crc <8 hex>" line. Walk frame
+    // by frame; the first damaged frame (bad checksum, torn tail,
+    // malformed body) ends recovery — everything after it may depend on
+    // the lost state.
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t scan = pos;
+        size_t frame_end = std::string::npos;
+        std::string body;
+        while (scan < text.size()) {
+            size_t nl = text.find('\n', scan);
+            if (nl == std::string::npos) break; // torn: no newline
+            std::string line = text.substr(scan, nl - scan);
+            if (line.rfind("crc ", 0) == 0) {
+                body = text.substr(pos, scan - pos);
+                frame_end = nl + 1;
+                uint32_t stored =
+                    static_cast<uint32_t>(std::strtoul(
+                        line.c_str() + 4, nullptr, 16));
+                if (line.size() != 12 || stored != crc32(body)) {
+                    frame_end = std::string::npos; // damaged frame
+                }
+                break;
+            }
+            scan = nl + 1;
+        }
+        if (frame_end == std::string::npos) {
+            ++out.records_dropped;
+            break;
+        }
+        if (!parseRecord(body, &out)) {
+            ++out.records_dropped;
+            break;
+        }
+        pos = frame_end;
+        out.valid_bytes = pos;
+    }
+    return out;
+}
+
+void
+resetJournal(const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    TIR_CHECK(out.good()) << "cannot open journal " << path;
+}
+
+JournalWriter::JournalWriter(const std::string& path) : path_(path)
+{
+    out_.open(path, std::ios::binary | std::ios::app);
+    TIR_CHECK(out_.good()) << "cannot open journal " << path;
+}
+
+JournalWriter::JournalWriter(const std::string& path, uint64_t resume_at)
+    : path_(path)
+{
+    // Drop any torn tail left by the crash before appending: the bytes
+    // past the last intact record are unparseable garbage.
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+        std::filesystem::resize_file(path, resume_at, ec);
+        TIR_CHECK(!ec) << "cannot truncate journal " << path << ": "
+                       << ec.message();
+    }
+    out_.open(path, std::ios::binary | std::ios::app);
+    TIR_CHECK(out_.good()) << "cannot open journal " << path;
+}
+
+void
+JournalWriter::beginSection(const JournalHeader& header)
+{
+    appendRecord(headerBody(header));
+}
+
+void
+JournalWriter::appendGeneration(const JournalGeneration& gen)
+{
+    appendRecord(generationBody(gen));
+}
+
+void
+JournalWriter::appendRecord(std::string body)
+{
+    char crc_line[16];
+    std::snprintf(crc_line, sizeof(crc_line), "crc %08x\n", crc32(body));
+    std::string framed = std::move(body);
+    framed += crc_line;
+    // Chaos hook: flip bytes of the framed record before it hits disk,
+    // so recovery of a corrupted-on-disk journal is testable.
+    failpoint::injectCorrupt("journal.append", framed);
+    out_ << framed;
+    out_.flush();
+    TIR_CHECK(out_.good())
+        << "journal write to " << path_
+        << " failed (disk full or I/O error)";
+}
+
+} // namespace meta
+} // namespace tir

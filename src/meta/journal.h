@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Crash-safe tuning-session journal: an append-only, checksummed,
+ * line-oriented log of search state written at generation granularity,
+ * so a crash mid-search loses at most the generation in flight.
+ *
+ * A journal file holds a sequence of *sections*, one per
+ * `evolutionarySearch` run, each identified by a header (workload
+ * hash, seed, label, search options). A section's records are state
+ * checkpoints: record index 0 is the state after the initial random
+ * population, index g+1 the state after evolution generation g. Each
+ * record is framed by a trailing `crc <hex>` line (CRC-32 over the
+ * record body), so a record torn by a crash mid-write — or corrupted
+ * on disk — is detected and dropped on load rather than poisoning the
+ * session.
+ *
+ * Recovery semantics: `readJournal` recovers every intact record up to
+ * the first damaged one and reports how many record frames it dropped.
+ * `JournalContents::valid_bytes` is the byte offset where appending
+ * must resume; `JournalWriter` truncates any torn tail away before
+ * reopening in append mode, which is what makes resume-after-crash
+ * produce a well-formed file again.
+ *
+ * Checkpoints capture exactly the cross-generation state of the
+ * search — counters, best, history, the survivor population's decision
+ * traces, and per-generation deltas of the training set and the
+ * structural-hash memo. Because the search is deterministic for a
+ * fixed seed (PR 1's replay contract), restoring that state and
+ * re-running the remaining generations yields a `TuneResult`
+ * byte-identical to an uninterrupted run; programs are re-derived from
+ * decision traces instead of being serialized.
+ *
+ * Doubles are stored as 16-hex-digit IEEE-754 bit patterns so values
+ * round-trip exactly (latency comparisons and cost-model targets must
+ * not drift by a ULP across a resume).
+ */
+#ifndef TENSORIR_META_JOURNAL_H
+#define TENSORIR_META_JOURNAL_H
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "meta/gbdt.h"
+#include "tir/schedule.h"
+
+namespace tir {
+namespace meta {
+
+/** Identity of one search within a journal file. Resume only replays a
+ *  section whose header matches exactly — a changed option or seed
+ *  would make the journaled trajectory meaningless. */
+struct JournalHeader
+{
+    uint64_t workload_hash = 0;
+    uint64_t seed = 0;
+    /** Distinguishes multiple searches over the same workload in one
+     *  file (autoTune labels its sketch families). Single token, no
+     *  whitespace. */
+    std::string label;
+    int population = 0;
+    int generations = 0;
+    int children_per_generation = 0;
+    int measured_per_generation = 0;
+    bool use_cost_model = true;
+    double measure_overhead_us = 0;
+    double measure_repeats = 0;
+
+    bool matches(const JournalHeader& other) const;
+};
+
+/** One survivor: decision trace + measured latency. The program itself
+ *  is re-derived from the decisions on restore. */
+struct JournalIndividual
+{
+    double latency_us = 0;
+    std::vector<Decision> decisions;
+};
+
+/** One cost-model training sample committed during a generation. */
+struct JournalSample
+{
+    FeatureVec features;
+    double target = 0;
+};
+
+/** One structural-hash memo entry added during a generation. */
+struct JournalMemoEntry
+{
+    uint64_t hash = 0;
+    bool measured = false;
+    /** Evaluation threw — duplicates reject identically (kRuntime). */
+    bool eval_failed = false;
+    FeatureVec features;
+    double latency_us = 0;
+    /** Device-constraint violation text; empty = valid estimate. */
+    std::string violation;
+};
+
+/** State checkpoint after one completed generation. Counters are
+ *  absolute (the search state at the end of the generation); samples,
+ *  memo entries, and measured-flag flips are per-generation deltas. */
+struct JournalGeneration
+{
+    /** 0 = after the initial population; g+1 = after generation g. */
+    int index = 0;
+    int trials_measured = 0;
+    int invalid_filtered = 0;
+    int race_filtered = 0;
+    int bounds_filtered = 0;
+    int runtime_filtered = 0;
+    int timeout_filtered = 0;
+    int memo_hits = 0;
+    int memo_measure_hits = 0;
+    int model_fallbacks = 0;
+    double tuning_cost_us = 0;
+    double best_latency_us = std::numeric_limits<double>::infinity();
+    std::vector<Decision> best_decisions;
+    std::vector<double> history;
+    std::vector<JournalIndividual> population;
+    std::vector<JournalSample> new_samples;
+    std::vector<JournalMemoEntry> new_memo;
+    /** Memo hashes whose measured flag first flipped this generation
+     *  (an entry added in an earlier generation can be measured later;
+     *  the flag state must replay exactly for memo_measure_hits to
+     *  stay byte-identical across a resume). */
+    std::vector<uint64_t> measured_hashes;
+};
+
+/** One search's records, in append order. */
+struct JournalSection
+{
+    JournalHeader header;
+    std::vector<JournalGeneration> generations;
+
+    /** All checkpoints present: initial population + every evolution
+     *  generation. A complete section replays to a final TuneResult
+     *  without re-running anything. */
+    bool
+    complete() const
+    {
+        return static_cast<int>(generations.size()) ==
+               header.generations + 1;
+    }
+};
+
+/** Parsed journal file plus recovery metadata. */
+struct JournalContents
+{
+    std::vector<JournalSection> sections;
+    /** End of the last intact record; appending resumes here (any torn
+     *  trailing bytes are truncated away by JournalWriter). */
+    uint64_t valid_bytes = 0;
+    /** Record frames dropped (checksum mismatch or truncation). */
+    int records_dropped = 0;
+
+    /** Last section matching `header` (appends win), or nullptr. */
+    const JournalSection* findSection(const JournalHeader& header) const;
+};
+
+/** Read `path` tolerantly; a missing file yields empty contents. */
+JournalContents readJournal(const std::string& path);
+
+/** Truncate `path` to an empty journal (fresh, non-resumed session). */
+void resetJournal(const std::string& path);
+
+/** Append-only record writer. Every record is flushed and checked, so
+ *  a record either lands intact or is detectably torn. */
+class JournalWriter
+{
+  public:
+    /** Append at the current end of file (creating it if missing). */
+    explicit JournalWriter(const std::string& path);
+    /** Truncate to `resume_at` (= JournalContents::valid_bytes, to
+     *  drop a torn tail), then open for appending. */
+    JournalWriter(const std::string& path, uint64_t resume_at);
+
+    /** Start a new section. */
+    void beginSection(const JournalHeader& header);
+    /** Append one generation checkpoint to the open section. */
+    void appendGeneration(const JournalGeneration& gen);
+
+  private:
+    void appendRecord(std::string body);
+
+    std::string path_;
+    std::ofstream out_;
+};
+
+} // namespace meta
+} // namespace tir
+
+#endif // TENSORIR_META_JOURNAL_H

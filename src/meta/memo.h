@@ -39,6 +39,10 @@ struct MemoEntry
     hwsim::RunEstimate estimate;
     /** Whether this candidate was already charged as a measurement. */
     bool measured = false;
+    /** Evaluation threw (contained as RejectKind::kRuntime). Cached so
+     *  structural duplicates of a failing candidate reject identically
+     *  without re-running the failing evaluation. */
+    bool eval_failed = false;
 };
 
 /** Per-search memo of candidate evaluations, keyed by structural hash. */

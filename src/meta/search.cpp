@@ -3,16 +3,24 @@
 #include "intrin/tensor_intrin.h"
 #include "ir/structural_hash.h"
 #include "meta/database.h"
+#include "meta/journal.h"
 #include "meta/memo.h"
+#include "runtime/interpreter.h"
+#include "support/failpoint.h"
 #include "support/thread_pool.h"
 #include "support/trace.h"
 #include "tir/analysis/analysis.h"
 #include "tir/verify.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 
 namespace tir {
@@ -95,6 +103,12 @@ enum class RejectKind : uint8_t
     kRace,
     /** Static bounds analysis found a provable out-of-bounds access. */
     kBounds,
+    /** Instantiation or evaluation threw a non-FatalError exception
+     *  (std::bad_alloc, interpreter fuel exhaustion, injected fault).
+     *  Contained per candidate — never process death. */
+    kRuntime,
+    /** Abandoned because the stage watchdog expired first. */
+    kTimeout,
 };
 
 /** One candidate flowing through the per-generation pipeline. */
@@ -126,6 +140,8 @@ rejectName(RejectKind reject)
       case RejectKind::kStructure: return "structure";
       case RejectKind::kRace: return "race";
       case RejectKind::kBounds: return "bounds";
+      case RejectKind::kRuntime: return "runtime";
+      case RejectKind::kTimeout: return "timeout";
       default: return "none";
     }
 }
@@ -137,54 +153,73 @@ instantiateCandidate(const PrimFunc& workload, const SketchApplier& sketch,
     trace::Span span("candidate.instantiate");
     Schedule sch(workload, cand.schedule_seed);
     sch.setDecisionOverrides(std::move(cand.overrides));
+    // Search-generated programs are adversarial by construction, and
+    // this runs under a pool worker: *any* escaping exception would
+    // reach the batch drain and abort the whole search, so the entire
+    // instantiation is contained per candidate. FatalError keeps its
+    // structural meaning (an illegal schedule combination the sketch
+    // reports); everything else — bad_alloc, logic_error, injected
+    // faults — is a runtime reject.
     try {
+        // Keyed by the candidate's own schedule seed, so a chaos
+        // schedule fails the *same candidates* at every parallelism
+        // setting (the determinism contract survives injection).
+        if (failpoint::inject("search.instantiate", cand.schedule_seed)) {
+            cand.reject = RejectKind::kRuntime;
+            span.addArg(trace::arg("reject", std::string("runtime")));
+            return;
+        }
         sketch(sch);
+        // Threading validation (§3.3) filters false positives before
+        // they reach a measurement.
+        VerifyResult threads = verifyThreadBindings(sch.func());
+        if (!threads.ok) {
+            cand.reject = RejectKind::kStructure;
+            span.addArg(trace::arg("reject", std::string("structure")));
+            return;
+        }
+        // Static memory analysis on the lowered program: candidates
+        // with a *provable* cross-thread hazard or out-of-bounds access
+        // never reach a measurement. Only error-severity findings
+        // reject — a correct-but-unprovable schedule survives as a
+        // warning, so the population cannot be emptied by analysis
+        // incompleteness. The concrete-enumeration fallback stays off
+        // here (it is quadratic in thread extents; the symbolic proofs
+        // are the cheap path).
+        analysis::AnalysisOptions analysis_opts;
+        analysis_opts.exhaustive_pair_limit = 0;
+        analysis_opts.max_diagnostics = 4;
+        analysis::AnalysisReport report;
+        {
+            // Per-candidate analysis latency gets its own span: the
+            // filter runs on every candidate, so this is where an
+            // analysis slowdown would hide.
+            trace::Span analysis_span("candidate.analysis");
+            report = analysis::analyzeFunc(sch.func(), analysis_opts);
+            analysis_span.addArg(trace::arg(
+                "diagnostics",
+                static_cast<int64_t>(report.diagnostics.size())));
+        }
+        if (!report.ok()) {
+            cand.reject =
+                report.hasError(analysis::DiagKind::kOutOfBounds)
+                    ? RejectKind::kBounds
+                    : RejectKind::kRace;
+            span.addArg(trace::arg("reject",
+                                   std::string(rejectName(cand.reject))));
+            return;
+        }
+        cand.decisions = sch.decisions();
+        cand.func = sch.func();
+        cand.hash = structuralHash(cand.func);
+        cand.valid = true;
     } catch (const FatalError&) {
         cand.reject = RejectKind::kStructure;
         span.addArg(trace::arg("reject", std::string("structure")));
-        return; // valid stays false; counted in the sequential fold
+    } catch (const std::exception&) {
+        cand.reject = RejectKind::kRuntime;
+        span.addArg(trace::arg("reject", std::string("runtime")));
     }
-    // Threading validation (§3.3) filters false positives before they
-    // reach a measurement.
-    VerifyResult threads = verifyThreadBindings(sch.func());
-    if (!threads.ok) {
-        cand.reject = RejectKind::kStructure;
-        span.addArg(trace::arg("reject", std::string("structure")));
-        return;
-    }
-    // Static memory analysis on the lowered program: candidates with a
-    // *provable* cross-thread hazard or out-of-bounds access never
-    // reach a measurement. Only error-severity findings reject — a
-    // correct-but-unprovable schedule survives as a warning, so the
-    // population cannot be emptied by analysis incompleteness. The
-    // concrete-enumeration fallback stays off here (it is quadratic in
-    // thread extents; the symbolic proofs are the cheap path).
-    analysis::AnalysisOptions analysis_opts;
-    analysis_opts.exhaustive_pair_limit = 0;
-    analysis_opts.max_diagnostics = 4;
-    analysis::AnalysisReport report;
-    {
-        // Per-candidate analysis latency gets its own span: the filter
-        // runs on every candidate, so this is where an analysis
-        // slowdown would hide.
-        trace::Span analysis_span("candidate.analysis");
-        report = analysis::analyzeFunc(sch.func(), analysis_opts);
-        analysis_span.addArg(trace::arg(
-            "diagnostics",
-            static_cast<int64_t>(report.diagnostics.size())));
-    }
-    if (!report.ok()) {
-        cand.reject = report.hasError(analysis::DiagKind::kOutOfBounds)
-                          ? RejectKind::kBounds
-                          : RejectKind::kRace;
-        span.addArg(
-            trace::arg("reject", std::string(rejectName(cand.reject))));
-        return;
-    }
-    cand.decisions = sch.decisions();
-    cand.func = sch.func();
-    cand.hash = structuralHash(cand.func);
-    cand.valid = true;
 }
 
 /** Mutate one decision in place (resample it legally). */
@@ -235,6 +270,14 @@ countReject(TuneResult& result, RejectKind reject)
         ++result.bounds_filtered;
         trace::counterAdd("search.bounds_filtered", 1);
         break;
+      case RejectKind::kRuntime:
+        ++result.runtime_filtered;
+        trace::counterAdd("search.runtime_filtered", 1);
+        break;
+      case RejectKind::kTimeout:
+        ++result.timeout_filtered;
+        trace::counterAdd("search.timeout_filtered", 1);
+        break;
       default:
         ++result.invalid_filtered;
         trace::counterAdd("search.invalid_filtered", 1);
@@ -248,6 +291,68 @@ struct Individual
     std::vector<Decision> decisions;
     PrimFunc func;
     double latency_us = std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Wall-clock watchdog for one pipeline stage. Expiry is cooperative:
+ * threads cannot be killed safely, so workers poll expired() before
+ * picking up each candidate and the unprocessed remainder is rejected
+ * as timed out. A zero budget disables the watchdog entirely (no
+ * thread, no polling cost beyond one relaxed load per candidate) —
+ * the default, because wall-clock expiry is inherently
+ * non-deterministic and would void the byte-identical replay contract.
+ */
+class StageWatchdog
+{
+  public:
+    StageWatchdog(double timeout_s, int& overruns) : overruns_(overruns)
+    {
+        if (timeout_s <= 0) return;
+        auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(timeout_s));
+        thread_ = std::jthread([this, deadline] {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (!cv_.wait_until(lock, deadline, [&] { return done_; })) {
+                expired_.store(true, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    ~StageWatchdog()
+    {
+        if (thread_.joinable()) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                done_ = true;
+            }
+            cv_.notify_all();
+            thread_.join();
+        }
+        if (expired()) {
+            ++overruns_;
+            trace::counterAdd("search.watchdog_overruns", 1);
+            trace::instant("search.watchdog_expired");
+        }
+    }
+
+    StageWatchdog(const StageWatchdog&) = delete;
+    StageWatchdog& operator=(const StageWatchdog&) = delete;
+
+    bool
+    expired() const
+    {
+        return expired_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    int& overruns_;
+    std::atomic<bool> expired_{false};
+    bool done_ = false;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::jthread thread_;
 };
 
 } // namespace
@@ -286,6 +391,14 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
     std::vector<FeatureVec> train_x;
     std::vector<double> train_y;
     MemoCache memo;
+    std::vector<Individual> population;
+    result.timings.watchdog_timeout_s = options.stage_timeout_s;
+
+    // Checkpoint-journal bookkeeping: what changed since the last
+    // checkpoint (per-generation deltas keep the records small).
+    size_t journal_samples_flushed = 0;
+    std::vector<uint64_t> journal_new_memo;
+    std::vector<uint64_t> journal_measured;
 
     auto forEach = [&](size_t n, const std::function<void(size_t)>& fn) {
         if (pool) {
@@ -303,7 +416,16 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         {
             trace::AccumSpan stage("search.instantiate_batch",
                                    result.timings.generate_s);
+            StageWatchdog watchdog(options.stage_timeout_s,
+                                   result.timings.watchdog_overruns);
             forEach(batch.size(), [&](size_t i) {
+                // Cooperative expiry: candidates not yet picked up when
+                // the stage budget runs out are rejected as timeouts
+                // instead of being worked on indefinitely.
+                if (watchdog.expired()) {
+                    batch[i].reject = RejectKind::kTimeout;
+                    return;
+                }
                 instantiateCandidate(workload, sketch, batch[i]);
             });
         }
@@ -327,15 +449,40 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         }
 
         std::vector<MemoEntry> fresh_entries(fresh.size());
+        std::vector<char> timed_out(fresh.size(), 0);
         {
             trace::AccumSpan stage("search.evaluate_batch",
                                    result.timings.evaluate_s);
+            StageWatchdog watchdog(options.stage_timeout_s,
+                                   result.timings.watchdog_overruns);
             forEach(fresh.size(), [&](size_t j) {
+                if (watchdog.expired()) {
+                    timed_out[j] = 1;
+                    return;
+                }
                 trace::Span span("candidate.evaluate");
                 const Candidate& c = batch[fresh[j]];
-                hwsim::ProgramStats stats = hwsim::extractStats(c.func);
-                fresh_entries[j].features = extractFeatures(stats);
-                fresh_entries[j].estimate = device.estimate(stats);
+                // Contained per candidate: an evaluation that throws
+                // (bad_alloc, interpreter fuel exhaustion, injected
+                // fault) becomes a structured reject, never process
+                // death. The failure is cached in the memo entry so
+                // structural duplicates reject identically without
+                // re-running the failing evaluation.
+                try {
+                    // Keyed by structural hash: a chaos schedule fails
+                    // the same candidates at every parallelism setting.
+                    if (failpoint::inject("search.evaluate", c.hash)) {
+                        fresh_entries[j].eval_failed = true;
+                        return;
+                    }
+                    hwsim::ProgramStats stats =
+                        hwsim::extractStats(c.func);
+                    fresh_entries[j].features = extractFeatures(stats);
+                    fresh_entries[j].estimate = device.estimate(stats);
+                } catch (const std::exception&) {
+                    fresh_entries[j] = MemoEntry();
+                    fresh_entries[j].eval_failed = true;
+                }
             });
         }
 
@@ -343,11 +490,27 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             trace::AccumSpan stage("search.memo_commit",
                                    result.timings.reduce_s);
             for (size_t j = 0; j < fresh.size(); ++j) {
-                memo.insert(batch[fresh[j]].hash,
-                            std::move(fresh_entries[j]));
+                // A timed-out evaluation is *not* cached: whether the
+                // watchdog cut it off is a property of this run's
+                // wall-clock, not of the candidate.
+                if (timed_out[j]) continue;
+                uint64_t hash = batch[fresh[j]].hash;
+                memo.insert(hash, std::move(fresh_entries[j]));
+                journal_new_memo.push_back(hash);
             }
             for (Candidate& c : batch) {
-                if (c.valid) c.memo = memo.find(c.hash);
+                if (!c.valid) continue;
+                c.memo = memo.find(c.hash);
+                if (!c.memo) {
+                    // No entry was committed: the watchdog expired
+                    // before this candidate's evaluation ran.
+                    c.valid = false;
+                    c.reject = RejectKind::kTimeout;
+                } else if (c.memo->eval_failed) {
+                    c.valid = false;
+                    c.reject = RejectKind::kRuntime;
+                    c.memo = nullptr;
+                }
             }
         }
     };
@@ -367,6 +530,10 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             trace::counterAdd("search.memo_measure_hits", 1);
         } else {
             entry->measured = true;
+            // The flip can land generations after the entry was
+            // journaled; recording it keeps memo_measure_hits exact
+            // across a checkpoint resume.
+            journal_measured.push_back(cand.hash);
         }
         ++result.trials_measured;
         trace::counterAdd("search.trials_measured", 1);
@@ -399,14 +566,158 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         return latency;
     };
 
+    // --- Crash-safe checkpointing (meta/journal.h) -------------------
+    std::optional<JournalWriter> journal;
+    bool restored = false;
+    int start_gen = 0;
+    if (!options.journal_path.empty()) {
+        JournalHeader header;
+        header.workload_hash = structuralHash(workload);
+        header.seed = options.seed;
+        header.label = options.journal_label;
+        header.population = options.population;
+        header.generations = options.generations;
+        header.children_per_generation =
+            options.children_per_generation;
+        header.measured_per_generation =
+            options.measured_per_generation;
+        header.use_cost_model = options.use_cost_model;
+        header.measure_overhead_us = options.measure_overhead_us;
+        header.measure_repeats = options.measure_repeats;
+
+        JournalContents contents = readJournal(options.journal_path);
+        // Reopen past the last intact record: a torn trailing frame
+        // left by a crash is truncated away before appending.
+        journal.emplace(options.journal_path, contents.valid_bytes);
+        const JournalSection* section =
+            options.resume ? contents.findSection(header) : nullptr;
+        if (section && !section->generations.empty()) {
+            // Restore the cross-generation search state as of the last
+            // completed checkpoint. Because the search is deterministic
+            // for a fixed seed, re-running the remaining generations
+            // from this state reproduces the uninterrupted run exactly.
+            const JournalGeneration& last = section->generations.back();
+            result.trials_measured = last.trials_measured;
+            result.invalid_filtered = last.invalid_filtered;
+            result.race_filtered = last.race_filtered;
+            result.bounds_filtered = last.bounds_filtered;
+            result.runtime_filtered = last.runtime_filtered;
+            result.timeout_filtered = last.timeout_filtered;
+            result.memo_hits = last.memo_hits;
+            result.memo_measure_hits = last.memo_measure_hits;
+            result.model_fallbacks = last.model_fallbacks;
+            result.tuning_cost_us = last.tuning_cost_us;
+            result.best_latency_us = last.best_latency_us;
+            result.best_decisions = last.best_decisions;
+            result.history = last.history;
+            result.generations_replayed =
+                static_cast<int>(section->generations.size());
+            for (const JournalIndividual& ind : last.population) {
+                // The program itself is never read from a survivor —
+                // only its decisions (for mutation) and latency (for
+                // survival) — so it is not re-derived here.
+                population.push_back(
+                    {ind.decisions, PrimFunc(), ind.latency_us});
+            }
+            for (const JournalGeneration& g : section->generations) {
+                for (const JournalSample& s : g.new_samples) {
+                    train_x.push_back(s.features);
+                    train_y.push_back(s.target);
+                }
+                for (const JournalMemoEntry& m : g.new_memo) {
+                    MemoEntry e;
+                    e.features = m.features;
+                    e.estimate.latency_us = m.latency_us;
+                    e.estimate.violation = m.violation;
+                    e.measured = m.measured;
+                    e.eval_failed = m.eval_failed;
+                    memo.insert(m.hash, std::move(e));
+                }
+                for (uint64_t h : g.measured_hashes) {
+                    if (MemoEntry* e = memo.find(h)) e->measured = true;
+                }
+            }
+            journal_samples_flushed = train_x.size();
+            // The winner is re-derived from its decision trace (the
+            // same mechanism as database replay, §5.2) instead of
+            // serializing programs into the journal.
+            if (std::isfinite(result.best_latency_us)) {
+                Schedule sch(workload, options.seed);
+                sch.setDecisionOverrides(result.best_decisions);
+                sketch(sch);
+                result.best_func = sch.func();
+            }
+            restored = true;
+            start_gen = last.index;
+            // Re-write the restored section: later records must follow
+            // their own header for the file to stay parseable, and
+            // another section may have been appended since the crash.
+            journal->beginSection(header);
+            for (const JournalGeneration& g : section->generations) {
+                journal->appendGeneration(g);
+            }
+            trace::instant(
+                "search.journal_resume",
+                trace::arg("generations_replayed",
+                           static_cast<int64_t>(
+                               result.generations_replayed)));
+        } else {
+            journal->beginSection(header);
+        }
+    }
+
+    auto appendCheckpoint = [&](int index) {
+        if (!journal) return;
+        // The kill-mid-generation site: a `throw` schedule here
+        // crashes the search after a generation finished but before it
+        // was persisted — the worst-case data-loss window the resume
+        // test exercises.
+        failpoint::inject("search.checkpoint");
+        JournalGeneration g;
+        g.index = index;
+        g.trials_measured = result.trials_measured;
+        g.invalid_filtered = result.invalid_filtered;
+        g.race_filtered = result.race_filtered;
+        g.bounds_filtered = result.bounds_filtered;
+        g.runtime_filtered = result.runtime_filtered;
+        g.timeout_filtered = result.timeout_filtered;
+        g.memo_hits = result.memo_hits;
+        g.memo_measure_hits = result.memo_measure_hits;
+        g.model_fallbacks = result.model_fallbacks;
+        g.tuning_cost_us = result.tuning_cost_us;
+        g.best_latency_us = result.best_latency_us;
+        g.best_decisions = result.best_decisions;
+        g.history = result.history;
+        for (const Individual& ind : population) {
+            g.population.push_back({ind.latency_us, ind.decisions});
+        }
+        for (size_t i = journal_samples_flushed; i < train_x.size();
+             ++i) {
+            g.new_samples.push_back({train_x[i], train_y[i]});
+        }
+        journal_samples_flushed = train_x.size();
+        for (uint64_t h : journal_new_memo) {
+            MemoEntry* e = memo.find(h);
+            g.new_memo.push_back({h, e->measured, e->eval_failed,
+                                  e->features, e->estimate.latency_us,
+                                  e->estimate.violation});
+        }
+        g.measured_hashes = std::move(journal_measured);
+        journal_new_memo.clear();
+        journal_measured.clear();
+        journal->appendGeneration(g);
+        trace::instant("search.checkpoint",
+                       trace::arg("gen", static_cast<int64_t>(index)));
+    };
+
     // Initial random population, measured directly. Attempts run in
     // rounds of `population` so a mostly-valid sketch space does not
     // over-generate; the cap of 8 rounds matches the serial budget of
-    // population * 8 attempts.
-    std::vector<Individual> population;
+    // population * 8 attempts. Skipped entirely on a journal resume —
+    // the restored checkpoint already contains its outcome.
     uint64_t attempt_index = 0;
     for (int round = 0;
-         round < 8 &&
+         !restored && round < 8 &&
          static_cast<int>(population.size()) < options.population;
          ++round) {
         trace::Span round_span(
@@ -450,16 +761,41 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
     }
     TIR_CHECK(!population.empty())
         << "search could not instantiate any valid schedule";
-    result.history.push_back(result.best_latency_us);
+    if (!restored) {
+        result.history.push_back(result.best_latency_us);
+        appendCheckpoint(0);
+    }
 
-    for (int gen = 0; gen < options.generations; ++gen) {
+    for (int gen = start_gen; gen < options.generations; ++gen) {
         trace::Span gen_span(
             "search.generation",
             trace::arg("gen", static_cast<int64_t>(gen)));
         if (options.use_cost_model && train_x.size() >= 8) {
             trace::AccumSpan fit("search.model_fit",
                                  result.timings.model_s);
-            cost_model.fit(train_x, train_y, pool);
+            // Graceful degradation: fit into a fresh model and adopt it
+            // only on success. An in-place refit that throws halfway
+            // would leave the live model half-built; a non-finite loss
+            // means a poisoned training set whose predictions would be
+            // garbage. Either way the search keeps ranking children
+            // with the last good model instead of dying.
+            Gbdt refit;
+            bool fit_ok = true;
+            try {
+                refit.fit(train_x, train_y, pool);
+                fit_ok = std::isfinite(refit.lastFitLoss());
+            } catch (const std::exception&) {
+                fit_ok = false;
+            }
+            if (fit_ok) {
+                cost_model = std::move(refit);
+            } else {
+                ++result.model_fallbacks;
+                trace::counterAdd("search.model_fallbacks", 1);
+                trace::instant(
+                    "search.model_fallback",
+                    trace::arg("gen", static_cast<int64_t>(gen)));
+            }
         }
         // Parents weighted by fitness (inverse latency).
         std::vector<double> weights;
@@ -582,6 +918,7 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             population.resize(static_cast<size_t>(options.population));
         }
         result.history.push_back(result.best_latency_us);
+        appendCheckpoint(gen + 1);
     }
     result.timings.total_s = trace::nowSeconds() - search_start;
     return result;
@@ -597,6 +934,10 @@ accumulate(TuneResult& into, const TuneResult& from)
     into.invalid_filtered += from.invalid_filtered;
     into.race_filtered += from.race_filtered;
     into.bounds_filtered += from.bounds_filtered;
+    into.runtime_filtered += from.runtime_filtered;
+    into.timeout_filtered += from.timeout_filtered;
+    into.model_fallbacks += from.model_fallbacks;
+    into.generations_replayed += from.generations_replayed;
     into.tuning_cost_us += from.tuning_cost_us;
     into.memo_hits += from.memo_hits;
     into.memo_measure_hits += from.memo_measure_hits;
@@ -605,6 +946,7 @@ accumulate(TuneResult& into, const TuneResult& from)
     into.timings.model_s += from.timings.model_s;
     into.timings.reduce_s += from.timings.reduce_s;
     into.timings.total_s += from.timings.total_s;
+    into.timings.watchdog_overruns += from.timings.watchdog_overruns;
 }
 
 } // namespace
@@ -621,6 +963,15 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
     trace::SessionGuard trace_session(options.trace_path);
     trace::Span tune_span("meta.auto_tune",
                           trace::arg("workload", task.func->name));
+    // Interpreter fuel for every evaluation under this tune: a
+    // pathological candidate aborts with a structured EvalError (a
+    // contained runtime reject) instead of hanging the session.
+    runtime::ScopedStepLimit step_limit(options.eval_step_limit);
+    // A fresh (non-resumed) session starts its journal from scratch;
+    // a resumed one must keep the records it is about to replay.
+    if (!options.journal_path.empty() && !options.resume) {
+        resetJournal(options.journal_path);
+    }
     bool gpu = (task.target == "gpu");
     std::vector<TensorizeCandidate> candidates;
     if (style != TunerStyle::kLoopOnly) {
@@ -645,6 +996,9 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
         applier = makeLoopSketchApplier(task.einsum_block, gpu);
     }
     TuneOptions opts = options;
+    // autoTune runs up to two searches over the same workload and seed
+    // options; distinct labels keep their journal sections apart.
+    opts.journal_label = "primary";
     if (style == TunerStyle::kAmosLike) {
         // AMOS explores intrinsic mappings without a transferable cost
         // model over tensorized programs.
@@ -696,6 +1050,7 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
         loop_opts.population = std::max(4, opts.population / 2);
         loop_opts.generations = std::max(1, opts.generations / 2);
         loop_opts.seed = opts.seed + 7777;
+        loop_opts.journal_label = "secondary";
         TuneResult loop_result = evolutionarySearch(
             task.func, loop_applier, device, loop_opts);
         accumulate(result, loop_result);

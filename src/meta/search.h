@@ -78,6 +78,45 @@ struct TuneOptions
      */
     int parallelism = 0;
     /**
+     * Interpreter fuel budget per candidate evaluation: the maximum
+     * number of statements a simulated measurement may execute before
+     * it is aborted with a structured EvalError (rejected and counted
+     * as a timeout, not process death). 0 = unlimited. The default is
+     * generous — real candidates finish in well under a millionth of
+     * it — so it only catches pathological programs that would
+     * otherwise spin the interpreter forever.
+     */
+    uint64_t eval_step_limit = 1ull << 33;
+    /**
+     * Wall-clock watchdog per evaluation stage, in seconds. When a
+     * stage overruns, workers stop picking up new candidates and the
+     * unprocessed remainder is rejected as timed out (counted in
+     * `timeout_filtered`, overruns in `timings.watchdog_overruns`).
+     * 0 (the default) disables the watchdog: timeouts depend on real
+     * wall-clock, so enabling it trades the byte-identical determinism
+     * contract for bounded stage latency.
+     */
+    double stage_timeout_s = 0;
+    /**
+     * When non-empty, the search appends a crash-safe checkpoint
+     * journal here (meta/journal.h): one checksummed record per
+     * generation. Combined with `resume`, a killed session restarts
+     * from the last completed generation instead of from scratch.
+     */
+    std::string journal_path;
+    /**
+     * Resume from `journal_path`: completed generations recorded there
+     * (for a matching workload/seed/options section) are replayed from
+     * the journal instead of re-run, then the search continues. The
+     * final TuneResult is byte-identical to an uninterrupted run (the
+     * deterministic-replay contract extends across process restarts).
+     * Ignored when the journal has no matching section.
+     */
+    bool resume = false;
+    /** Section label within the journal; autoTune sets this per sketch
+     *  family. Single token (no whitespace). */
+    std::string journal_label;
+    /**
      * When non-empty, autoTune opens a trace session (support/trace.h)
      * writing Chrome-trace JSON here — per-generation and per-candidate
      * spans, memo/filter counters, cost-model loss gauges — unless a
@@ -110,6 +149,20 @@ struct TuneResult
     /** Candidates rejected by the static bounds analysis (an access
      *  provably outside its buffer's declared shape). */
     int bounds_filtered = 0;
+    /** Candidates whose instantiation or evaluation threw a
+     *  non-FatalError exception (std::bad_alloc, injected faults,
+     *  interpreter fuel exhaustion, …). Contained per candidate and
+     *  counted here instead of killing the process. */
+    int runtime_filtered = 0;
+    /** Candidates abandoned because the stage watchdog expired before
+     *  they were processed (only with TuneOptions::stage_timeout_s). */
+    int timeout_filtered = 0;
+    /** Cost-model retrains that failed (threw, or produced a non-finite
+     *  loss) and fell back to the last good model. */
+    int model_fallbacks = 0;
+    /** Generations restored from the checkpoint journal instead of
+     *  re-run (only with TuneOptions::resume). */
+    int generations_replayed = 0;
     /** Simulated wall-clock tuning cost (profiling dominates). */
     double tuning_cost_us = 0;
     /** Best latency after each generation. */
@@ -152,6 +205,10 @@ struct TuneResult
         double reduce_s = 0;
         /** Whole search. */
         double total_s = 0;
+        /** Configured per-stage watchdog budget (0 = disabled). */
+        double watchdog_timeout_s = 0;
+        /** Stages the watchdog cut short. */
+        int watchdog_overruns = 0;
     };
     StageTimings timings;
 };

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "arith/interval.h"
+#include "support/failpoint.h"
 #include "support/trace.h"
 #include "tir/analysis/analysis.h"
 
@@ -18,6 +19,14 @@ std::optional<bool>&
 debugChecksOverride()
 {
     static std::optional<bool> value;
+    return value;
+}
+
+/** Explicit setDefaultStepLimit override; unset falls to the env. */
+std::optional<uint64_t>&
+stepLimitOverride()
+{
+    static std::optional<uint64_t> value;
     return value;
 }
 
@@ -57,12 +66,52 @@ Interpreter::debugChecksEnabled()
 }
 
 void
+Interpreter::setDefaultStepLimit(uint64_t limit)
+{
+    stepLimitOverride() = limit;
+}
+
+void
+Interpreter::clearDefaultStepLimit()
+{
+    stepLimitOverride().reset();
+}
+
+uint64_t
+Interpreter::defaultStepLimit()
+{
+    if (stepLimitOverride()) return *stepLimitOverride();
+    if (const char* env = std::getenv("TENSORIR_STEP_LIMIT")) {
+        return std::strtoull(env, nullptr, 10);
+    }
+    return 0;
+}
+
+ScopedStepLimit::ScopedStepLimit(uint64_t limit)
+    : saved_(stepLimitOverride())
+{
+    Interpreter::setDefaultStepLimit(limit);
+}
+
+ScopedStepLimit::~ScopedStepLimit()
+{
+    stepLimitOverride() = saved_;
+}
+
+void
 Interpreter::run(const PrimFunc& func, const std::vector<NDArray*>& args)
 {
     TIR_CHECK(args.size() == func->params.size())
         << func->name << " expects " << func->params.size()
         << " arguments, got " << args.size();
     trace::Span span("interp.run", trace::arg("func", func->name));
+    if (failpoint::inject("interp.run")) {
+        throw EvalError("injected interpreter fault (failpoint "
+                        "interp.run) in " +
+                        func->name);
+    }
+    steps_ = 0;
+    active_limit_ = step_limit_ ? *step_limit_ : defaultStepLimit();
     env_.clear();
     storage_.clear();
     bound_.clear();
@@ -248,6 +297,14 @@ Interpreter::resolvePtr(const Expr& expr)
 void
 Interpreter::exec(const Stmt& stmt)
 {
+    // Fuel accounting: statements are the loop carriers, so counting
+    // them bounds every runaway program (an infinite loop executes its
+    // body statements forever) without taxing expression evaluation.
+    if (active_limit_ != 0 && ++steps_ > active_limit_) {
+        throw EvalError("interpreter step limit of " +
+                        std::to_string(active_limit_) +
+                        " statements exceeded (runaway program?)");
+    }
     switch (stmt->kind) {
       case StmtKind::kBufferStore: {
         const auto& n = static_cast<const BufferStoreNode&>(*stmt);

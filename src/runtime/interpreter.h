@@ -9,8 +9,11 @@
 #ifndef TENSORIR_RUNTIME_INTERPRETER_H
 #define TENSORIR_RUNTIME_INTERPRETER_H
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "ir/stmt.h"
@@ -20,6 +23,21 @@ namespace tir {
 namespace runtime {
 
 class Interpreter;
+
+/**
+ * Structured evaluation failure: the step budget ran out (a pathological
+ * program that would otherwise spin forever) or an injected interpreter
+ * fault fired. A std::runtime_error — not a FatalError — so the tuning
+ * pipeline's per-candidate containment rejects the candidate instead of
+ * aborting the session.
+ */
+class EvalError : public std::runtime_error
+{
+  public:
+    explicit EvalError(const std::string& msg) : std::runtime_error(msg)
+    {
+    }
+};
 
 /** Semantics callback for an opaque intrinsic call. */
 using IntrinsicImpl =
@@ -53,6 +71,22 @@ class Interpreter
     /** Backing storage for a buffer, allocating lazily. */
     NDArray* getArray(const Buffer& buffer);
 
+    /**
+     * Fuel budget for this interpreter: the maximum number of statements
+     * one run() may execute before it aborts with EvalError. 0 means
+     * unlimited. Overrides the process-wide default for this instance.
+     */
+    void setStepLimit(uint64_t limit) { step_limit_ = limit; }
+
+    /** Process-wide default step limit for interpreters without an
+     *  explicit setStepLimit (0 = unlimited). */
+    static void setDefaultStepLimit(uint64_t limit);
+    /** Fall back to the TENSORIR_STEP_LIMIT environment variable. */
+    static void clearDefaultStepLimit();
+    /** Effective default: an explicit setDefaultStepLimit wins,
+     *  otherwise TENSORIR_STEP_LIMIT, otherwise 0 (unlimited). */
+    static uint64_t defaultStepLimit();
+
     /** Register the runtime semantics of an opaque intrinsic. */
     static void registerIntrinsic(const std::string& name,
                                   IntrinsicImpl impl);
@@ -74,12 +108,33 @@ class Interpreter
     int64_t linearOffset(const Buffer& buffer,
                          const std::vector<Expr>& indices);
 
+    /** Instance override of the default step limit (unset = default). */
+    std::optional<uint64_t> step_limit_;
+    /** Budget resolved at run() entry (0 = unlimited) and fuel used. */
+    uint64_t active_limit_ = 0;
+    uint64_t steps_ = 0;
+
     std::unordered_map<const VarNode*, int64_t> env_;
     std::unordered_map<const BufferNode*, std::unique_ptr<NDArray>>
         storage_;
     std::unordered_map<const BufferNode*, NDArray*> bound_;
 
     static std::unordered_map<std::string, IntrinsicImpl>& registry();
+};
+
+/** RAII override of the process-wide default step limit (restores the
+ *  previous default on destruction). The tuner installs one for the
+ *  duration of autoTune from TuneOptions::eval_step_limit. */
+class ScopedStepLimit
+{
+  public:
+    explicit ScopedStepLimit(uint64_t limit);
+    ~ScopedStepLimit();
+    ScopedStepLimit(const ScopedStepLimit&) = delete;
+    ScopedStepLimit& operator=(const ScopedStepLimit&) = delete;
+
+  private:
+    std::optional<uint64_t> saved_;
 };
 
 } // namespace runtime

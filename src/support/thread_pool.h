@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/failpoint.h"
 #include "support/logging.h"
 
 namespace tir {
@@ -134,6 +135,10 @@ class ThreadPool
         for (size_t i = batch.next.fetch_add(1); i < batch.n;
              i = batch.next.fetch_add(1)) {
             try {
+                // Inside the try: an injected dispatch fault drains
+                // into batch.error like any task exception, instead of
+                // escaping a worker thread (which would terminate).
+                failpoint::inject("thread_pool.dispatch");
                 (*batch.fn)(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(mutex_);

@@ -133,6 +133,85 @@ TEST(DatabaseTest, RejectsMalformedText)
         FatalError); // unterminated
 }
 
+TEST(DatabaseTest, TolerantParseRecoversFromTruncatedTail)
+{
+    // The crash-mid-save case: the file ends inside a record. The
+    // tolerant parse keeps every complete record and counts the torn
+    // one as dropped instead of aborting the session.
+    meta::TuningDatabase db;
+    meta::TuneRecord record;
+    record.workload_hash = 11;
+    record.workload_name = "intact";
+    record.latency_us = 2.5;
+    Decision tile;
+    tile.kind = Decision::Kind::kPerfectTile;
+    tile.extent = 32;
+    tile.number = 2;
+    tile.max_innermost = 4;
+    tile.values = {8, 4};
+    record.decisions = {tile};
+    db.commit(record);
+    std::string text = db.serialize();
+    // Append a record whose `end` (and part of its decision line) was
+    // lost to the crash.
+    text += "record 22 9.0 loop torn\n  tile 64 3";
+
+    meta::LoadReport report;
+    meta::TuningDatabase restored =
+        meta::TuningDatabase::deserialize(text, &report);
+    EXPECT_EQ(report.loaded, 1);
+    EXPECT_EQ(report.dropped, 1);
+    ASSERT_EQ(restored.size(), 1u);
+    auto got = restored.lookup(11);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->workload_name, "intact");
+    ASSERT_EQ(got->decisions.size(), 1u);
+    EXPECT_EQ(got->decisions[0].values, (std::vector<int64_t>{8, 4}));
+    // The same text still fails the strict (in-memory round-trip) mode.
+    EXPECT_THROW(meta::TuningDatabase::deserialize(text), FatalError);
+}
+
+TEST(DatabaseTest, TolerantParseResyncsAfterCorruptMiddleRecord)
+{
+    // Damage in the middle of the file: the parse drops the damaged
+    // record, resyncs at the next `record` header, and keeps both
+    // neighbours.
+    std::string text =
+        "record 1 1.0 tensor first\nend\n"
+        "record 2 oops_not_a_number loop damaged\n  tile 4 1 2 0 4\nend\n"
+        "record 3 3.0 tensor last\nend\n";
+    meta::LoadReport report;
+    meta::TuningDatabase restored =
+        meta::TuningDatabase::deserialize(text, &report);
+    EXPECT_EQ(report.loaded, 2);
+    EXPECT_EQ(report.dropped, 1);
+    EXPECT_EQ(restored.size(), 2u);
+    EXPECT_TRUE(restored.lookup(1).has_value());
+    EXPECT_FALSE(restored.lookup(2).has_value());
+    EXPECT_TRUE(restored.lookup(3).has_value());
+}
+
+TEST(DatabaseTest, LoadSkipsAndCountsCorruptRecords)
+{
+    // load() is always tolerant: a database file that crossed a crash
+    // keeps its intact records.
+    std::string path =
+        ::testing::TempDir() + "/tensorir_db_torn_test.txt";
+    {
+        std::ofstream out(path);
+        out << "record 5 5.0 tensor kept\nend\n"
+            << "record 6 6.0 loop torn\n  tile 64";
+    }
+    meta::LoadReport report;
+    meta::TuningDatabase loaded =
+        meta::TuningDatabase::load(path, &report);
+    EXPECT_EQ(report.loaded, 1);
+    EXPECT_EQ(report.dropped, 1);
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_TRUE(loaded.lookup(5).has_value());
+    std::remove(path.c_str());
+}
+
 TEST(DatabaseTest, SaveAndLoadFile)
 {
     meta::TuningDatabase db;

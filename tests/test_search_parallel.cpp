@@ -15,8 +15,10 @@
 #include <set>
 
 #include "ir/printer.h"
+#include "meta/journal.h"
 #include "meta/search.h"
 #include "meta/sketch.h"
+#include "support/failpoint.h"
 #include "support/thread_pool.h"
 #include "workloads/workloads.h"
 
@@ -248,6 +250,177 @@ TEST(ParallelSearchTest, ThrowingCandidatesKeepDeterminism)
     EXPECT_EQ(serial.trials_measured, parallel.trials_measured);
     EXPECT_EQ(serial.invalid_filtered, parallel.invalid_filtered);
     EXPECT_EQ(serial.tuning_cost_us, parallel.tuning_cost_us);
+}
+
+TEST(ParallelSearchTest, InjectedFailuresAreAccountedExactly)
+{
+    // Every injected instantiation fault must show up in the result's
+    // accounting: the site fires once per doomed candidate (it is keyed
+    // by the candidate's schedule seed), and each fired candidate is
+    // contained as exactly one runtime reject — never process death.
+    workloads::OpSpec op = workloads::gmm(128, 128, 128);
+    hwsim::GpuDevice gpu;
+    meta::SketchApplier sketch =
+        meta::makeLoopSketchApplier("C", /*gpu=*/true);
+
+    failpoint::ScopedFailpoints chaos(
+        "seed=21; search.instantiate=throw(0.25)");
+    meta::TuneResult result =
+        meta::evolutionarySearch(op.func, sketch, gpu, searchOptions(2));
+    failpoint::SiteStats st = failpoint::stats("search.instantiate");
+
+    EXPECT_GT(st.fired, 0u) << "p=0.25 chaos schedule never fired";
+    EXPECT_GT(st.evaluated, st.fired);
+    EXPECT_EQ(result.runtime_filtered, static_cast<int>(st.fired));
+    // The search itself still converged on a winner.
+    EXPECT_TRUE(std::isfinite(result.best_latency_us));
+    EXPECT_EQ(result.history.size(),
+              static_cast<size_t>(searchOptions(2).generations) + 1);
+}
+
+TEST(ParallelSearchTest, ChaosScheduleKeepsParallelismInvariance)
+{
+    // With ~20% of candidates failing (instantiation throws plus
+    // evaluation errors), the determinism contract must survive: both
+    // sites are keyed by candidate identity, not call order, so the
+    // same candidates fail on any thread count and the full TuneResult
+    // stays byte-identical.
+    workloads::OpSpec op = workloads::gmm(128, 128, 128);
+    hwsim::GpuDevice gpu;
+    meta::TuneTask task{op.func, "C", "gpu", {"wmma_16x16x16_f16"}};
+
+    auto run = [&](int parallelism) {
+        failpoint::ScopedFailpoints chaos(
+            "seed=33; search.instantiate=throw(0.1);"
+            " search.evaluate=error(0.1)");
+        return meta::autoTune(task, gpu, searchOptions(parallelism),
+                              meta::TunerStyle::kTensorIR);
+    };
+    meta::TuneResult serial = run(1);
+    meta::TuneResult parallel = run(4);
+
+    EXPECT_GT(serial.runtime_filtered, 0)
+        << "the chaos schedule never fired; the test lost its point";
+    expectSameDecisions(serial.best_decisions, parallel.best_decisions);
+    EXPECT_EQ(serial.best_latency_us, parallel.best_latency_us);
+    EXPECT_EQ(serial.best_sketch, parallel.best_sketch);
+    EXPECT_EQ(serial.history, parallel.history);
+    EXPECT_EQ(serial.trials_measured, parallel.trials_measured);
+    EXPECT_EQ(serial.invalid_filtered, parallel.invalid_filtered);
+    EXPECT_EQ(serial.runtime_filtered, parallel.runtime_filtered);
+    EXPECT_EQ(serial.tuning_cost_us, parallel.tuning_cost_us);
+    EXPECT_EQ(serial.memo_hits, parallel.memo_hits);
+    EXPECT_EQ(serial.memo_measure_hits, parallel.memo_measure_hits);
+    EXPECT_EQ(funcToString(serial.best_func),
+              funcToString(parallel.best_func));
+}
+
+TEST(ParallelSearchTest, JournalResumeIsByteIdenticalAfterCrash)
+{
+    // The crash-safety contract end to end: kill the search at the
+    // worst moment (a generation finished but its checkpoint not yet
+    // persisted), resume from the journal, and the final result must be
+    // byte-identical to a run that was never interrupted.
+    workloads::OpSpec op = workloads::gmm(128, 128, 128);
+    hwsim::GpuDevice gpu;
+    meta::SketchApplier sketch =
+        meta::makeLoopSketchApplier("C", /*gpu=*/true);
+    const std::string journal =
+        ::testing::TempDir() + "tensorir_resume_journal.txt";
+    meta::resetJournal(journal);
+
+    meta::TuneOptions options = searchOptions(2);
+    options.journal_path = journal;
+    options.journal_label = "resume_test";
+
+    // All three runs under a pinned failpoint context, so an ambient
+    // chaos schedule (the CI chaos job sets one process-wide) cannot
+    // make the interrupted trajectory diverge from the reference.
+    failpoint::ScopedFailpoints quiet("");
+
+    // Reference: the same search, never interrupted (and never
+    // journaled — journaling is observational).
+    meta::TuneOptions plain = searchOptions(2);
+    meta::TuneResult reference =
+        meta::evolutionarySearch(op.func, sketch, gpu, plain);
+
+    // Crash at the third checkpoint write: the init checkpoint and
+    // generation 0's survive, generation 1's work is lost mid-write.
+    {
+        failpoint::ScopedFailpoints kill("search.checkpoint=throw@2");
+        EXPECT_THROW(
+            meta::evolutionarySearch(op.func, sketch, gpu, options),
+            failpoint::InjectedFault);
+    }
+
+    meta::TuneOptions resume_options = options;
+    resume_options.resume = true;
+    meta::TuneResult resumed =
+        meta::evolutionarySearch(op.func, sketch, gpu, resume_options);
+
+    EXPECT_EQ(resumed.generations_replayed, 2)
+        << "expected the init checkpoint plus generation 0 restored";
+    expectSameDecisions(reference.best_decisions,
+                        resumed.best_decisions);
+    EXPECT_EQ(reference.best_latency_us, resumed.best_latency_us);
+    EXPECT_EQ(reference.history, resumed.history);
+    EXPECT_EQ(reference.trials_measured, resumed.trials_measured);
+    EXPECT_EQ(reference.invalid_filtered, resumed.invalid_filtered);
+    EXPECT_EQ(reference.race_filtered, resumed.race_filtered);
+    EXPECT_EQ(reference.bounds_filtered, resumed.bounds_filtered);
+    EXPECT_EQ(reference.runtime_filtered, resumed.runtime_filtered);
+    EXPECT_EQ(reference.tuning_cost_us, resumed.tuning_cost_us);
+    EXPECT_EQ(reference.memo_hits, resumed.memo_hits);
+    EXPECT_EQ(reference.memo_measure_hits, resumed.memo_measure_hits);
+    // Even the winning program: the resume path re-derives it from the
+    // journaled decision trace, byte for byte.
+    EXPECT_EQ(funcToString(reference.best_func),
+              funcToString(resumed.best_func));
+}
+
+TEST(ParallelSearchTest, WatchdogCutsOverrunningStagesShort)
+{
+    // Candidates that sleep past the stage budget are abandoned as
+    // timeouts by the cooperative watchdog — the search finishes with
+    // whatever it processed in time instead of hanging.
+    workloads::OpSpec op = workloads::gmm(128, 128, 128);
+    hwsim::GpuDevice gpu;
+    meta::SketchApplier sketch =
+        meta::makeLoopSketchApplier("C", /*gpu=*/true);
+    meta::TuneOptions options = searchOptions(2);
+    options.stage_timeout_s = 0.02;
+
+    failpoint::ScopedFailpoints slow("search.instantiate=delay(1,30)");
+    meta::TuneResult result =
+        meta::evolutionarySearch(op.func, sketch, gpu, options);
+
+    EXPECT_GT(result.timeout_filtered, 0)
+        << "every candidate beat a 20 ms budget despite a 30 ms sleep";
+    EXPECT_GT(result.timings.watchdog_overruns, 0);
+    EXPECT_EQ(result.timings.watchdog_timeout_s, 0.02);
+    EXPECT_TRUE(std::isfinite(result.best_latency_us));
+    EXPECT_EQ(result.history.size(),
+              static_cast<size_t>(options.generations) + 1);
+}
+
+TEST(ParallelSearchTest, CostModelFallbackKeepsSearchAlive)
+{
+    // Every retrain of the cost model fails; the search keeps the last
+    // good model (here: the untrained initial one), counts each
+    // fallback, and still finishes.
+    workloads::OpSpec op = workloads::gmm(128, 128, 128);
+    hwsim::GpuDevice gpu;
+    meta::SketchApplier sketch =
+        meta::makeLoopSketchApplier("C", /*gpu=*/true);
+
+    failpoint::ScopedFailpoints chaos("gbdt.fit=throw");
+    meta::TuneResult result =
+        meta::evolutionarySearch(op.func, sketch, gpu, searchOptions(2));
+
+    EXPECT_GT(result.model_fallbacks, 0);
+    EXPECT_TRUE(std::isfinite(result.best_latency_us));
+    EXPECT_EQ(result.history.size(),
+              static_cast<size_t>(searchOptions(2).generations) + 1);
 }
 
 TEST(RngTest, WeightedIndexNeverSelectsZeroWeightAtBoundary)
