@@ -9,6 +9,7 @@
 
 #include "hwsim/device.h"
 #include "meta/search.h"
+#include "runtime/vm.h"
 #include "te/te.h"
 #include "tir/schedule.h"
 #include "workloads/workloads.h"
@@ -104,6 +105,140 @@ BM_FeatureExtraction(benchmark::State& state)
     }
 }
 BENCHMARK(BM_FeatureExtraction);
+
+// --- Numeric execution: bytecode VM vs tree-walking oracle ------------
+//
+// The search's numeric spot-check (TuneOptions::numeric_check_topk)
+// re-executes a candidate and compares it against a reference run; the
+// validation flow below reproduces that cost on a Table 1 matmul. The
+// VM case is the default runtime::execute engine, the tree-walk case
+// is the TENSORIR_FORCE_TREEWALK oracle.
+
+std::vector<runtime::NDArray>
+numericArgs(const PrimFunc& func, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<runtime::NDArray> arrays;
+    for (const Buffer& param : func->params) {
+        std::vector<int64_t> shape;
+        for (size_t d = 0; d < param->ndim(); ++d) {
+            shape.push_back(param->shapeInt(d));
+        }
+        runtime::NDArray array(param->dtype, shape);
+        if (param->dtype.isInt()) {
+            array.fillRandom(rng, -4, 4);
+        } else {
+            array.fillRandom(rng);
+        }
+        arrays.push_back(std::move(array));
+    }
+    return arrays;
+}
+
+std::vector<runtime::NDArray*>
+numericPtrs(std::vector<runtime::NDArray>& arrays)
+{
+    std::vector<runtime::NDArray*> out;
+    for (runtime::NDArray& a : arrays) out.push_back(&a);
+    return out;
+}
+
+PrimFunc
+numericMatmul()
+{
+    static PrimFunc func = workloads::gmm(64, 64, 64).func;
+    return func;
+}
+
+/** Candidate-vs-reference validation round on the tree-walker. */
+void
+BM_NumericValidationTreeWalk(benchmark::State& state)
+{
+    PrimFunc func = numericMatmul();
+    for (auto _ : state) {
+        std::vector<runtime::NDArray> cand = numericArgs(func, 5);
+        std::vector<runtime::NDArray> ref = numericArgs(func, 5);
+        std::vector<runtime::NDArray*> cand_ptrs = numericPtrs(cand);
+        std::vector<runtime::NDArray*> ref_ptrs = numericPtrs(ref);
+        runtime::Interpreter interp;
+        interp.run(func, cand_ptrs);
+        interp.run(func, ref_ptrs);
+        double diff = 0;
+        for (size_t i = 0; i < cand.size(); ++i) {
+            diff = std::max(diff, cand[i].maxAbsDiff(ref[i]));
+        }
+        benchmark::DoNotOptimize(diff);
+    }
+}
+BENCHMARK(BM_NumericValidationTreeWalk)->Unit(benchmark::kMillisecond);
+
+/** The same validation round on the bytecode VM. */
+void
+BM_NumericValidationVm(benchmark::State& state)
+{
+    PrimFunc func = numericMatmul();
+    runtime::CompiledFunc compiled = runtime::compile(func);
+    for (auto _ : state) {
+        std::vector<runtime::NDArray> cand = numericArgs(func, 5);
+        std::vector<runtime::NDArray> ref = numericArgs(func, 5);
+        std::vector<runtime::NDArray*> cand_ptrs = numericPtrs(cand);
+        std::vector<runtime::NDArray*> ref_ptrs = numericPtrs(ref);
+        runtime::VirtualMachine vm;
+        vm.run(compiled, cand_ptrs);
+        vm.run(compiled, ref_ptrs);
+        double diff = 0;
+        for (size_t i = 0; i < cand.size(); ++i) {
+            diff = std::max(diff, cand[i].maxAbsDiff(ref[i]));
+        }
+        benchmark::DoNotOptimize(diff);
+    }
+}
+BENCHMARK(BM_NumericValidationVm)->Unit(benchmark::kMillisecond);
+
+/** One-pass bytecode compilation cost on its own. */
+void
+BM_VmCompile(benchmark::State& state)
+{
+    PrimFunc func = numericMatmul();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runtime::compile(func));
+    }
+}
+BENCHMARK(BM_VmCompile);
+
+/** Per-workload execution across the Table 1 small suite. */
+void
+BM_VmTable1Execution(benchmark::State& state)
+{
+    std::vector<workloads::OpSpec> suite = workloads::gpuSuiteSmall();
+    const workloads::OpSpec& spec =
+        suite[static_cast<size_t>(state.range(0))];
+    runtime::CompiledFunc compiled = runtime::compile(spec.func);
+    std::vector<runtime::NDArray> args = numericArgs(spec.func, 5);
+    std::vector<runtime::NDArray*> arg_ptrs = numericPtrs(args);
+    for (auto _ : state) {
+        runtime::VirtualMachine vm;
+        vm.run(compiled, arg_ptrs);
+    }
+    state.SetLabel(spec.name);
+}
+BENCHMARK(BM_VmTable1Execution)->DenseRange(0, 7);
+
+void
+BM_TreeWalkTable1Execution(benchmark::State& state)
+{
+    std::vector<workloads::OpSpec> suite = workloads::gpuSuiteSmall();
+    const workloads::OpSpec& spec =
+        suite[static_cast<size_t>(state.range(0))];
+    std::vector<runtime::NDArray> args = numericArgs(spec.func, 5);
+    std::vector<runtime::NDArray*> arg_ptrs = numericPtrs(args);
+    for (auto _ : state) {
+        runtime::Interpreter interp;
+        interp.run(spec.func, arg_ptrs);
+    }
+    state.SetLabel(spec.name);
+}
+BENCHMARK(BM_TreeWalkTable1Execution)->DenseRange(0, 7);
 
 } // namespace
 

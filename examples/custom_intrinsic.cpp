@@ -31,7 +31,7 @@ main()
     // 2. Give the functional simulator its semantics.
     runtime::Interpreter::registerIntrinsic(
         "npu.mma_8x8x8",
-        [](runtime::Interpreter& interp, const CallNode& call) {
+        [](runtime::ExecContext& interp, const CallNode& call) {
             runtime::BufferRef c = interp.resolvePtr(call.args[0]);
             runtime::BufferRef a = interp.resolvePtr(call.args[1]);
             runtime::BufferRef b = interp.resolvePtr(call.args[2]);

@@ -27,6 +27,15 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo "ci: build (-Wall -Wextra -Werror) and tests passed"
 
+# Forced-tree-walk job: the whole suite again with runtime::execute
+# pinned to the tree-walking oracle instead of the bytecode VM. Every
+# numeric check in the tests must hold on both engines — this is the
+# cheap insurance that the VM never becomes the only engine the suite
+# actually exercises.
+TENSORIR_FORCE_TREEWALK=1 \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure
+echo "ci: forced-tree-walk run (oracle engine) passed"
+
 # Traced tuning session: run the demo under a process-wide
 # TENSORIR_TRACE session, then validate the emitted Chrome-trace JSON
 # (parses, spans nest per thread, counter series are monotone, and the
@@ -74,9 +83,10 @@ echo "ci: ASan+UBSan build and tests passed"
 
 # TSan job (mutually exclusive with ASan, hence its own tree): the
 # concurrency-heavy suites — thread pool, trace buffers, failpoint
-# registry, the parallel search pipeline and its watchdog/journal
-# paths. The full suite under TSan's ~10x slowdown buys no extra
-# coverage: everything else is single-threaded.
+# registry, the intrinsic-registry snapshot path shared by both
+# execution engines, the parallel search pipeline and its
+# watchdog/journal paths. The full suite under TSan's ~10x slowdown
+# buys no extra coverage: everything else is single-threaded.
 TSAN_DIR="${BUILD_DIR}-tsan"
 rm -rf "$TSAN_DIR"
 cmake -B "$TSAN_DIR" -S . \
@@ -85,6 +95,6 @@ cmake -B "$TSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-Wno-restrict -fno-sanitize-recover=all"
 cmake --build "$TSAN_DIR" -j "$(nproc)" --target tensorir_tests
 "$TSAN_DIR/tests/tensorir_tests" \
-    --gtest_filter='ThreadPool*:ParallelSearch*:Trace*:Failpoint*'
+    --gtest_filter='ThreadPool*:ParallelSearch*:Trace*:Failpoint*:IntrinRegistry*'
 
 echo "ci: TSan build and concurrency tests passed"

@@ -132,7 +132,7 @@ rowStride(const runtime::BufferRef& ref)
 
 /** Generic m*n*k tile multiply-accumulate on resolved buffer refs. */
 void
-tileMma(runtime::Interpreter& interp, const CallNode& call, int64_t m,
+tileMma(runtime::ExecContext& interp, const CallNode& call, int64_t m,
         int64_t n, int64_t k)
 {
     runtime::BufferRef c = interp.resolvePtr(call.args[0]);
@@ -163,6 +163,7 @@ registerBuiltinIntrinsics()
     if (builtins_registered) return;
     builtins_registered = true;
 
+    using runtime::ExecContext;
     using runtime::Interpreter;
 
     // The paper's Figure 8 synthetic accelerator: 4x4x4 fp32 matmul
@@ -173,7 +174,7 @@ registerBuiltinIntrinsics()
         "thread"));
     Interpreter::registerIntrinsic(
         "accel.tile_mma_4x4x4",
-        [](Interpreter& interp, const CallNode& call) {
+        [](ExecContext& interp, const CallNode& call) {
             tileMma(interp, call, 4, 4, 4);
         });
 
@@ -186,7 +187,7 @@ registerBuiltinIntrinsics()
         "warp"));
     Interpreter::registerIntrinsic(
         "wmma.mma_sync_16x16x16",
-        [](Interpreter& interp, const CallNode& call) {
+        [](ExecContext& interp, const CallNode& call) {
             tileMma(interp, call, 16, 16, 16);
         });
 
@@ -196,7 +197,7 @@ registerBuiltinIntrinsics()
         "any", "any", "any", "arm.sdot_1x1x4", "sdot", "thread"));
     Interpreter::registerIntrinsic(
         "arm.sdot_1x1x4",
-        [](Interpreter& interp, const CallNode& call) {
+        [](ExecContext& interp, const CallNode& call) {
             tileMma(interp, call, 1, 1, 4);
         });
 
@@ -206,7 +207,7 @@ registerBuiltinIntrinsics()
         "any", "any", "any", "arm.smmla_2x2x8", "sdot", "thread"));
     Interpreter::registerIntrinsic(
         "arm.smmla_2x2x8",
-        [](Interpreter& interp, const CallNode& call) {
+        [](ExecContext& interp, const CallNode& call) {
             tileMma(interp, call, 2, 2, 8);
         });
 
@@ -217,7 +218,7 @@ registerBuiltinIntrinsics()
         "any", "any", "any", "arm.gemm_8x12x4", "sdot", "thread"));
     Interpreter::registerIntrinsic(
         "arm.gemm_8x12x4",
-        [](Interpreter& interp, const CallNode& call) {
+        [](ExecContext& interp, const CallNode& call) {
             tileMma(interp, call, 8, 12, 4);
         });
 }

@@ -112,6 +112,7 @@ struct JournalGeneration
     int bounds_filtered = 0;
     int runtime_filtered = 0;
     int timeout_filtered = 0;
+    int numeric_filtered = 0;
     int memo_hits = 0;
     int memo_measure_hits = 0;
     int model_fallbacks = 0;

@@ -5,7 +5,7 @@
 #include "meta/database.h"
 #include "meta/journal.h"
 #include "meta/memo.h"
-#include "runtime/interpreter.h"
+#include "runtime/vm.h"
 #include "support/failpoint.h"
 #include "support/thread_pool.h"
 #include "support/trace.h"
@@ -566,6 +566,109 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         return latency;
     };
 
+    // --- Numeric spot-check oracle (runtime/vm.h) --------------------
+    // Lazily built on first use: seeded inputs plus the unscheduled
+    // workload's outputs from the tree-walking reference interpreter.
+    // Checked candidates re-run on copies of the same inputs through
+    // runtime::execute (the bytecode VM unless TENSORIR_FORCE_TREEWALK
+    // overrides) and must agree within numeric_check_tolerance.
+    std::vector<runtime::NDArray> oracle_inputs;
+    std::vector<runtime::NDArray> oracle_outputs;
+    int oracle_state = 0; // 0 = unbuilt, 1 = ready, -1 = unavailable
+    auto ensureOracle = [&]() -> bool {
+        if (oracle_state != 0) return oracle_state > 0;
+        trace::Span span("search.numeric_oracle_build");
+        try {
+            // A derivation index no candidate stream uses, so the
+            // oracle inputs never correlate with schedule sampling.
+            Rng rng = Rng::derive(options.seed, 0,
+                                  ~uint64_t{0});
+            for (const Buffer& param : workload->params) {
+                std::vector<int64_t> shape;
+                for (size_t d = 0; d < param->ndim(); ++d) {
+                    shape.push_back(param->shapeInt(d));
+                }
+                runtime::NDArray array(param->dtype, shape);
+                if (param->dtype.isInt()) {
+                    array.fillRandom(rng, -4, 4);
+                } else {
+                    array.fillRandom(rng);
+                }
+                oracle_inputs.push_back(std::move(array));
+            }
+            oracle_outputs = oracle_inputs;
+            std::vector<runtime::NDArray*> out_ptrs;
+            for (runtime::NDArray& a : oracle_outputs) {
+                out_ptrs.push_back(&a);
+            }
+            runtime::Interpreter interp;
+            interp.run(workload, out_ptrs);
+            oracle_state = 1;
+        } catch (const std::exception&) {
+            // A workload the reference itself cannot execute (fuel
+            // exhaustion, unregistered intrinsic) disables the check
+            // instead of rejecting every candidate against garbage.
+            oracle_inputs.clear();
+            oracle_outputs.clear();
+            oracle_state = -1;
+            trace::instant("search.numeric_oracle_unavailable");
+        }
+        return oracle_state > 0;
+    };
+
+    enum class NumericVerdict : uint8_t { kOk, kMismatch, kError };
+    auto numericCheck = [&](const Candidate& cand) -> NumericVerdict {
+        trace::Span span("candidate.numeric_check");
+        try {
+            // Keyed by structural hash: an injected mismatch hits the
+            // same candidates at every parallelism setting.
+            if (failpoint::inject("search.numeric_check", cand.hash)) {
+                span.addArg(trace::arg("injected", int64_t{1}));
+                return NumericVerdict::kMismatch;
+            }
+            if (!ensureOracle()) return NumericVerdict::kOk;
+            std::vector<runtime::NDArray> args = oracle_inputs;
+            std::vector<runtime::NDArray*> arg_ptrs;
+            for (runtime::NDArray& a : args) arg_ptrs.push_back(&a);
+            runtime::execute(cand.func, arg_ptrs);
+            for (size_t i = 0; i < args.size(); ++i) {
+                double diff = args[i].maxAbsDiff(oracle_outputs[i]);
+                // NaN-propagating comparison: a NaN diff is a mismatch.
+                if (!(diff <= options.numeric_check_tolerance)) {
+                    span.addArg(trace::arg("max_abs_diff", diff));
+                    return NumericVerdict::kMismatch;
+                }
+            }
+            return NumericVerdict::kOk;
+        } catch (const std::exception&) {
+            // Contained like every per-candidate failure: an execution
+            // that throws (fuel, bounds, injected fault) is a runtime
+            // reject, never process death.
+            return NumericVerdict::kError;
+        }
+    };
+
+    // Shared by the init fold and every generation's measure fold;
+    // returns true when the candidate may proceed to measurement.
+    // Runs only on the sequential main thread.
+    auto numericGate = [&](const Candidate& cand,
+                           int& checked) -> bool {
+        if (checked >= options.numeric_check_topk) return true;
+        ++checked;
+        NumericVerdict verdict = numericCheck(cand);
+        if (verdict == NumericVerdict::kMismatch) {
+            ++result.numeric_filtered;
+            trace::counterAdd("search.numeric_filtered", 1);
+            return false;
+        }
+        if (verdict == NumericVerdict::kError) {
+            ++result.runtime_filtered;
+            trace::counterAdd("search.runtime_filtered", 1);
+            return false;
+        }
+        return true;
+    };
+
     // --- Crash-safe checkpointing (meta/journal.h) -------------------
     std::optional<JournalWriter> journal;
     bool restored = false;
@@ -603,6 +706,7 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             result.bounds_filtered = last.bounds_filtered;
             result.runtime_filtered = last.runtime_filtered;
             result.timeout_filtered = last.timeout_filtered;
+            result.numeric_filtered = last.numeric_filtered;
             result.memo_hits = last.memo_hits;
             result.memo_measure_hits = last.memo_measure_hits;
             result.model_fallbacks = last.model_fallbacks;
@@ -681,6 +785,7 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         g.bounds_filtered = result.bounds_filtered;
         g.runtime_filtered = result.runtime_filtered;
         g.timeout_filtered = result.timeout_filtered;
+        g.numeric_filtered = result.numeric_filtered;
         g.memo_hits = result.memo_hits;
         g.memo_measure_hits = result.memo_measure_hits;
         g.model_fallbacks = result.model_fallbacks;
@@ -716,6 +821,7 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
     // population * 8 attempts. Skipped entirely on a journal resume —
     // the restored checkpoint already contains its outcome.
     uint64_t attempt_index = 0;
+    int init_checked = 0; // numeric-check budget spans all init rounds
     for (int round = 0;
          !restored && round < 8 &&
          static_cast<int>(population.size()) < options.population;
@@ -752,6 +858,7 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
                 options.population) {
                 continue;
             }
+            if (!numericGate(c, init_checked)) continue;
             double latency = commitMeasurement(c);
             if (std::isfinite(latency)) {
                 population.push_back({std::move(c.decisions),
@@ -901,8 +1008,10 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
                                    static_cast<int64_t>(j)));
             }
         }
+        int gen_checked = 0;
         for (int c = 0; c < to_measure; ++c) {
             Candidate& cand = batch[children[static_cast<size_t>(c)]];
+            if (!numericGate(cand, gen_checked)) continue;
             double latency = commitMeasurement(cand);
             if (std::isfinite(latency)) {
                 population.push_back({std::move(cand.decisions),
@@ -936,6 +1045,7 @@ accumulate(TuneResult& into, const TuneResult& from)
     into.bounds_filtered += from.bounds_filtered;
     into.runtime_filtered += from.runtime_filtered;
     into.timeout_filtered += from.timeout_filtered;
+    into.numeric_filtered += from.numeric_filtered;
     into.model_fallbacks += from.model_fallbacks;
     into.generations_replayed += from.generations_replayed;
     into.tuning_cost_us += from.tuning_cost_us;

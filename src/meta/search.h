@@ -98,6 +98,24 @@ struct TuneOptions
      */
     double stage_timeout_s = 0;
     /**
+     * Numeric spot-check budget: when > 0, the first
+     * `numeric_check_topk` candidates of each measurement set (the
+     * initial population and every generation) are executed on seeded
+     * inputs through runtime::execute (the bytecode VM by default) and
+     * compared against a tree-walked reference run of the unscheduled
+     * workload. A per-element divergence beyond
+     * `numeric_check_tolerance` rejects the candidate — counted in
+     * TuneResult::numeric_filtered — before it is measured or admitted
+     * to the population. The check runs in the sequential measurement
+     * fold, so the rejected set (and the whole TuneResult) stays
+     * byte-identical for any `parallelism`. 0 (the default) disables
+     * the check.
+     */
+    int numeric_check_topk = 0;
+    /** Maximum per-element |candidate - reference| the numeric
+     *  spot-check tolerates. */
+    double numeric_check_tolerance = 1e-4;
+    /**
      * When non-empty, the search appends a crash-safe checkpoint
      * journal here (meta/journal.h): one checksummed record per
      * generation. Combined with `resume`, a killed session restarts
@@ -157,6 +175,11 @@ struct TuneResult
     /** Candidates abandoned because the stage watchdog expired before
      *  they were processed (only with TuneOptions::stage_timeout_s). */
     int timeout_filtered = 0;
+    /** Candidates rejected by the numeric spot-check: their VM
+     *  execution diverged from the tree-walked reference beyond
+     *  TuneOptions::numeric_check_tolerance. Only populated with
+     *  numeric_check_topk > 0. */
+    int numeric_filtered = 0;
     /** Cost-model retrains that failed (threw, or produced a non-finite
      *  loss) and fell back to the last good model. */
     int model_fallbacks = 0;

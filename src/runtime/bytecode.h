@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Bytecode format for the TensorIR numeric virtual machine (runtime/vm.h).
+ *
+ * A lowered PrimFunc is flattened into a linear stream of fixed-size
+ * register instructions. The register file is untyped storage
+ * (int64/double union); the *opcode* carries the type, mirroring the
+ * tree-walking interpreter's two evaluation domains (`evalInt` /
+ * `evalValue`) so the VM reproduces its results bit for bit:
+ *
+ *  - Loop variables and block iterator bindings are register slots
+ *    assigned at compile time — variable lookup costs nothing at
+ *    runtime (the tree-walker pays a hash-map probe per reference).
+ *  - Buffer access offsets compile to integer register arithmetic in
+ *    row-major Horner form with constant folding: a fully constant
+ *    index vector collapses into one preloaded constant register, a
+ *    loop-varying one becomes a short base+stride mul/add chain (the
+ *    generic fallback is the same instruction stream, just longer).
+ *  - Constants are pooled: each distinct int64/double literal gets one
+ *    register, initialized by a prelude executed once per run.
+ *  - `Evaluate`-d opaque tensor intrinsics are resolved against the
+ *    intrinsic registry snapshot at *compile* time; their arguments
+ *    (buffer pointers, scalars) are pre-computed into registers and the
+ *    kIntrin instruction dispatches straight through a function pointer
+ *    table (runtime::CompiledFunc::intrins).
+ */
+#ifndef TENSORIR_RUNTIME_BYTECODE_H
+#define TENSORIR_RUNTIME_BYTECODE_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/stmt.h"
+#include "runtime/interpreter.h"
+
+namespace tir {
+namespace runtime {
+
+/**
+ * Operation codes. Suffix convention: `I` operates on the int64 view of
+ * the register file, `F` on the double view. Operand fields per opcode
+ * are documented inline as (dst, a, b | imm).
+ */
+enum class Op : uint8_t {
+    /** End of program. */
+    kHalt,
+    /** Statement boundary: charge one unit of fuel; throws EvalError
+     *  when the step limit is exceeded (same accounting points as
+     *  Interpreter::exec, which counts one step per statement). */
+    kStep,
+
+    // --- Constants and moves -----------------------------------------
+    /** regs[dst].i = imm. */
+    kConstI,
+    /** regs[dst].f = bit_cast<double>(imm). */
+    kConstF,
+    /** regs[dst].i = regs[a].i. */
+    kMovI,
+    /** regs[dst].f = regs[a].f. */
+    kMovF,
+
+    // --- Conversions (the interpreter's domain crossings) -------------
+    /** regs[dst].f = double(regs[a].i). */
+    kItoF,
+    /** regs[dst].i = int64(trunc(regs[a].f))  (float -> int cast). */
+    kFtoI,
+    /** regs[dst].f = trunc(regs[a].f)  (float value cast to int dtype,
+     *  staying in the value domain). */
+    kTruncF,
+    /** regs[dst].i = (regs[a].f != 0.0)  (float condition test). */
+    kFNonzero,
+
+    // --- Integer ALU (dst, a, b) ---------------------------------------
+    kAddI,
+    kSubI,
+    kMulI,
+    /** arith::floorDivInt — identical semantics to the tree-walker. */
+    kFloorDivI,
+    /** arith::floorModInt. */
+    kFloorModI,
+    kMinI,
+    kMaxI,
+    kEqI,
+    kNeI,
+    kLtI,
+    kLeI,
+    kGtI,
+    kGeI,
+    kAndI,
+    kOrI,
+    /** regs[dst].i = regs[a].i ? 0 : 1. */
+    kNotI,
+
+    // --- Float ALU (dst, a, b) -----------------------------------------
+    kAddF,
+    kSubF,
+    kMulF,
+    kDivF,
+    kMinF,
+    kMaxF,
+    /** regs[dst].f = (regs[a].f == 0.0) ? 1.0 : 0.0. */
+    kNotF,
+    /** regs[dst].f = mathfn[fn](regs[a].f)  (exp/sqrt/tanh/erf/
+     *  sigmoid/abs/log — the interpreter's pure-call table). */
+    kCallF,
+
+    // --- Memory (b = buffer slot, a = offset register) -----------------
+    /** regs[dst].f = buffer[b][regs[a].i]  (raw double load). */
+    kLoadF,
+    /** regs[dst].i = int64(buffer[b][regs[a].i])  (int-domain load:
+     *  truncating cast, as evalInt does on kBufferLoad). */
+    kLoadI,
+    /** buffer[b][regs[a].i] = regs[dst].f. */
+    kStoreF,
+
+    // --- Control flow (imm = absolute target pc) ------------------------
+    kJump,
+    /** if (regs[a].i == 0) pc = imm. */
+    kJumpIfZero,
+    /** if (regs[a].i >= regs[b].i) pc = imm  (loop exit test). */
+    kJumpIfGeI,
+    /** regs[a].i += 1; pc = imm  (fused loop back-edge). */
+    kIncJump,
+
+    // --- Fused multiply-add (peephole superinstructions) ---------------
+    /** regs[dst].i = regs[a].i * regs[b].i + regs[imm].i. Integer + is
+     *  commutative, so no operand-order flag is needed. */
+    kFmaI,
+    /** Two-rounding multiply-add (NOT a hardware fma — the product
+     *  rounds before the add, exactly like the separate kMulF/kAddF
+     *  pair it replaces). fn = 0: regs[dst].f = regs[a].f * regs[b].f
+     *  + regs[imm].f; fn = 1: regs[dst].f = regs[imm].f + regs[a].f *
+     *  regs[b].f (operand order of the original add is preserved for
+     *  NaN-payload exactness). */
+    kFmaF,
+
+    /** Opaque tensor intrinsic call: imm indexes
+     *  CompiledFunc::intrins; argument registers were computed by the
+     *  preceding instructions. */
+    kIntrin,
+};
+
+/** Math-function ids for kCallF. */
+enum class MathFn : uint8_t {
+    kExp,
+    kSqrt,
+    kTanh,
+    kErf,
+    kSigmoid,
+    kAbs,
+    kLog,
+};
+
+/** One fixed-size instruction. Field use depends on the opcode (see Op);
+ *  unused fields are zero. */
+struct Instr
+{
+    Op op = Op::kHalt;
+    /** Math-function id for kCallF. */
+    uint8_t fn = 0;
+    /** First source register. */
+    uint16_t a = 0;
+    /** Second source register, or buffer slot for memory ops. */
+    uint16_t b = 0;
+    /** Destination register (value source for kStoreF). */
+    uint16_t dst = 0;
+    /** Immediate: constant value, jump target, or intrinsic index. */
+    int64_t imm = 0;
+};
+
+/** A pre-resolved argument of an opaque intrinsic call. */
+struct IntrinArg
+{
+    enum class Kind : uint8_t {
+        /** BufferPtr: buffer `slot` + element offset in `reg`. */
+        kPtr,
+        /** Integer scalar in `reg`. */
+        kInt,
+        /** Float scalar in `reg`. */
+        kFloat,
+        /** Not evaluable ahead of time (StringImm / handle); callbacks
+         *  inspect the expression node directly. */
+        kOpaque,
+    };
+    Kind kind = Kind::kOpaque;
+    /** Buffer slot (kPtr only). */
+    uint16_t slot = 0;
+    /** Register holding the offset (kPtr) or scalar value. */
+    uint16_t reg = 0;
+    /** Identity of the argument expression: the ExecContext handed to
+     *  the callback matches evalInt/resolvePtr queries against it. */
+    const ExprNode* expr = nullptr;
+    /** Keeps the pointee buffer alive (kPtr only). */
+    Buffer buffer;
+};
+
+/** An opaque intrinsic call site, resolved at compile time. */
+struct IntrinCall
+{
+    /** The call expression (callbacks receive it verbatim). */
+    const CallNode* call = nullptr;
+    /** Runtime semantics, copied out of the registry snapshot. */
+    IntrinsicImpl impl;
+    std::vector<IntrinArg> args;
+};
+
+/** A PrimFunc compiled to bytecode. Immutable after compile(); one
+ *  CompiledFunc may be executed concurrently by multiple VMs (each run
+ *  owns its registers and intermediate storage). */
+struct CompiledFunc
+{
+    /** Source function (for argument validation and diagnostics). */
+    PrimFunc func;
+    std::vector<Instr> code;
+    uint32_t num_regs = 0;
+    /** Buffer slot table: parameters first (in signature order), then
+     *  every intermediate buffer the program references. */
+    std::vector<Buffer> buffers;
+    size_t num_params = 0;
+    /** Buffer -> slot reverse map (intrinsic callbacks use it to
+     *  resolve getArray queries). */
+    std::unordered_map<const BufferNode*, uint16_t> slot_of;
+    /** Intrinsic call sites indexed by kIntrin's imm. */
+    std::vector<IntrinCall> intrins;
+    /** Registry snapshot the intrinsics were resolved from (keeps the
+     *  callbacks alive for the lifetime of the compiled program). */
+    std::shared_ptr<const IntrinsicRegistry> registry;
+};
+
+} // namespace runtime
+} // namespace tir
+
+#endif // TENSORIR_RUNTIME_BYTECODE_H

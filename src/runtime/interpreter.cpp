@@ -1,7 +1,11 @@
 #include "runtime/interpreter.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
 #include <optional>
 
 #include "arith/interval.h"
@@ -30,25 +34,50 @@ stepLimitOverride()
     return value;
 }
 
+/**
+ * The intrinsic registry is written once per registration and read from
+ * concurrent search workers (every candidate evaluation resolves its
+ * intrinsic calls). Copy-on-write: writers rebuild an immutable map
+ * under a mutex and publish it through an atomic shared_ptr; readers
+ * take one atomic snapshot and never observe a map mid-mutation.
+ */
+std::mutex&
+registryWriteMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::atomic<std::shared_ptr<const IntrinsicRegistry>>&
+registrySlot()
+{
+    static std::atomic<std::shared_ptr<const IntrinsicRegistry>> slot{
+        std::make_shared<const IntrinsicRegistry>()};
+    return slot;
+}
+
 } // namespace
 
-std::unordered_map<std::string, IntrinsicImpl>&
-Interpreter::registry()
+std::shared_ptr<const IntrinsicRegistry>
+Interpreter::intrinsicSnapshot()
 {
-    static std::unordered_map<std::string, IntrinsicImpl> impls;
-    return impls;
+    return registrySlot().load(std::memory_order_acquire);
 }
 
 void
 Interpreter::registerIntrinsic(const std::string& name, IntrinsicImpl impl)
 {
-    registry()[name] = std::move(impl);
+    std::lock_guard<std::mutex> lock(registryWriteMutex());
+    auto next = std::make_shared<IntrinsicRegistry>(
+        *registrySlot().load(std::memory_order_acquire));
+    (*next)[name] = std::move(impl);
+    registrySlot().store(std::move(next), std::memory_order_release);
 }
 
 bool
 Interpreter::hasIntrinsic(const std::string& name)
 {
-    return registry().count(name) > 0;
+    return intrinsicSnapshot()->count(name) > 0;
 }
 
 void
@@ -82,7 +111,24 @@ Interpreter::defaultStepLimit()
 {
     if (stepLimitOverride()) return *stepLimitOverride();
     if (const char* env = std::getenv("TENSORIR_STEP_LIMIT")) {
-        return std::strtoull(env, nullptr, 10);
+        // strtoull would map garbage ("abc", "10x", "-1") to 0 or a
+        // wrapped value; 0 means *unlimited* fuel, so a typo silently
+        // disarming the budget is the worst possible failure mode.
+        const char* p = env;
+        TIR_CHECK(*p != '\0' &&
+                  std::all_of(p, p + std::string(env).size(),
+                              [](unsigned char c) {
+                                  return std::isdigit(c) != 0;
+                              }))
+            << "TENSORIR_STEP_LIMIT must be a non-negative integer, "
+               "got \""
+            << env << "\"";
+        errno = 0;
+        char* end = nullptr;
+        uint64_t value = std::strtoull(env, &end, 10);
+        TIR_CHECK(errno != ERANGE && end && *end == '\0')
+            << "TENSORIR_STEP_LIMIT out of range: \"" << env << "\"";
+        return value;
     }
     return 0;
 }
@@ -99,11 +145,35 @@ ScopedStepLimit::~ScopedStepLimit()
 }
 
 void
-Interpreter::run(const PrimFunc& func, const std::vector<NDArray*>& args)
+validateArguments(const PrimFunc& func, const std::vector<NDArray*>& args)
 {
     TIR_CHECK(args.size() == func->params.size())
         << func->name << " expects " << func->params.size()
         << " arguments, got " << args.size();
+    for (size_t i = 0; i < args.size(); ++i) {
+        const Buffer& param = func->params[i];
+        const std::vector<int64_t>& shape = args[i]->shape();
+        // Per-dimension equality, not numel(): a 2x6 array must not
+        // silently bind to a 3x4 parameter even though both hold 12
+        // elements — every strided access would read the wrong cell.
+        TIR_CHECK(shape.size() == param->ndim())
+            << "argument " << i << " of " << func->name << " has rank "
+            << shape.size() << ", parameter " << param->name
+            << " expects rank " << param->ndim();
+        for (size_t d = 0; d < shape.size(); ++d) {
+            TIR_CHECK(shape[d] == param->shapeInt(d))
+                << "argument " << i << " of " << func->name
+                << " has extent " << shape[d] << " in dimension " << d
+                << ", parameter " << param->name << " expects "
+                << param->shapeInt(d);
+        }
+    }
+}
+
+void
+Interpreter::run(const PrimFunc& func, const std::vector<NDArray*>& args)
+{
+    validateArguments(func, args);
     trace::Span span("interp.run", trace::arg("func", func->name));
     if (failpoint::inject("interp.run")) {
         throw EvalError("injected interpreter fault (failpoint "
@@ -115,9 +185,8 @@ Interpreter::run(const PrimFunc& func, const std::vector<NDArray*>& args)
     env_.clear();
     storage_.clear();
     bound_.clear();
+    registry_ = intrinsicSnapshot();
     for (size_t i = 0; i < args.size(); ++i) {
-        TIR_CHECK(args[i]->numel() == func->params[i]->numel())
-            << "argument " << i << " size mismatch for " << func->name;
         bound_[func->params[i].get()] = args[i];
     }
     if (debugChecksEnabled()) {
@@ -152,6 +221,11 @@ int64_t
 Interpreter::linearOffset(const Buffer& buffer,
                           const std::vector<Expr>& indices)
 {
+    // An under-indexed access would quietly compute an offset into the
+    // leading dimensions and read the wrong element.
+    TIR_ICHECK(indices.size() == buffer->ndim())
+        << "buffer " << buffer->name << " has rank " << buffer->ndim()
+        << " but the access supplies " << indices.size() << " indices";
     int64_t offset = 0;
     for (size_t d = 0; d < indices.size(); ++d) {
         offset = offset * buffer->shapeInt(d) + evalInt(indices[d]);
@@ -322,8 +396,8 @@ Interpreter::exec(const Stmt& stmt)
         TIR_ICHECK(n.value->kind == ExprKind::kCall)
             << "Evaluate expects an intrinsic call";
         const auto& c = static_cast<const CallNode&>(*n.value);
-        auto it = registry().find(c.op);
-        TIR_CHECK(it != registry().end())
+        auto it = registry_->find(c.op);
+        TIR_CHECK(it != registry_->end())
             << "no runtime semantics registered for intrinsic " << c.op;
         it->second(*this, c);
         return;
@@ -347,11 +421,22 @@ Interpreter::exec(const Stmt& stmt)
         const auto& n = static_cast<const ForNode&>(*stmt);
         int64_t min_v = evalInt(n.min);
         int64_t extent = evalInt(n.extent);
+        // Save a shadowed outer binding of the same VarNode: erasing
+        // unconditionally after the loop would destroy it and any
+        // later use of the outer variable would fault as unbound.
+        std::optional<int64_t> shadowed;
+        if (auto it = env_.find(n.loop_var.get()); it != env_.end()) {
+            shadowed = it->second;
+        }
         for (int64_t i = 0; i < extent; ++i) {
             env_[n.loop_var.get()] = min_v + i;
             exec(n.body);
         }
-        env_.erase(n.loop_var.get());
+        if (shadowed) {
+            env_[n.loop_var.get()] = *shadowed;
+        } else {
+            env_.erase(n.loop_var.get());
+        }
         return;
       }
       case StmtKind::kBlock:
@@ -361,9 +446,16 @@ Interpreter::exec(const Stmt& stmt)
         if (!evalInt(n.predicate)) return;
         const BlockNode& block = *n.block;
         bool at_reduction_start = true;
+        // Same save/restore discipline as kFor: a block iter var may
+        // shadow an outer binding of the same VarNode.
+        std::vector<std::optional<int64_t>> shadowed(
+            block.iter_vars.size());
         for (size_t i = 0; i < block.iter_vars.size(); ++i) {
             const IterVar& iv = block.iter_vars[i];
             int64_t value = evalInt(n.iter_values[i]);
+            if (auto it = env_.find(iv.var.get()); it != env_.end()) {
+                shadowed[i] = it->second;
+            }
             env_[iv.var.get()] = value;
             if (iv.type == IterType::kReduce &&
                 value != evalInt(iv.dom.min)) {
@@ -372,8 +464,15 @@ Interpreter::exec(const Stmt& stmt)
         }
         if (block.init && at_reduction_start) exec(block.init);
         exec(block.body);
-        for (const IterVar& iv : block.iter_vars) {
-            env_.erase(iv.var.get());
+        // Restore in reverse so a VarNode appearing twice in iter_vars
+        // unwinds to the outermost shadowed value.
+        for (size_t i = block.iter_vars.size(); i-- > 0;) {
+            const IterVar& iv = block.iter_vars[i];
+            if (shadowed[i]) {
+                env_[iv.var.get()] = *shadowed[i];
+            } else {
+                env_.erase(iv.var.get());
+            }
         }
         return;
       }

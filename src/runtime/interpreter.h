@@ -5,6 +5,13 @@
  * intrinsic calls — so tests can check numerically that every schedule
  * transformation preserves semantics, which is the guarantee the paper's
  * validation machinery (§3.3) provides.
+ *
+ * The tree-walking `Interpreter` is the *reference oracle*: simple enough
+ * to audit, slow enough that it should not sit on a hot path. Production
+ * numeric execution goes through the bytecode VM (runtime/vm.h) via
+ * `runtime::execute`, which preserves this interpreter's observable
+ * contract (fuel limit -> EvalError, `interp.run` failpoint site, debug
+ * analysis gate) and is differential-tested against it.
  */
 #ifndef TENSORIR_RUNTIME_INTERPRETER_H
 #define TENSORIR_RUNTIME_INTERPRETER_H
@@ -22,8 +29,6 @@
 namespace tir {
 namespace runtime {
 
-class Interpreter;
-
 /**
  * Structured evaluation failure: the step budget ran out (a pathological
  * program that would otherwise spin forever) or an injected interpreter
@@ -39,10 +44,6 @@ class EvalError : public std::runtime_error
     }
 };
 
-/** Semantics callback for an opaque intrinsic call. */
-using IntrinsicImpl =
-    std::function<void(Interpreter&, const CallNode&)>;
-
 /** Resolved buffer address: backing array + linear element offset. */
 struct BufferRef
 {
@@ -51,25 +52,55 @@ struct BufferRef
     const BufferNode* buffer = nullptr;
 };
 
-/** Tree-walking evaluator for PrimFuncs. */
-class Interpreter
+/**
+ * Execution context handed to opaque-intrinsic callbacks. Both engines —
+ * the tree-walking Interpreter and the bytecode VM — implement it, so one
+ * registered intrinsic semantics serves both. Callbacks may only query
+ * the direct arguments of the call they were invoked for (the VM resolves
+ * those ahead of time; arbitrary expressions have no runtime environment
+ * there).
+ */
+class ExecContext
+{
+  public:
+    virtual ~ExecContext() = default;
+    /** Evaluate a scalar expression of the current call. */
+    virtual double evalValue(const Expr& expr) = 0;
+    /** Evaluate an integer expression of the current call. */
+    virtual int64_t evalInt(const Expr& expr) = 0;
+    /** Resolve a BufferPtr argument to array + linear offset. */
+    virtual BufferRef resolvePtr(const Expr& expr) = 0;
+    /** Backing storage for a buffer of the executing function. */
+    virtual NDArray* getArray(const Buffer& buffer) = 0;
+};
+
+/** Semantics callback for an opaque intrinsic call. */
+using IntrinsicImpl = std::function<void(ExecContext&, const CallNode&)>;
+
+/** Immutable name -> semantics table (see Interpreter::intrinsicSnapshot). */
+using IntrinsicRegistry = std::unordered_map<std::string, IntrinsicImpl>;
+
+/** Tree-walking evaluator for PrimFuncs (the reference oracle). */
+class Interpreter final : public ExecContext
 {
   public:
     /**
      * Execute `func` with `args` bound to its parameters in order.
      * Thread-binding and parallel loops run sequentially (valid programs
-     * are race-free, so semantics are preserved).
+     * are race-free, so semantics are preserved). Arguments must match
+     * the parameter buffers dimension by dimension, not just in total
+     * element count.
      */
     void run(const PrimFunc& func, const std::vector<NDArray*>& args);
 
     /** Evaluate a scalar expression in the current environment. */
-    double evalValue(const Expr& expr);
+    double evalValue(const Expr& expr) override;
     /** Evaluate an integer expression (indices, predicates, bounds). */
-    int64_t evalInt(const Expr& expr);
+    int64_t evalInt(const Expr& expr) override;
     /** Resolve a BufferPtr expression to array + offset. */
-    BufferRef resolvePtr(const Expr& expr);
+    BufferRef resolvePtr(const Expr& expr) override;
     /** Backing storage for a buffer, allocating lazily. */
-    NDArray* getArray(const Buffer& buffer);
+    NDArray* getArray(const Buffer& buffer) override;
 
     /**
      * Fuel budget for this interpreter: the maximum number of statements
@@ -84,14 +115,25 @@ class Interpreter
     /** Fall back to the TENSORIR_STEP_LIMIT environment variable. */
     static void clearDefaultStepLimit();
     /** Effective default: an explicit setDefaultStepLimit wins,
-     *  otherwise TENSORIR_STEP_LIMIT, otherwise 0 (unlimited). */
+     *  otherwise TENSORIR_STEP_LIMIT, otherwise 0 (unlimited). A
+     *  non-numeric TENSORIR_STEP_LIMIT value raises FatalError instead
+     *  of silently meaning "unlimited". */
     static uint64_t defaultStepLimit();
 
-    /** Register the runtime semantics of an opaque intrinsic. */
+    /**
+     * Register the runtime semantics of an opaque intrinsic. Thread-safe
+     * against concurrent registration and concurrent execution:
+     * registration builds a new immutable registry snapshot and publishes
+     * it atomically, so running interpreters/VMs keep reading the
+     * snapshot they started with.
+     */
     static void registerIntrinsic(const std::string& name,
                                   IntrinsicImpl impl);
     /** Whether an intrinsic implementation is registered. */
     static bool hasIntrinsic(const std::string& name);
+    /** Current immutable registry snapshot (shared with the VM compiler,
+     *  which resolves intrinsic callbacks at compile time). */
+    static std::shared_ptr<const IntrinsicRegistry> intrinsicSnapshot();
 
     /** Force the pre-execution static memory analysis on or off for
      *  every subsequent run() (overrides the environment). */
@@ -118,9 +160,16 @@ class Interpreter
     std::unordered_map<const BufferNode*, std::unique_ptr<NDArray>>
         storage_;
     std::unordered_map<const BufferNode*, NDArray*> bound_;
-
-    static std::unordered_map<std::string, IntrinsicImpl>& registry();
+    /** Registry snapshot acquired at run() entry (snapshot-after-init:
+     *  intrinsics registered mid-run become visible on the next run). */
+    std::shared_ptr<const IntrinsicRegistry> registry_;
 };
+
+/** Check `args` against `func`'s parameter buffers: count, and shape
+ *  dimension by dimension (a 2x6 array must not bind to a 3x4 param).
+ *  Shared by the tree-walker and the VM entry point. */
+void validateArguments(const PrimFunc& func,
+                       const std::vector<NDArray*>& args);
 
 /** RAII override of the process-wide default step limit (restores the
  *  previous default on destruction). The tuner installs one for the

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bytecode virtual machine for lowered TensorIR numeric execution.
+ *
+ * The tree-walking `runtime::Interpreter` stays as the reference oracle;
+ * this VM is the production path for everything numeric (test
+ * validation helpers, the tuner's `numeric_check_topk` spot checks,
+ * benchmarks). It preserves the interpreter's observable contract —
+ * step/fuel limit -> EvalError, the `interp.run` failpoint site, a trace
+ * span per run, the TENSORIR_DEBUG_CHECKS static-analysis gate — and is
+ * differential-tested against the oracle for bit-identical outputs
+ * (tests/test_properties.cpp).
+ *
+ * Entry points:
+ *  - `execute(func, args)`: compile + run, picking the VM by default and
+ *    the tree-walker when TENSORIR_FORCE_TREEWALK=1 (or
+ *    setForceTreeWalk) is in effect.
+ *  - `compile(func)` + `VirtualMachine::run` for callers that reuse the
+ *    compiled program across many runs (benchmarks, repeated numeric
+ *    checks against fresh inputs).
+ */
+#ifndef TENSORIR_RUNTIME_VM_H
+#define TENSORIR_RUNTIME_VM_H
+
+#include <optional>
+
+#include "runtime/bytecode.h"
+
+namespace tir {
+namespace runtime {
+
+/** Compile a lowered PrimFunc to bytecode. Resolves opaque intrinsics
+ *  against the current registry snapshot; raises FatalError on
+ *  constructs the VM cannot execute (same class of error the
+ *  tree-walker raises at runtime). */
+CompiledFunc compile(const PrimFunc& func);
+
+/** Executes CompiledFuncs. Stateless between runs apart from the
+ *  configured step limit; one instance may run many programs. */
+class VirtualMachine
+{
+  public:
+    /** Fuel budget per run() (maximum statement executions before
+     *  EvalError), overriding the process default. 0 = unlimited. Uses
+     *  the same statement-boundary accounting as the interpreter, so a
+     *  program exhausts the same budget at the same statement. */
+    void setStepLimit(uint64_t limit) { step_limit_ = limit; }
+
+    /** Execute with `args` bound to the function parameters in order.
+     *  Validates arguments per dimension (see validateArguments);
+     *  intermediate buffers are freshly allocated per run. */
+    void run(const CompiledFunc& compiled,
+             const std::vector<NDArray*>& args);
+
+  private:
+    std::optional<uint64_t> step_limit_;
+};
+
+/** True when numeric execution must use the tree-walking oracle:
+ *  an explicit setForceTreeWalk override wins, otherwise the
+ *  TENSORIR_FORCE_TREEWALK environment variable (any non-empty value
+ *  other than "0"). */
+bool forceTreeWalk();
+
+/** Override the engine choice for this process (std::nullopt returns
+ *  to the environment variable). Tests use this to compare engines. */
+void setForceTreeWalk(std::optional<bool> force);
+
+/** Execute `func` numerically: bytecode VM by default, tree-walking
+ *  interpreter under forceTreeWalk(). Both engines share argument
+ *  validation, fuel semantics, the `interp.run` failpoint site, and the
+ *  debug-checks gate. */
+void execute(const PrimFunc& func, const std::vector<NDArray*>& args);
+
+} // namespace runtime
+} // namespace tir
+
+#endif // TENSORIR_RUNTIME_VM_H

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include "intrin/tensor_intrin.h"
+#include "support/failpoint.h"
 #include "tir/schedule.h"
 #include "tir/verify.h"
+#include "workloads/workloads.h"
 
 #include "test_util.h"
 
@@ -111,7 +113,7 @@ TEST_P(TensorizePropertyTest, DifferentTileSizes)
         int64_t t = tile;
         runtime::Interpreter::registerIntrinsic(
             "prop.mma_" + std::to_string(tile),
-            [t](runtime::Interpreter& interp, const CallNode& call) {
+            [t](runtime::ExecContext& interp, const CallNode& call) {
                 runtime::BufferRef c = interp.resolvePtr(call.args[0]);
                 runtime::BufferRef a = interp.resolvePtr(call.args[1]);
                 runtime::BufferRef b = interp.resolvePtr(call.args[2]);
@@ -170,6 +172,153 @@ TEST_P(RandomScheduleTest, SampledTilingsStaySound)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomScheduleTest,
                          ::testing::Range(1, 13));
+
+/** Differential engine property: randomly scheduled Table 1 workloads
+ *  must behave identically on the bytecode VM and the tree-walking
+ *  oracle — outputs bit for bit, same fuel-exhaustion point with the
+ *  same partial state, and the same failpoint firing. */
+class VmDifferentialTest : public ::testing::TestWithParam<int>
+{};
+
+std::vector<runtime::NDArray>
+diffInputs(const PrimFunc& func, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<runtime::NDArray> arrays;
+    for (const Buffer& param : func->params) {
+        std::vector<int64_t> shape;
+        for (size_t d = 0; d < param->ndim(); ++d) {
+            shape.push_back(param->shapeInt(d));
+        }
+        runtime::NDArray array(param->dtype, shape);
+        if (param->dtype.isInt()) {
+            array.fillRandom(rng, -4, 4);
+        } else {
+            array.fillRandom(rng);
+        }
+        arrays.push_back(std::move(array));
+    }
+    return arrays;
+}
+
+std::vector<runtime::NDArray*>
+diffPtrs(std::vector<runtime::NDArray>& arrays)
+{
+    std::vector<runtime::NDArray*> out;
+    for (runtime::NDArray& a : arrays) out.push_back(&a);
+    return out;
+}
+
+/** Tile every loop of the einsum block with sampled perfect factors. */
+PrimFunc
+randomSchedule(const workloads::OpSpec& spec, uint64_t seed)
+{
+    Schedule sch(spec.func, seed);
+    std::vector<Var> loops = sch.getLoops(spec.einsum_block);
+    for (const Var& loop : loops) {
+        sch.split(loop, sch.samplePerfectTile(loop, 2, 4));
+    }
+    sch.validateAffineBindings();
+    return sch.func();
+}
+
+TEST_P(VmDifferentialTest, ScheduledWorkloadsMatchOracleBitExact)
+{
+    uint64_t seed = static_cast<uint64_t>(GetParam());
+    for (const workloads::OpSpec& spec : workloads::gpuSuiteSmall()) {
+        PrimFunc func = randomSchedule(spec, seed);
+        std::vector<runtime::NDArray> vm_args = diffInputs(func, seed);
+        std::vector<runtime::NDArray> tw_args = diffInputs(func, seed);
+        std::vector<runtime::NDArray*> vm_ptrs = diffPtrs(vm_args);
+        std::vector<runtime::NDArray*> tw_ptrs = diffPtrs(tw_args);
+        runtime::VirtualMachine vm;
+        vm.run(runtime::compile(func), vm_ptrs);
+        runtime::Interpreter interp;
+        interp.run(func, tw_ptrs);
+        for (size_t i = 0; i < vm_args.size(); ++i) {
+            EXPECT_EQ(vm_args[i].maxAbsDiff(tw_args[i]), 0.0)
+                << spec.name << " argument " << i
+                << " differs between VM and tree-walker";
+        }
+    }
+}
+
+TEST_P(VmDifferentialTest, FuelExhaustionMatchesOracle)
+{
+    // Both engines must run out of fuel at the same statement, report
+    // the same message, and leave identical partial results behind.
+    uint64_t seed = static_cast<uint64_t>(GetParam());
+    for (const workloads::OpSpec& spec : workloads::gpuSuiteSmall()) {
+        PrimFunc func = randomSchedule(spec, seed);
+        for (uint64_t limit : {uint64_t{41}, uint64_t{977}}) {
+            std::vector<runtime::NDArray> tw_args =
+                diffInputs(func, seed);
+            std::vector<runtime::NDArray*> tw_ptrs = diffPtrs(tw_args);
+            bool tw_threw = false;
+            std::string tw_what;
+            runtime::Interpreter interp;
+            interp.setStepLimit(limit);
+            try {
+                interp.run(func, tw_ptrs);
+            } catch (const runtime::EvalError& e) {
+                tw_threw = true;
+                tw_what = e.what();
+            }
+
+            std::vector<runtime::NDArray> vm_args =
+                diffInputs(func, seed);
+            std::vector<runtime::NDArray*> vm_ptrs = diffPtrs(vm_args);
+            bool vm_threw = false;
+            std::string vm_what;
+            runtime::VirtualMachine vm;
+            vm.setStepLimit(limit);
+            try {
+                vm.run(runtime::compile(func), vm_ptrs);
+            } catch (const runtime::EvalError& e) {
+                vm_threw = true;
+                vm_what = e.what();
+            }
+
+            EXPECT_EQ(tw_threw, vm_threw)
+                << spec.name << " fuel divergence at limit " << limit;
+            EXPECT_EQ(tw_what, vm_what);
+            for (size_t i = 0; i < vm_args.size(); ++i) {
+                EXPECT_EQ(vm_args[i].maxAbsDiff(tw_args[i]), 0.0)
+                    << spec.name << " partial state of argument " << i
+                    << " differs at limit " << limit;
+            }
+        }
+    }
+}
+
+TEST_P(VmDifferentialTest, FailpointFiresIdentically)
+{
+    uint64_t seed = static_cast<uint64_t>(GetParam());
+    failpoint::ScopedFailpoints guard("seed=9; interp.run=error(1)");
+    for (const workloads::OpSpec& spec : workloads::gpuSuiteSmall()) {
+        PrimFunc func = randomSchedule(spec, seed);
+        std::vector<runtime::NDArray> args = diffInputs(func, seed);
+        std::vector<runtime::NDArray*> arg_ptrs = diffPtrs(args);
+        std::string tw_what;
+        try {
+            runtime::Interpreter interp;
+            interp.run(func, arg_ptrs);
+            FAIL() << spec.name << ": tree-walker missed the failpoint";
+        } catch (const runtime::EvalError& e) {
+            tw_what = e.what();
+        }
+        try {
+            runtime::VirtualMachine vm;
+            vm.run(runtime::compile(func), arg_ptrs);
+            FAIL() << spec.name << ": VM missed the failpoint";
+        } catch (const runtime::EvalError& e) {
+            EXPECT_EQ(tw_what, e.what()) << spec.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmDifferentialTest,
+                         ::testing::Range(1, 4));
 
 /** compute_at at every loop depth of the consumer. */
 class ComputeAtDepthTest : public ::testing::TestWithParam<int>

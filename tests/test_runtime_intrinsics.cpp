@@ -140,7 +140,7 @@ TEST(IntrinsicRuntimeTest, ResolvePtrOffsets)
     bool checked = false;
     Interpreter::registerIntrinsic(
         "test.probe_offset",
-        [&](Interpreter& in, const CallNode& c) {
+        [&](runtime::ExecContext& in, const CallNode& c) {
             runtime::BufferRef ref = in.resolvePtr(c.args[0]);
             EXPECT_EQ(ref.offset, 2 * 5 + 3);
             EXPECT_EQ(ref.buffer->shapeInt(1), 5);

@@ -14,6 +14,7 @@
 #include <numeric>
 #include <set>
 
+#include "intrin/tensor_intrin.h"
 #include "ir/printer.h"
 #include "meta/journal.h"
 #include "meta/search.h"
@@ -485,6 +486,64 @@ TEST(RngTest, RandIntIsUnbiasedNearTheWordSize)
     double fraction = static_cast<double>(below) / kDraws;
     EXPECT_NEAR(fraction, 2.0 / 3.0, 0.04)
         << "biased modulo mapping would give ~0.75";
+}
+
+TEST(ParallelSearchTest, NumericCheckFiltersDeterministically)
+{
+    // Injected mismatches are keyed by structural hash, so the numeric
+    // gate rejects the same candidates at every parallelism setting and
+    // the full result — including the numeric_filtered counter — stays
+    // byte-identical. The surviving checks really execute candidates
+    // through the VM against the tree-walked oracle.
+    registerBuiltinIntrinsics();
+    workloads::OpSpec op = workloads::gmm(32, 32, 32);
+    hwsim::GpuDevice gpu;
+    meta::TuneTask task{op.func, "C", "gpu", {"wmma_16x16x16_f16"}};
+    failpoint::ScopedFailpoints guard(
+        "seed=11; search.numeric_check=error(0.5)");
+    meta::TuneOptions serial_opts = searchOptions(1);
+    serial_opts.numeric_check_topk = 3;
+    meta::TuneOptions parallel_opts = searchOptions(4);
+    parallel_opts.numeric_check_topk = 3;
+
+    meta::TuneResult serial = meta::autoTune(
+        task, gpu, serial_opts, meta::TunerStyle::kTensorIR);
+    meta::TuneResult parallel = meta::autoTune(
+        task, gpu, parallel_opts, meta::TunerStyle::kTensorIR);
+
+    EXPECT_GT(serial.numeric_filtered, 0)
+        << "the chaos schedule should reject some checked candidates";
+    EXPECT_EQ(serial.numeric_filtered, parallel.numeric_filtered);
+    EXPECT_EQ(serial.runtime_filtered, parallel.runtime_filtered);
+    EXPECT_EQ(serial.trials_measured, parallel.trials_measured);
+    EXPECT_EQ(serial.best_latency_us, parallel.best_latency_us);
+    EXPECT_EQ(serial.history, parallel.history);
+    expectSameDecisions(serial.best_decisions, parallel.best_decisions);
+    EXPECT_EQ(funcToString(serial.best_func),
+              funcToString(parallel.best_func));
+}
+
+TEST(ParallelSearchTest, NumericCheckPassesHonestCandidates)
+{
+    // Without injection every schedule the search produces computes the
+    // same function as the workload, so the spot-check must reject
+    // nothing and leave the search trajectory untouched.
+    registerBuiltinIntrinsics();
+    workloads::OpSpec op = workloads::gmm(32, 32, 32);
+    hwsim::GpuDevice gpu;
+    meta::TuneTask task{op.func, "C", "gpu", {"wmma_16x16x16_f16"}};
+    meta::TuneOptions checked_opts = searchOptions(1);
+    checked_opts.numeric_check_topk = 2;
+
+    meta::TuneResult plain = meta::autoTune(
+        task, gpu, searchOptions(1), meta::TunerStyle::kTensorIR);
+    meta::TuneResult checked = meta::autoTune(
+        task, gpu, checked_opts, meta::TunerStyle::kTensorIR);
+
+    EXPECT_EQ(checked.numeric_filtered, 0);
+    EXPECT_EQ(plain.best_latency_us, checked.best_latency_us);
+    EXPECT_EQ(plain.history, checked.history);
+    EXPECT_EQ(plain.trials_measured, checked.trials_measured);
 }
 
 TEST(RngDeriveTest, DeterministicAndIndependent)

@@ -221,7 +221,7 @@ TEST(TensorIntrinRegistryTest, CustomIntrinRoundTrips)
     TensorIntrin::registerIntrin(custom);
     runtime::Interpreter::registerIntrinsic(
         "accel.tile_mma_2x2x2",
-        [](runtime::Interpreter& interp, const CallNode& call) {
+        [](runtime::ExecContext& interp, const CallNode& call) {
             runtime::BufferRef c = interp.resolvePtr(call.args[0]);
             runtime::BufferRef a = interp.resolvePtr(call.args[1]);
             runtime::BufferRef b = interp.resolvePtr(call.args[2]);

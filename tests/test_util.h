@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "runtime/interpreter.h"
+#include "runtime/vm.h"
 #include "te/te.h"
 
 namespace tir {
@@ -86,10 +86,10 @@ expectSameResults(const PrimFunc& candidate, const PrimFunc& reference,
     for (auto& a : cand_args) cand_ptrs.push_back(&a);
     for (auto& a : ref_args) ref_ptrs.push_back(&a);
 
-    runtime::Interpreter interp_c;
-    runtime::Interpreter interp_r;
-    interp_c.run(candidate, cand_ptrs);
-    interp_r.run(reference, ref_ptrs);
+    // Bytecode VM by default; TENSORIR_FORCE_TREEWALK=1 (exercised by
+    // the forced-tree-walk CI pass) reruns everything on the oracle.
+    runtime::execute(candidate, cand_ptrs);
+    runtime::execute(reference, ref_ptrs);
 
     size_t first_output = reference->params.size() -
                           static_cast<size_t>(num_outputs);
