@@ -7,8 +7,11 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "hwsim/device.h"
 #include "meta/search.h"
+#include "runtime/jit.h"
 #include "runtime/vm.h"
 #include "te/te.h"
 #include "tir/schedule.h"
@@ -239,6 +242,88 @@ BM_TreeWalkTable1Execution(benchmark::State& state)
     state.SetLabel(spec.name);
 }
 BENCHMARK(BM_TreeWalkTable1Execution)->DenseRange(0, 7);
+
+// --- Native JIT tier (see docs/EXECUTION.md) --------------------------
+
+/** The same validation round as BM_NumericValidationVm, on native
+ *  code. The module is compiled once outside the loop, the way the
+ *  tuner's numeric check holds it across candidates. */
+void
+BM_NumericValidationJit(benchmark::State& state)
+{
+    if (!runtime::jitAvailable()) {
+        state.SkipWithError("no working C compiler for the JIT tier");
+        return;
+    }
+    PrimFunc func = numericMatmul();
+    std::shared_ptr<const runtime::JitModule> mod =
+        runtime::jitCompile(func);
+    if (!mod) {
+        state.SkipWithError("JIT compilation failed");
+        return;
+    }
+    for (auto _ : state) {
+        std::vector<runtime::NDArray> cand = numericArgs(func, 5);
+        std::vector<runtime::NDArray> ref = numericArgs(func, 5);
+        std::vector<runtime::NDArray*> cand_ptrs = numericPtrs(cand);
+        std::vector<runtime::NDArray*> ref_ptrs = numericPtrs(ref);
+        mod->run(cand_ptrs);
+        mod->run(ref_ptrs);
+        double diff = 0;
+        for (size_t i = 0; i < cand.size(); ++i) {
+            diff = std::max(diff, cand[i].maxAbsDiff(ref[i]));
+        }
+        benchmark::DoNotOptimize(diff);
+    }
+}
+BENCHMARK(BM_NumericValidationJit)->Unit(benchmark::kMillisecond);
+
+/** Cold-path cost of the tier: emit + system compiler + dlopen (the
+ *  in-memory and on-disk caches are cleared every iteration, so each
+ *  round pays the full compile). */
+void
+BM_JitCompile(benchmark::State& state)
+{
+    if (!runtime::jitAvailable()) {
+        state.SkipWithError("no working C compiler for the JIT tier");
+        return;
+    }
+    PrimFunc func = numericMatmul();
+    for (auto _ : state) {
+        runtime::jitResetForTesting();
+        std::error_code ec;
+        std::filesystem::remove(runtime::jitObjectPathFor(func), ec);
+        benchmark::DoNotOptimize(runtime::jitCompile(func));
+    }
+}
+BENCHMARK(BM_JitCompile)->Unit(benchmark::kMillisecond);
+
+/** Per-workload native execution across the Table 1 small suite —
+ *  the JIT row matching BM_VmTable1Execution / BM_TreeWalkTable1Execution. */
+void
+BM_JitTable1Execution(benchmark::State& state)
+{
+    if (!runtime::jitAvailable()) {
+        state.SkipWithError("no working C compiler for the JIT tier");
+        return;
+    }
+    std::vector<workloads::OpSpec> suite = workloads::gpuSuiteSmall();
+    const workloads::OpSpec& spec =
+        suite[static_cast<size_t>(state.range(0))];
+    std::shared_ptr<const runtime::JitModule> mod =
+        runtime::jitCompile(spec.func);
+    if (!mod) {
+        state.SkipWithError("JIT compilation failed");
+        return;
+    }
+    std::vector<runtime::NDArray> args = numericArgs(spec.func, 5);
+    std::vector<runtime::NDArray*> arg_ptrs = numericPtrs(args);
+    for (auto _ : state) {
+        mod->run(arg_ptrs);
+    }
+    state.SetLabel(spec.name);
+}
+BENCHMARK(BM_JitTable1Execution)->DenseRange(0, 7);
 
 } // namespace
 

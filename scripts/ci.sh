@@ -36,6 +36,25 @@ TENSORIR_FORCE_TREEWALK=1 \
     ctest --test-dir "$BUILD_DIR" --output-on-failure
 echo "ci: forced-tree-walk run (oracle engine) passed"
 
+# JIT job: the whole suite once more with runtime::execute pinned to
+# the native tier (C codegen -> system compiler -> dlopen; see
+# docs/EXECUTION.md). Every numeric check must hold on compiled native
+# code too. A private cache directory keeps the run hermetic.
+TENSORIR_ENGINE=jit \
+TENSORIR_JIT_CACHE="$BUILD_DIR/jit-cache" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure
+echo "ci: native-JIT run (compiled engine) passed"
+
+# No-toolchain job: TENSORIR_ENGINE=jit with a compiler that does not
+# exist. The tier must degrade to the VM everywhere — same results,
+# zero failures — proving the fallback contract rather than assuming
+# it.
+TENSORIR_ENGINE=jit \
+TENSORIR_CC=/nonexistent/tensorir-cc \
+TENSORIR_JIT_CACHE="$BUILD_DIR/jit-cache-degraded" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure
+echo "ci: no-toolchain degradation run (JIT -> VM fallback) passed"
+
 # Traced tuning session: run the demo under a process-wide
 # TENSORIR_TRACE session, then validate the emitted Chrome-trace JSON
 # (parses, spans nest per thread, counter series are monotone, and the

@@ -5,6 +5,7 @@
 #include "meta/database.h"
 #include "meta/journal.h"
 #include "meta/memo.h"
+#include "runtime/jit.h"
 #include "runtime/vm.h"
 #include "support/failpoint.h"
 #include "support/thread_pool.h"
@@ -355,6 +356,22 @@ class StageWatchdog
     std::jthread thread_;
 };
 
+/** Resolve TuneOptions::engine into the override ScopedEngine installs
+ *  for the duration of a tune: the ambient override when the option is
+ *  empty, otherwise the named engine (FatalError on a name that is not
+ *  treewalk/vm/jit — a typo must not silently change engines). */
+std::optional<runtime::Engine>
+resolveEngineOption(const TuneOptions& options)
+{
+    if (options.engine.empty()) return runtime::engineOverride();
+    std::optional<runtime::Engine> parsed =
+        runtime::parseEngineName(options.engine);
+    TIR_CHECK(parsed.has_value())
+        << "TuneOptions::engine \"" << options.engine
+        << "\" is not an engine name (expected treewalk, vm or jit)";
+    return parsed;
+}
+
 } // namespace
 
 TuneResult
@@ -375,6 +392,9 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             trace::arg("generations",
                        static_cast<int64_t>(options.generations)));
     double search_start = trace::nowSeconds();
+    // Numeric engine for every runtime::execute under this search
+    // (the numeric spot-checks); "" inherits the ambient selection.
+    runtime::ScopedEngine engine_scope(resolveEngineOption(options));
     result.parallelism_used = resolveParallelism(options);
     // Touch the intrinsic registry before spawning workers: its lazy
     // builtin registration is the one piece of mutable global state the
@@ -1077,6 +1097,10 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
     // pathological candidate aborts with a structured EvalError (a
     // contained runtime reject) instead of hanging the session.
     runtime::ScopedStepLimit step_limit(options.eval_step_limit);
+    // Numeric engine for candidate evaluation under this tune (see
+    // TuneOptions::engine); evolutionarySearch re-installs the same
+    // override, which is harmless.
+    runtime::ScopedEngine engine_scope(resolveEngineOption(options));
     // A fresh (non-resumed) session starts its journal from scratch;
     // a resumed one must keep the records it is about to replay.
     if (!options.journal_path.empty() && !options.resume) {

@@ -116,6 +116,18 @@ struct TuneOptions
      *  spot-check tolerates. */
     double numeric_check_tolerance = 1e-4;
     /**
+     * Numeric execution engine for candidate evaluation ("" inherits
+     * the process-wide selection; "treewalk", "vm" or "jit" install a
+     * runtime::ScopedEngine for the duration of the tune — see
+     * docs/EXECUTION.md for the selection contract). "jit" makes
+     * `numeric_check_topk` cheap enough to run on every measured
+     * candidate: each distinct kernel compiles to native code once and
+     * the per-run cost collapses to a function call. A malformed name
+     * raises FatalError up front; TENSORIR_FORCE_TREEWALK still
+     * overrides whatever is requested here.
+     */
+    std::string engine;
+    /**
      * When non-empty, the search appends a crash-safe checkpoint
      * journal here (meta/journal.h): one checksummed record per
      * generation. Combined with `resume`, a killed session restarts

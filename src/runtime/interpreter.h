@@ -8,10 +8,12 @@
  *
  * The tree-walking `Interpreter` is the *reference oracle*: simple enough
  * to audit, slow enough that it should not sit on a hot path. Production
- * numeric execution goes through the bytecode VM (runtime/vm.h) via
- * `runtime::execute`, which preserves this interpreter's observable
- * contract (fuel limit -> EvalError, `interp.run` failpoint site, debug
- * analysis gate) and is differential-tested against it.
+ * numeric execution goes through `runtime::execute` (runtime/vm.h),
+ * which picks the bytecode VM by default or the native JIT tier
+ * (runtime/jit.h) on request; both preserve this interpreter's
+ * observable contract (fuel limit -> EvalError, `interp.run` failpoint
+ * site, debug analysis gate) and are differential-tested against it.
+ * The full three-engine contract is documented in docs/EXECUTION.md.
  */
 #ifndef TENSORIR_RUNTIME_INTERPRETER_H
 #define TENSORIR_RUNTIME_INTERPRETER_H

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "arith/interval.h"
+#include "runtime/jit.h"
 #include "support/failpoint.h"
 #include "support/trace.h"
 #include "tir/analysis/analysis.h"
@@ -1099,10 +1100,19 @@ setForceTreeWalk(std::optional<bool> force)
 void
 execute(const PrimFunc& func, const std::vector<NDArray*>& args)
 {
-    if (forceTreeWalk()) {
+    switch (selectedEngine()) {
+      case Engine::kTreeWalk: {
         Interpreter interp;
         interp.run(func, args);
         return;
+      }
+      case Engine::kJit:
+        if (jitTryRun(func, args)) return;
+        // No native module (toolchain missing, compile/dlopen failure,
+        // unsupported construct): degrade to the VM.
+        break;
+      case Engine::kVm:
+        break;
     }
     VirtualMachine vm;
     vm.run(compile(func), args);

@@ -12,9 +12,12 @@
  * (tests/test_properties.cpp).
  *
  * Entry points:
- *  - `execute(func, args)`: compile + run, picking the VM by default and
- *    the tree-walker when TENSORIR_FORCE_TREEWALK=1 (or
- *    setForceTreeWalk) is in effect.
+ *  - `execute(func, args)`: compile + run behind the engine-selection
+ *    contract of docs/EXECUTION.md — the VM by default, the
+ *    tree-walker when TENSORIR_FORCE_TREEWALK=1 (or setForceTreeWalk)
+ *    is in effect, and the native JIT tier (runtime/jit.h) under
+ *    TENSORIR_ENGINE=jit / setEngine(Engine::kJit), with graceful
+ *    VM fallback when native compilation is not possible.
  *  - `compile(func)` + `VirtualMachine::run` for callers that reuse the
  *    compiled program across many runs (benchmarks, repeated numeric
  *    checks against fresh inputs).
@@ -66,10 +69,13 @@ bool forceTreeWalk();
  *  to the environment variable). Tests use this to compare engines. */
 void setForceTreeWalk(std::optional<bool> force);
 
-/** Execute `func` numerically: bytecode VM by default, tree-walking
- *  interpreter under forceTreeWalk(). Both engines share argument
- *  validation, fuel semantics, the `interp.run` failpoint site, and the
- *  debug-checks gate. */
+/** Execute `func` numerically on the engine `selectedEngine()`
+ *  (runtime/jit.h) resolves: bytecode VM by default, tree-walking
+ *  interpreter under forceTreeWalk(), native JIT code under
+ *  TENSORIR_ENGINE=jit / setEngine — degrading to the VM when no
+ *  native module can be built. All three engines share argument
+ *  validation, fuel semantics, the `interp.run` failpoint site, and
+ *  the debug-checks gate (the full contract is docs/EXECUTION.md). */
 void execute(const PrimFunc& func, const std::vector<NDArray*>& args);
 
 } // namespace runtime

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "intrin/tensor_intrin.h"
+#include "runtime/jit.h"
 #include "support/failpoint.h"
 #include "tir/schedule.h"
 #include "tir/verify.h"
@@ -313,6 +314,46 @@ TEST_P(VmDifferentialTest, FailpointFiresIdentically)
             FAIL() << spec.name << ": VM missed the failpoint";
         } catch (const runtime::EvalError& e) {
             EXPECT_EQ(tw_what, e.what()) << spec.name;
+        }
+    }
+}
+
+TEST_P(VmDifferentialTest, ThreeWayParityAcrossEngines)
+{
+    // The native JIT tier must agree with both sequential engines on
+    // randomly scheduled Table 1 workloads. The C emitter performs
+    // exactly the interpreter's double arithmetic and the object is
+    // built with -ffp-contract=off, so on one machine and libm the
+    // comparison holds bit for bit (docs/EXECUTION.md documents when
+    // it would not); a missing toolchain skips rather than fails.
+    if (!runtime::jitAvailable()) {
+        GTEST_SKIP() << "no working C compiler for the JIT tier";
+    }
+    uint64_t seed = static_cast<uint64_t>(GetParam());
+    for (const workloads::OpSpec& spec : workloads::gpuSuiteSmall()) {
+        PrimFunc func = randomSchedule(spec, seed);
+        std::shared_ptr<const runtime::JitModule> mod =
+            runtime::jitCompile(func);
+        ASSERT_NE(mod, nullptr)
+            << spec.name << ": JIT compilation failed";
+        std::vector<runtime::NDArray> jit_args = diffInputs(func, seed);
+        std::vector<runtime::NDArray> vm_args = diffInputs(func, seed);
+        std::vector<runtime::NDArray> tw_args = diffInputs(func, seed);
+        std::vector<runtime::NDArray*> jit_ptrs = diffPtrs(jit_args);
+        std::vector<runtime::NDArray*> vm_ptrs = diffPtrs(vm_args);
+        std::vector<runtime::NDArray*> tw_ptrs = diffPtrs(tw_args);
+        mod->run(jit_ptrs);
+        runtime::VirtualMachine vm;
+        vm.run(runtime::compile(func), vm_ptrs);
+        runtime::Interpreter interp;
+        interp.run(func, tw_ptrs);
+        for (size_t i = 0; i < jit_args.size(); ++i) {
+            EXPECT_EQ(jit_args[i].maxAbsDiff(tw_args[i]), 0.0)
+                << spec.name << " argument " << i
+                << " differs between JIT and tree-walker";
+            EXPECT_EQ(jit_args[i].maxAbsDiff(vm_args[i]), 0.0)
+                << spec.name << " argument " << i
+                << " differs between JIT and VM";
         }
     }
 }
