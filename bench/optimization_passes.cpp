@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Measures the analysis-driven lowering passes (lower/optimize.cpp):
+ *
+ *  1. Barrier elision on staged shared-memory GMM schedules. Two
+ *     staging variants bracket the analysis precision: staging the
+ *     operand whose footprint is shared across the thread axis keeps
+ *     its barrier (it really orders a cross-thread RAW), while staging
+ *     the per-thread-disjoint operand yields a barrier the dataflow
+ *     framework proves redundant (TIR-L003). Reports barrier counts
+ *     before/after and the hwsim GPU latency delta from the
+ *     sync_stall_cycles term.
+ *
+ *  2. Dead-store elimination on a staging cascade (T1 <- A, T2 <- T1,
+ *     nothing reads T2): the fixpoint kills the chain back-to-front
+ *     over two rounds. Reports store counts and, when a native
+ *     toolchain is present, the JIT wall-clock delta.
+ *
+ * Feeds the "Analysis-driven lowering passes" section of
+ * EXPERIMENTS.md. Interpreter parity of every optimized/unoptimized
+ * pair is asserted by tests/test_dataflow.cpp; this harness only
+ * reports costs.
+ */
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "hwsim/device.h"
+#include "lower/lower.h"
+#include "runtime/jit.h"
+#include "runtime/ndarray.h"
+#include "support/rng.h"
+#include "tir/analysis/access_extract.h"
+#include "tir/schedule.h"
+
+namespace {
+
+using namespace tir;
+
+int
+countSyncs(const PrimFunc& func)
+{
+    return static_cast<int>(
+        analysis::extractAccesses(func->body).syncs.size());
+}
+
+int
+countStores(const PrimFunc& func)
+{
+    int stores = 0;
+    for (const analysis::AccessSite& site :
+         analysis::extractAccesses(func->body).sites) {
+        if (site.is_write && !site.opaque) ++stores;
+    }
+    return stores;
+}
+
+/** GMM with block/thread bindings and one operand staged through
+ *  shared memory at the reduction loop. `read_index` 0 stages A
+ *  (footprint shared across threadIdx -> barrier load-bearing),
+ *  1 stages B (per-thread disjoint -> barrier redundant). */
+PrimFunc
+stagedGmm(int64_t n, int64_t m, int64_t k, int read_index)
+{
+    Schedule sch(workloads::gmm(n, m, k).func);
+    std::vector<Var> loops = sch.getLoops("C");
+    sch.bind(loops[0], "blockIdx.x");
+    sch.bind(loops[1], "threadIdx.x");
+    std::string copy = sch.cacheRead("C", read_index, "shared");
+    sch.computeAt(copy, loops[2]);
+    return sch.func();
+}
+
+/** GPU latency of a *lowered* function. extractStats' live-tile
+ *  heuristic for shared allocations keys on Block nodes, which
+ *  lowering strips — it would charge the whole trip-weighted write
+ *  volume as shared allocation. Substitute the static byte size of
+ *  the shared buffers (exact for these unpartitioned staging
+ *  schedules) before estimating. */
+double
+loweredGpuLatency(const PrimFunc& lowered)
+{
+    hwsim::ProgramStats stats = hwsim::extractStats(lowered);
+    double shared_bytes = 0;
+    std::set<const BufferNode*> seen;
+    for (const analysis::AccessSite& site :
+         analysis::extractAccesses(lowered->body).sites) {
+        if (site.buffer->scope != "shared" ||
+            !seen.insert(site.buffer.get()).second) {
+            continue;
+        }
+        double numel = 1;
+        for (size_t d = 0; d < site.buffer->ndim(); ++d) {
+            numel *= static_cast<double>(site.buffer->shapeInt(d));
+        }
+        shared_bytes += numel * site.buffer->dtype.bytes();
+    }
+    stats.shared_alloc_bytes = shared_bytes;
+    return hwsim::GpuDevice().estimate(stats).latency_us;
+}
+
+void
+syncElisionRow(const std::string& label, const PrimFunc& scheduled)
+{
+    LowerOptions base;
+    base.insert_storage_sync = true;
+    PrimFunc before = lowerWithOptions(scheduled, base);
+
+    LowerOptions opt = base;
+    opt.elide_redundant_sync = true;
+    LowerStats stats;
+    PrimFunc after = lowerWithOptions(scheduled, opt, &stats);
+
+    double us_before = loweredGpuLatency(before);
+    double us_after = loweredGpuLatency(after);
+    double delta_pct =
+        us_before > 0 ? 100.0 * (us_before - us_after) / us_before : 0;
+    bench::printRow({label, bench::fmt(countSyncs(before), "%.0f"),
+                     bench::fmt(countSyncs(after), "%.0f"),
+                     bench::fmt(stats.syncs_elided, "%.0f"),
+                     bench::fmt(us_before, "%.2f"),
+                     bench::fmt(us_after, "%.2f"),
+                     bench::fmt(delta_pct, "%.1f%%")},
+                    16);
+}
+
+/** Staging cascade over `n` elements: two shared-nothing temporaries
+ *  feed each other and then nothing, alongside the live output
+ *  B[i] = A[i] * A[i]. DSE removes the T2 store (round 1), which
+ *  frees the T1 store (round 2). */
+PrimFunc
+deadStoreCascade(int64_t n)
+{
+    Buffer a = makeBuffer("A", {n}, DataType::f32());
+    Buffer b = makeBuffer("B", {n}, DataType::f32());
+    Buffer t1 = makeBuffer("T1", {n}, DataType::f32(), "global");
+    Buffer t2 = makeBuffer("T2", {n}, DataType::f32(), "global");
+    Var i = var("i");
+    Stmt body = seq({
+        bufferStore(t1, bufferLoad(a, {i}) * floatImm(2.0, DataType::f32()),
+                    {i}),
+        bufferStore(t2, bufferLoad(t1, {i}) + floatImm(1.0, DataType::f32()),
+                    {i}),
+        bufferStore(b, bufferLoad(a, {i}) * bufferLoad(a, {i}), {i}),
+    });
+    Stmt loop =
+        makeFor(i, intImm(0), intImm(n), std::move(body), ForKind::kSerial);
+    return makeFunc("dse_cascade", {a, b}, std::move(loop));
+}
+
+/** Median-of-repeats JIT wall clock in microseconds; negative when the
+ *  function fails to compile. */
+double
+jitMicros(const PrimFunc& func, int repeats)
+{
+    std::shared_ptr<const runtime::JitModule> mod =
+        runtime::jitCompile(func);
+    if (!mod) return -1.0;
+    Rng rng(7);
+    std::vector<runtime::NDArray> arrays;
+    for (const Buffer& param : func->params) {
+        std::vector<int64_t> shape;
+        for (size_t d = 0; d < param->ndim(); ++d) {
+            shape.push_back(param->shapeInt(d));
+        }
+        arrays.emplace_back(param->dtype, shape);
+        arrays.back().fillRandom(rng);
+    }
+    std::vector<runtime::NDArray*> ptrs;
+    for (runtime::NDArray& array : arrays) ptrs.push_back(&array);
+
+    std::vector<double> samples;
+    mod->run(ptrs); // warm-up
+    for (int r = 0; r < repeats; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        mod->run(ptrs);
+        auto stop = std::chrono::steady_clock::now();
+        samples.push_back(
+            std::chrono::duration<double, std::micro>(stop - start)
+                .count());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Barrier elision (staged shared-memory GMM, sim-gpu)");
+    bench::printRow({"schedule", "syncs", "syncs-opt", "elided",
+                     "us", "us-opt", "delta"},
+                    16);
+    for (int64_t dim : {32, 64, 128}) {
+        std::string shape = std::to_string(dim);
+        // Staging A: footprint constant along threadIdx.x, so the
+        // barrier orders a real cross-thread RAW and must survive.
+        syncElisionRow("GMM-" + shape + "-stageA",
+                       stagedGmm(dim, dim, dim, 0));
+        // Staging B: each thread stages and consumes its own column;
+        // the barrier orders nothing (TIR-L003) and is elided.
+        syncElisionRow("GMM-" + shape + "-stageB",
+                       stagedGmm(dim, dim, dim, 1));
+    }
+
+    bench::printHeader("Dead-store elimination (staging cascade)");
+    bench::printRow({"n", "stores", "stores-opt", "removed", "jit-us",
+                     "jit-us-opt", "delta"});
+    for (int64_t n : {1 << 16, 1 << 18, 1 << 20}) {
+        PrimFunc before = deadStoreCascade(n);
+        LowerStats stats;
+        PrimFunc after = eliminateDeadStores(before, &stats);
+        std::string jit_before = "n/a";
+        std::string jit_after = "n/a";
+        std::string delta = "n/a";
+        if (runtime::jitAvailable()) {
+            double us_before = jitMicros(before, 9);
+            double us_after = jitMicros(after, 9);
+            if (us_before > 0 && us_after > 0) {
+                jit_before = bench::fmt(us_before, "%.1f");
+                jit_after = bench::fmt(us_after, "%.1f");
+                delta = bench::fmt(
+                    100.0 * (us_before - us_after) / us_before,
+                    "%.1f%%");
+            }
+        }
+        bench::printRow({std::to_string(n),
+                         bench::fmt(countStores(before), "%.0f"),
+                         bench::fmt(countStores(after), "%.0f"),
+                         bench::fmt(stats.stores_eliminated, "%.0f"),
+                         jit_before, jit_after, delta});
+    }
+    return 0;
+}

@@ -38,6 +38,7 @@ main()
         int invalid = 0;
         int race = 0;
         int bounds = 0;
+        int lint = 0;
     };
     std::vector<FilterTotals> filters(models.size());
     for (size_t m = 0; m < models.size(); ++m) {
@@ -60,6 +61,8 @@ main()
                 tvm.race_filtered + tensorir.race_filtered;
             filters[m].bounds +=
                 tvm.bounds_filtered + tensorir.bounds_filtered;
+            filters[m].lint +=
+                tvm.lint_filtered + tensorir.lint_filtered;
         }
         bench::printRow({model.name, bench::fmt(tvm_minutes),
                          bench::fmt(tensorir_minutes),
@@ -74,11 +77,12 @@ main()
     // (failed sketch instantiation / thread-binding rules) vs the new
     // static-analysis rejects (provable races / out-of-bounds).
     std::printf("\ncandidate filter counts (structural / race / "
-                "out-of-bounds):\n");
+                "out-of-bounds / lint):\n");
     for (size_t m = 0; m < models.size(); ++m) {
-        std::printf("  %-14s %5d / %3d / %3d\n", models[m].name.c_str(),
-                    filters[m].invalid, filters[m].race,
-                    filters[m].bounds);
+        std::printf("  %-14s %5d / %3d / %3d / %3d\n",
+                    models[m].name.c_str(), filters[m].invalid,
+                    filters[m].race, filters[m].bounds,
+                    filters[m].lint);
     }
 
     // §5.2's further claim: cached search records eliminate the search

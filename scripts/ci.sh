@@ -27,6 +27,29 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 echo "ci: build (-Wall -Wextra -Werror) and tests passed"
 
+# Lint gate: run the tensorir-lint CLI (tools/tensorir_lint.cpp) over
+# the small-shape seed suite. The binary exits nonzero iff any
+# error-severity diagnostic (TIR-R/B/V/L codes) is reported, so a
+# schedule or lowering regression that introduces a provable hazard
+# fails CI here even if no unit test covers the exact pattern.
+"$BUILD_DIR/tools/tensorir-lint" --suite small
+echo "ci: lint gate (tensorir-lint, small suite) passed"
+
+# clang-tidy job: the repo ships a .clang-tidy profile (bugprone-*,
+# performance-*, naming conventions) and the build tree exports
+# compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS in the top
+# CMakeLists). Scoped to the static-analysis and lowering layers —
+# the subsystems this profile was written against — to keep CI time
+# bounded; widen the glob when touching other layers. Skipped when
+# the toolchain image has no clang-tidy.
+if command -v clang-tidy >/dev/null 2>&1; then
+    clang-tidy -p "$BUILD_DIR" --quiet \
+        src/tir/analysis/*.cpp src/lower/*.cpp tools/*.cpp
+    echo "ci: clang-tidy (analysis + lowering layers) passed"
+else
+    echo "ci: clang-tidy not found; static-analysis job skipped"
+fi
+
 # Forced-tree-walk job: the whole suite again with runtime::execute
 # pinned to the tree-walking oracle instead of the bytecode VM. Every
 # numeric check in the tests must hold on both engines — this is the

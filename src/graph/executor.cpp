@@ -46,6 +46,7 @@ runModelTuned(const ModelSpec& model, const hwsim::DeviceModel& device,
         result.invalid_filtered += tuned.invalid_filtered;
         result.race_filtered += tuned.race_filtered;
         result.bounds_filtered += tuned.bounds_filtered;
+        result.lint_filtered += tuned.lint_filtered;
     }
     return result;
 }

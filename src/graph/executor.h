@@ -29,6 +29,7 @@ struct ModelResult
     int invalid_filtered = 0;
     int race_filtered = 0;
     int bounds_filtered = 0;
+    int lint_filtered = 0;
 };
 
 /** Tune a model with one of our tuner personas and sum layer times. */

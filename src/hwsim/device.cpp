@@ -96,8 +96,14 @@ GpuDevice::estimate(const ProgramStats& stats) const
         frag_bytes / (sms * shared_bytes_per_sm_per_cycle * 16 *
                       occupancy);
 
+    // Barrier stalls: ProgramStats::syncs is loop-trip-weighted and
+    // includes the thread extents, so it already counts per-thread
+    // arrival events; each costs a fixed drain in issue slots.
+    double sync_cycles = stats.syncs * sync_stall_cycles /
+                         (sms * fma_per_sm_per_cycle * occupancy);
     double compute_us =
-        (scalar_cycles + tc_cycles + dot_cycles + loop_cycles * 0.15) /
+        (scalar_cycles + tc_cycles + dot_cycles + loop_cycles * 0.15 +
+         sync_cycles) /
         cycles_per_us;
     double mem_us =
         global_us + (shared_cycles + frag_cycles) / cycles_per_us;

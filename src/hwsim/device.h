@@ -56,6 +56,11 @@ class GpuDevice : public DeviceModel
     double global_bw_gbps = 760;
     double shared_bytes_per_sm_per_cycle = 128;
     double launch_overhead_us = 4.0;
+    /** Issue slots every thread loses at a storage_sync barrier
+     *  (pipeline drain + arrival spread). Charged per dynamic barrier
+     *  execution like scalar work, so redundant-barrier elision
+     *  (lower/optimize.cpp) shows up as a latency delta. */
+    double sync_stall_cycles = 24;
     double max_threads_per_block = 1024;
     double max_shared_bytes = 100 * 1024;
     double threads_for_full_occupancy_per_sm = 1024;

@@ -40,6 +40,58 @@ bool isBlockFree(const Stmt& stmt);
  */
 PrimFunc insertStorageSync(const PrimFunc& lowered);
 
+/** Pipeline knobs of lowerWithOptions. The analysis-driven
+ *  optimizations default off: they are opt-in per call site, and every
+ *  rewrite they emit is one the dataflow framework
+ *  (tir/analysis/dataflow.h) proves safe. */
+struct LowerOptions
+{
+    /** Run insertStorageSync after lowering. */
+    bool insert_storage_sync = false;
+    /** Drop barriers whose protected pair set is empty (TIR-L003). */
+    bool elide_redundant_sync = false;
+    /** Drop stores no later or loop-carried read observes
+     *  (TIR-L002), iterated to a fixpoint. */
+    bool eliminate_dead_stores = false;
+};
+
+/** What the optimization passes did (accumulated across passes). */
+struct LowerStats
+{
+    int syncs_elided = 0;
+    int stores_eliminated = 0;
+};
+
+/**
+ * Remove storage-sync barriers the dataflow analysis proves redundant:
+ * every access pair a dropped barrier spans is provably ordered,
+ * disjoint, or still separated by a kept barrier (greedy left-to-right
+ * elision over barrierLoadBearing verdicts). Keeps everything when the
+ * analysis is truncated. Expects a lowered (block-free) function.
+ */
+PrimFunc elideRedundantSync(const PrimFunc& lowered,
+                            LowerStats* stats = nullptr);
+
+/**
+ * Remove stores the dataflow analysis proves dead — writes to
+ * non-parameter buffers no later or loop-carried read may observe —
+ * iterated to a fixpoint (a removed store can kill the reads that kept
+ * an earlier store alive). Loops and conditionals left empty by the
+ * removal are pruned. Expects a lowered (block-free) function.
+ */
+PrimFunc eliminateDeadStores(const PrimFunc& lowered,
+                             LowerStats* stats = nullptr);
+
+/**
+ * Full lowering pipeline: lowerToLoops, then the passes `options`
+ * enables, in order: insertStorageSync, elideRedundantSync,
+ * eliminateDeadStores. `stats`, when given, accumulates what the
+ * optimization passes removed.
+ */
+PrimFunc lowerWithOptions(const PrimFunc& func,
+                          const LowerOptions& options,
+                          LowerStats* stats = nullptr);
+
 } // namespace tir
 
 #endif // TENSORIR_LOWER_LOWER_H

@@ -122,7 +122,7 @@ generationBody(const JournalGeneration& g)
        << g.invalid_filtered << " " << g.race_filtered << " "
        << g.bounds_filtered << " " << g.runtime_filtered << " "
        << g.timeout_filtered << " " << g.numeric_filtered << " "
-       << g.memo_hits << " "
+       << g.lint_filtered << " " << g.memo_hits << " "
        << g.memo_measure_hits << " " << g.model_fallbacks << " "
        << bitsOf(g.tuning_cost_us) << "\n";
     os << "best " << bitsOf(g.best_latency_us) << "\n";
@@ -199,7 +199,7 @@ parseRecord(const std::string& body, JournalContents* out)
                 gen.invalid_filtered >> gen.race_filtered >>
                 gen.bounds_filtered >> gen.runtime_filtered >>
                 gen.timeout_filtered >> gen.numeric_filtered >>
-                gen.memo_hits >>
+                gen.lint_filtered >> gen.memo_hits >>
                 gen.memo_measure_hits >> gen.model_fallbacks;
             std::string cost;
             ls >> cost;

@@ -113,6 +113,7 @@ struct JournalGeneration
     int runtime_filtered = 0;
     int timeout_filtered = 0;
     int numeric_filtered = 0;
+    int lint_filtered = 0;
     int memo_hits = 0;
     int memo_measure_hits = 0;
     int model_fallbacks = 0;

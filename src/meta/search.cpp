@@ -11,6 +11,7 @@
 #include "support/thread_pool.h"
 #include "support/trace.h"
 #include "tir/analysis/analysis.h"
+#include "tir/analysis/dataflow.h"
 #include "tir/verify.h"
 
 #include <algorithm>
@@ -110,6 +111,9 @@ enum class RejectKind : uint8_t
     kRuntime,
     /** Abandoned because the stage watchdog expired first. */
     kTimeout,
+    /** Dataflow lint found an error-severity use-before-init read
+     *  (only with TuneOptions::lint_filter). */
+    kLint,
 };
 
 /** One candidate flowing through the per-generation pipeline. */
@@ -143,13 +147,14 @@ rejectName(RejectKind reject)
       case RejectKind::kBounds: return "bounds";
       case RejectKind::kRuntime: return "runtime";
       case RejectKind::kTimeout: return "timeout";
+      case RejectKind::kLint: return "lint";
       default: return "none";
     }
 }
 
 void
 instantiateCandidate(const PrimFunc& workload, const SketchApplier& sketch,
-                     Candidate& cand)
+                     bool lint_filter, Candidate& cand)
 {
     trace::Span span("candidate.instantiate");
     Schedule sch(workload, cand.schedule_seed);
@@ -194,9 +199,13 @@ instantiateCandidate(const PrimFunc& workload, const SketchApplier& sketch,
         {
             // Per-candidate analysis latency gets its own span: the
             // filter runs on every candidate, so this is where an
-            // analysis slowdown would hide.
+            // analysis slowdown would hide. Duplicate decision traces
+            // produce structurally identical functions, so the report
+            // comes from the structural-hash cache after the first
+            // sighting (hit/miss visible as analysis.cache_* counters).
             trace::Span analysis_span("candidate.analysis");
-            report = analysis::analyzeFunc(sch.func(), analysis_opts);
+            report = analysis::analyzeFuncCached(sch.func(),
+                                                 analysis_opts);
             analysis_span.addArg(trace::arg(
                 "diagnostics",
                 static_cast<int64_t>(report.diagnostics.size())));
@@ -209,6 +218,25 @@ instantiateCandidate(const PrimFunc& workload, const SketchApplier& sketch,
             span.addArg(trace::arg("reject",
                                    std::string(rejectName(cand.reject))));
             return;
+        }
+        // Dataflow lint gate (opt-in): only the error-severity
+        // use-before-init finding rejects — it means a read provably
+        // observes uninitialized memory on every execution. Dead-store
+        // and redundant-barrier findings are warnings (performance,
+        // not correctness) and never empty the population.
+        if (lint_filter) {
+            trace::Span lint_span("candidate.lint");
+            analysis::AnalysisReport lint =
+                analysis::lintFuncCached(sch.func(), analysis_opts);
+            lint_span.addArg(trace::arg(
+                "diagnostics",
+                static_cast<int64_t>(lint.diagnostics.size())));
+            if (lint.hasError(analysis::DiagKind::kUseBeforeInit)) {
+                cand.reject = RejectKind::kLint;
+                span.addArg(trace::arg("reject",
+                                       std::string("lint")));
+                return;
+            }
         }
         cand.decisions = sch.decisions();
         cand.func = sch.func();
@@ -278,6 +306,10 @@ countReject(TuneResult& result, RejectKind reject)
       case RejectKind::kTimeout:
         ++result.timeout_filtered;
         trace::counterAdd("search.timeout_filtered", 1);
+        break;
+      case RejectKind::kLint:
+        ++result.lint_filtered;
+        trace::counterAdd("search.lint_filtered", 1);
         break;
       default:
         ++result.invalid_filtered;
@@ -446,7 +478,8 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
                     batch[i].reject = RejectKind::kTimeout;
                     return;
                 }
-                instantiateCandidate(workload, sketch, batch[i]);
+                instantiateCandidate(workload, sketch,
+                                     options.lint_filter, batch[i]);
             });
         }
 
@@ -727,6 +760,7 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             result.runtime_filtered = last.runtime_filtered;
             result.timeout_filtered = last.timeout_filtered;
             result.numeric_filtered = last.numeric_filtered;
+            result.lint_filtered = last.lint_filtered;
             result.memo_hits = last.memo_hits;
             result.memo_measure_hits = last.memo_measure_hits;
             result.model_fallbacks = last.model_fallbacks;
@@ -806,6 +840,7 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         g.runtime_filtered = result.runtime_filtered;
         g.timeout_filtered = result.timeout_filtered;
         g.numeric_filtered = result.numeric_filtered;
+        g.lint_filtered = result.lint_filtered;
         g.memo_hits = result.memo_hits;
         g.memo_measure_hits = result.memo_measure_hits;
         g.model_fallbacks = result.model_fallbacks;
@@ -1066,6 +1101,7 @@ accumulate(TuneResult& into, const TuneResult& from)
     into.runtime_filtered += from.runtime_filtered;
     into.timeout_filtered += from.timeout_filtered;
     into.numeric_filtered += from.numeric_filtered;
+    into.lint_filtered += from.lint_filtered;
     into.model_fallbacks += from.model_fallbacks;
     into.generations_replayed += from.generations_replayed;
     into.tuning_cost_us += from.tuning_cost_us;
@@ -1209,7 +1245,7 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
         VerifyResult cover = verifyRegionCover(result.best_func);
         TIR_CHECK(cover.ok)
             << "tuned program failed producer-consumer validation: "
-            << cover.error;
+            << cover.message();
         // The winner already passed the per-candidate filter; this
         // re-check runs the full-budget analysis (enumeration enabled)
         // on the single program that actually ships.

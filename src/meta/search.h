@@ -112,6 +112,17 @@ struct TuneOptions
      * the check.
      */
     int numeric_check_topk = 0;
+    /**
+     * Run the dataflow lints (tir/analysis/dataflow.h) as a candidate
+     * filter: candidates with an error-severity TIR-L001
+     * use-before-init finding — a read of an intermediate buffer that
+     * provably observes uninitialized memory — are rejected before any
+     * measurement, counted in TuneResult::lint_filtered. Warnings
+     * (dead stores, redundant barriers) never reject: they are
+     * optimization opportunities, not correctness hazards. Off by
+     * default; the race/bounds filters already gate correctness.
+     */
+    bool lint_filter = false;
     /** Maximum per-element |candidate - reference| the numeric
      *  spot-check tolerates. */
     double numeric_check_tolerance = 1e-4;
@@ -187,6 +198,10 @@ struct TuneResult
     /** Candidates abandoned because the stage watchdog expired before
      *  they were processed (only with TuneOptions::stage_timeout_s). */
     int timeout_filtered = 0;
+    /** Candidates rejected by the dataflow lint filter (an
+     *  error-severity TIR-L001 use-before-init read). Only populated
+     *  with TuneOptions::lint_filter. */
+    int lint_filtered = 0;
     /** Candidates rejected by the numeric spot-check: their VM
      *  execution diverged from the tree-walked reference beyond
      *  TuneOptions::numeric_check_tolerance. Only populated with

@@ -50,12 +50,18 @@ class AccessExtractor : public StmtExprVisitor
     void
     visitStmt(const Stmt& s) override
     {
+        current_stmt_ = s.get();
         if (asStorageSync(*s)) {
             SyncSite sync;
             sync.launch = launch_;
             sync.seq = seq_++;
             sync.divergent = guard_thread_depth_ > 0;
+            sync.conditional = guard_thread_depth_ > 0 ||
+                               opaque_guard_depth_ > 0 ||
+                               !guards_.empty();
             sync.loop_path = joinPath();
+            sync.serial_loops = serial_stack_;
+            sync.stmt = s.get();
             out.syncs.push_back(std::move(sync));
             if (concurrency_depth_ > 0) ++sync_epoch_;
             return;
@@ -112,7 +118,9 @@ class AccessExtractor : public StmtExprVisitor
             env_[node.loop_var.get()] = Range(node.min, node.extent);
             out.full.bind(node.loop_var, Range(node.min, node.extent));
             path_.push_back(node.loop_var->name);
+            serial_stack_.push_back(&node);
             visitStmt(node.body);
+            serial_stack_.pop_back();
             path_.pop_back();
             env_.erase(node.loop_var.get());
             return;
@@ -293,6 +301,8 @@ class AccessExtractor : public StmtExprVisitor
         site.sync_epoch = sync_epoch_;
         site.seq = seq_++;
         site.loop_path = joinPath();
+        site.serial_loops = serial_stack_;
+        site.stmt = current_stmt_;
         out.sites.push_back(std::move(site));
     }
 
@@ -311,6 +321,8 @@ class AccessExtractor : public StmtExprVisitor
     arith::RangeEnv env_;
     VarMap thread_remap_;
     std::vector<ThreadAxis> thread_stack_;
+    std::vector<const ForNode*> serial_stack_;
+    const StmtNode* current_stmt_ = nullptr;
     std::map<std::string, ThreadAxis> launch_axes_;
     std::vector<GuardConstraint> guards_;
     std::vector<std::string> path_;

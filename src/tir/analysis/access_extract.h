@@ -80,6 +80,16 @@ struct AccessSite
     int seq = 0;
     /** Human-readable loop nest, e.g. "blockIdx.x/threadIdx.x/k". */
     std::string loop_path;
+    /** Enclosing *serial* loops, outermost first. Pointer identity is
+     *  the loop identity: two sites share an enclosing loop exactly
+     *  when their stacks share an element. The dataflow framework uses
+     *  this for cyclic (loop-carried) happens-before reasoning. */
+    std::vector<const ForNode*> serial_loops;
+    /** Statement the access belongs to: the BufferStore itself for
+     *  writes, the innermost enclosing statement for reads/opaque
+     *  accesses. Valid while the walked tree is alive; rewriting
+     *  passes use it to map analysis results back onto AST nodes. */
+    const StmtNode* stmt = nullptr;
 };
 
 /** A storage-sync barrier site. */
@@ -90,7 +100,15 @@ struct SyncSite
     /** Barrier sits under thread-divergent control flow: only part of
      *  the block reaches it (deadlock on real hardware). */
     bool divergent = false;
+    /** Barrier sits under *any* conditional (thread-divergent or not):
+     *  it may not execute on every path, so it cannot be relied on to
+     *  order accesses outside the conditional. */
+    bool conditional = false;
     std::string loop_path;
+    /** Enclosing serial loops, outermost first (see AccessSite). */
+    std::vector<const ForNode*> serial_loops;
+    /** The Evaluate statement holding the barrier call. */
+    const StmtNode* stmt = nullptr;
 };
 
 /** All accesses of one lowered function. */

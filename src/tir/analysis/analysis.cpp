@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
+#include <tuple>
 
 #include "arith/interval.h"
 #include "ir/printer.h"
+#include "ir/structural_hash.h"
 #include "ir/transform.h"
 #include "lower/lower.h"
 #include "support/trace.h"
@@ -25,6 +28,11 @@ kindName(DiagKind kind)
       case DiagKind::kRawNoSync: return "read-after-write without sync";
       case DiagKind::kOutOfBounds: return "out-of-bounds access";
       case DiagKind::kDivergentSync: return "thread-divergent barrier";
+      case DiagKind::kThreadBinding: return "thread-binding violation";
+      case DiagKind::kRegionCover: return "region cover violation";
+      case DiagKind::kUseBeforeInit: return "use before initialization";
+      case DiagKind::kDeadStore: return "dead store";
+      case DiagKind::kRedundantSync: return "redundant barrier";
     }
     return "unknown";
 }
@@ -797,11 +805,30 @@ checkBounds(const FuncAccesses& fa, const AnalysisOptions& opts,
 
 // --- public API ------------------------------------------------------
 
+const char*
+diagCode(DiagKind kind)
+{
+    switch (kind) {
+      case DiagKind::kWriteRace: return "TIR-R001";
+      case DiagKind::kRawNoSync: return "TIR-R002";
+      case DiagKind::kDivergentSync: return "TIR-R003";
+      case DiagKind::kOutOfBounds: return "TIR-B001";
+      case DiagKind::kThreadBinding: return "TIR-V001";
+      case DiagKind::kRegionCover: return "TIR-V002";
+      case DiagKind::kUseBeforeInit: return "TIR-L001";
+      case DiagKind::kDeadStore: return "TIR-L002";
+      case DiagKind::kRedundantSync: return "TIR-L003";
+    }
+    return "TIR-X000";
+}
+
 std::string
 Diagnostic::message() const
 {
     std::string text = severity == Severity::kError ? "[error] "
                                                     : "[warning] ";
+    text += diagCode(kind);
+    text += " ";
     text += kindName(kind);
     if (!buffer.empty()) text += " on buffer '" + buffer + "'";
     if (!axis.empty()) text += " across " + axis;
@@ -869,6 +896,172 @@ analyzeFunc(const PrimFunc& func, const AnalysisOptions& options)
                                 static_cast<int>(b.severity);
                      });
     return report;
+}
+
+namespace {
+
+/** Distinct coordinates of `axis` provably touch disjoint cells
+ *  (order-independence without any value reasoning): trivial axis,
+ *  both coordinates pinned equal, or footprints separated along the
+ *  axis. The direction-agnostic core shared by the WAR/WAW legs of
+ *  barrierLoadBearing. */
+bool
+axisCrossDisjoint(const AccessSite& a, const AccessSite& b,
+                  const ThreadAxis& axis, const arith::Analyzer& full)
+{
+    const Var& t = axis.var;
+    if (axis.extent >= 0 && axis.extent <= 1) return true;
+    auto pin_a = pinnedCoord(a, t);
+    auto pin_b = pinnedCoord(b, t);
+    if (pin_a && pin_b && *pin_a == *pin_b) return true;
+    if (axis.extent < 0 || !boundsKnown(a) || !boundsKnown(b)) {
+        return false;
+    }
+    return separatedAlongAxis(a, b, axis, full);
+}
+
+} // namespace
+
+bool
+barrierLoadBearing(const AccessSite& earlier, const AccessSite& later,
+                   const FuncAccesses& fa,
+                   const AnalysisOptions& options)
+{
+    if (earlier.buffer.get() != later.buffer.get()) return false;
+    if (earlier.buffer->scope != "shared") return false;
+    if (earlier.launch != later.launch || earlier.launch < 0) {
+        return false;
+    }
+    bool e_write = earlier.is_write || earlier.opaque;
+    bool l_write = later.is_write || later.opaque;
+    if (!e_write && !l_write) return false;
+    bool e_read = !earlier.is_write || earlier.opaque;
+    bool l_read = !later.is_write || later.opaque;
+
+    // Uniform-write proofs need the launch's write map (the stored
+    // value must read only launch-stable data).
+    LaunchSites launch;
+    for (const AccessSite& site : fa.sites) {
+        if (site.launch == earlier.launch && site.is_write &&
+            scopeParticipates(site.buffer->scope)) {
+            launch.writes[site.buffer.get()].push_back(&site);
+        }
+    }
+    PairContext ctx{fa, options, launch};
+    std::vector<ThreadAxis> axes =
+        relevantAxes(earlier, later, "shared", options);
+    for (const ThreadAxis& axis : axes) {
+        std::string detail;
+        // RAW leg: the earlier write flows into the later read unless
+        // the full race-analysis verdict proves the axis safe.
+        if (e_write && l_read &&
+            rawPairAxisVerdict(earlier, later, axis, ctx, &detail) !=
+                AxisVerdict::kSafe) {
+            return true;
+        }
+        // WAR leg: the later write may clobber what the earlier read
+        // still consumes; only disjointness proofs apply (a uniform
+        // overwrite still changes the bytes under the reader).
+        if (e_read && l_write &&
+            !axisCrossDisjoint(earlier, later, axis, fa.full)) {
+            return true;
+        }
+        // WAW leg: order matters unless disjoint or same-byte uniform.
+        if (e_write && l_write &&
+            writePairAxisVerdict(earlier, later, axis, ctx, &detail) !=
+                AxisVerdict::kSafe) {
+            return true;
+        }
+    }
+    return false;
+}
+
+// --- cached analysis (the search-filter fast path) --------------------
+
+namespace {
+
+using AnalysisCacheKey = std::tuple<uint64_t, int, int64_t, bool, int>;
+
+struct AnalysisCache
+{
+    std::mutex mutex;
+    std::map<AnalysisCacheKey, AnalysisReport> entries;
+};
+
+AnalysisCache&
+analysisCache()
+{
+    static AnalysisCache cache;
+    return cache;
+}
+
+/** Entry bound: past this the cache is dropped wholesale. Search runs
+ *  see far fewer distinct structures than this, so eviction never
+ *  perturbs them; the bound only stops pathological growth. */
+constexpr size_t kAnalysisCacheMaxEntries = 8192;
+
+AnalysisCacheKey
+cacheKey(uint64_t func_hash, int family, const AnalysisOptions& options)
+{
+    return {func_hash, family, options.exhaustive_pair_limit,
+            options.check_parallel_loops, options.max_diagnostics};
+}
+
+} // namespace
+
+bool
+cachedReportLookup(uint64_t func_hash, int family,
+                   const AnalysisOptions& options, AnalysisReport* out)
+{
+    AnalysisCache& cache = analysisCache();
+    {
+        std::lock_guard<std::mutex> lock(cache.mutex);
+        auto it =
+            cache.entries.find(cacheKey(func_hash, family, options));
+        if (it != cache.entries.end()) {
+            trace::counterAdd("analysis.cache_hit", 1);
+            *out = it->second;
+            return true;
+        }
+    }
+    trace::counterAdd("analysis.cache_miss", 1);
+    return false;
+}
+
+void
+cachedReportStore(uint64_t func_hash, int family,
+                  const AnalysisOptions& options,
+                  const AnalysisReport& report)
+{
+    AnalysisCache& cache = analysisCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    if (cache.entries.size() >= kAnalysisCacheMaxEntries) {
+        cache.entries.clear();
+    }
+    cache.entries.emplace(cacheKey(func_hash, family, options), report);
+}
+
+AnalysisReport
+analyzeFuncCached(const PrimFunc& func, const AnalysisOptions& options)
+{
+    uint64_t hash = structuralHash(func);
+    AnalysisReport report;
+    if (cachedReportLookup(hash, /*family=*/0, options, &report)) {
+        return report;
+    }
+    // Analyze outside the lock: workers with distinct candidates must
+    // not serialize on each other's proofs.
+    report = analyzeFunc(func, options);
+    cachedReportStore(hash, /*family=*/0, options, report);
+    return report;
+}
+
+void
+clearAnalysisCache()
+{
+    AnalysisCache& cache = analysisCache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.entries.clear();
 }
 
 std::vector<RegionPiece>

@@ -30,19 +30,42 @@
 namespace tir {
 namespace analysis {
 
-/** What a diagnostic is about. */
+/** What a diagnostic is about. Every kind has a stable code (see
+ *  diagCode) so tools, CI gates, and suppression lists can match on
+ *  identity rather than message text. */
 enum class DiagKind : uint8_t {
-    /** Two writes from distinct thread coordinates hit one location. */
+    /** TIR-R001: two writes from distinct thread coordinates hit one
+     *  location. */
     kWriteRace,
-    /** Cross-thread read-after-write on a shared-scope buffer with no
-     *  intervening storage-sync barrier. */
+    /** TIR-R002: cross-thread read-after-write on a shared-scope buffer
+     *  with no intervening storage-sync barrier. */
     kRawNoSync,
-    /** Access index provably (error) or possibly (warning) outside the
-     *  declared buffer shape. */
+    /** TIR-B001: access index provably (error) or possibly (warning)
+     *  outside the declared buffer shape. */
     kOutOfBounds,
-    /** Storage-sync barrier under thread-divergent control flow. */
+    /** TIR-R003: storage-sync barrier under thread-divergent control
+     *  flow. */
     kDivergentSync,
+    /** TIR-V001: thread-binding structure violation
+     *  (verifyThreadBindings). */
+    kThreadBinding,
+    /** TIR-V002: producer regions fail to cover a consumer read
+     *  (verifyRegionCover). */
+    kRegionCover,
+    /** TIR-L001: read of an intermediate buffer no write can have
+     *  reached first (dataflow.h). */
+    kUseBeforeInit,
+    /** TIR-L002: store to an intermediate buffer no later (or
+     *  loop-carried) read can observe (dataflow.h). */
+    kDeadStore,
+    /** TIR-L003: storage-sync barrier whose protected pair set is
+     *  empty — every access pair it separates is provably ordered or
+     *  disjoint without it (dataflow.h). */
+    kRedundantSync,
 };
+
+/** Stable diagnostic code ("TIR-R001", "TIR-L002", ...). */
+const char* diagCode(DiagKind kind);
 
 /** How certain the analysis is. */
 enum class Severity : uint8_t {
@@ -66,7 +89,9 @@ struct Diagnostic
     /** Regions / index expression / derived interval, rendered. */
     std::string detail;
 
-    /** One-line human-readable rendering. */
+    /** Stable code of `kind` ("TIR-R001", ...). */
+    const char* code() const { return diagCode(kind); }
+    /** One-line human-readable rendering (includes the code). */
     std::string message() const;
 };
 
@@ -107,6 +132,56 @@ struct AnalysisOptions
  */
 AnalysisReport analyzeFunc(const PrimFunc& func,
                            const AnalysisOptions& options = {});
+
+/**
+ * analyzeFunc through a process-wide cache keyed by the structural
+ * hash of `func` plus the option fields that influence the verdicts.
+ * The evolutionary search instantiates many structurally identical
+ * candidates (duplicate decision traces), and re-extracting their
+ * access regions per filter invocation is pure waste; the cached entry
+ * returns the identical report (diagnostics reference buffer names and
+ * rendered expressions, not node pointers, so reports transfer between
+ * structurally equal functions). Thread-safe (pool workers share it);
+ * hit/miss totals are exposed as the trace counters
+ * `analysis.cache_hit` / `analysis.cache_miss`.
+ */
+AnalysisReport analyzeFuncCached(const PrimFunc& func,
+                                 const AnalysisOptions& options = {});
+
+/** Drop every cached analysis report (tests use this to pin the
+ *  cold-path/hot-path identity). Clears the lint cache too. */
+void clearAnalysisCache();
+
+/** @private Shared report-cache plumbing for analyzeFuncCached and
+ *  lintFuncCached (dataflow.cpp). `family` discriminates the producing
+ *  analysis; lookups bump the `analysis.cache_hit` / `_miss` trace
+ *  counters. Not part of the public surface. */
+bool cachedReportLookup(uint64_t func_hash, int family,
+                        const AnalysisOptions& options,
+                        AnalysisReport* out);
+/** @private Counterpart of cachedReportLookup. */
+void cachedReportStore(uint64_t func_hash, int family,
+                       const AnalysisOptions& options,
+                       const AnalysisReport& report);
+
+struct AccessSite;
+struct FuncAccesses;
+
+/**
+ * True when a storage-sync barrier between `earlier` and `later`
+ * (program order) would be load-bearing: both sites touch the same
+ * shared-scope buffer, at least one writes, and cross-thread overlap
+ * between distinct coordinates of some concurrency axis cannot be
+ * ruled out by the per-axis proofs of the race analysis. For the
+ * write→read direction the full RAW verdict applies (disjointness,
+ * pinned coordinates, uniform cooperative copies); for read→write and
+ * write→write only order-independence proofs (disjointness, pinned
+ * equality, uniform same-byte writes) count. False means removing the
+ * barrier cannot introduce cross-thread data flow between the pair.
+ */
+bool barrierLoadBearing(const AccessSite& earlier,
+                        const AccessSite& later, const FuncAccesses& fa,
+                        const AnalysisOptions& options = {});
 
 /** A rectangular access piece of one pipeline stage, in program
  *  order, used by the per-region producer-consumer cover check. */

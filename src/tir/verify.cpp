@@ -37,12 +37,14 @@ class ThreadChecker : public StmtExprVisitor
         bool is_block_axis = node.thread_tag.rfind("blockIdx", 0) == 0;
         if (active_tags_.count(node.thread_tag)) {
             result = VerifyResult::fail(
+                analysis::DiagKind::kThreadBinding,
                 "thread tag " + node.thread_tag +
                 " bound twice in one launch");
             return;
         }
         if (is_block_axis && saw_thread_axis_) {
             result = VerifyResult::fail(
+                analysis::DiagKind::kThreadBinding,
                 "blockIdx binding nested inside threadIdx scope");
             return;
         }
@@ -52,6 +54,7 @@ class ThreadChecker : public StmtExprVisitor
             thread_product_ *= constIntOr(node.extent, 1);
             if (thread_product_ > max_threads_) {
                 result = VerifyResult::fail(
+                analysis::DiagKind::kThreadBinding,
                     "thread block exceeds " +
                     std::to_string(max_threads_) + " threads");
                 return;
@@ -77,11 +80,13 @@ class ThreadChecker : public StmtExprVisitor
             int64_t available = thread_product_ * 32;
             if (active_tags_.empty()) {
                 result = VerifyResult::fail(
+                analysis::DiagKind::kThreadBinding,
                     "cooperative fetch outside any thread launch");
                 return;
             }
             if (claimed > available) {
                 result = VerifyResult::fail(
+                analysis::DiagKind::kThreadBinding,
                     "cooperative fetch claims " +
                     std::to_string(claimed) + " threads but only " +
                     std::to_string(available) + " are launched");
@@ -97,6 +102,7 @@ class ThreadChecker : public StmtExprVisitor
                 const TensorIntrin& ti = TensorIntrin::get(name);
                 if (ti.exec_scope == "warp" && active_tags_.empty()) {
                     result = VerifyResult::fail(
+                analysis::DiagKind::kThreadBinding,
                         "warp-scope intrinsic " + name +
                         " outside any GPU thread launch");
                     return;
@@ -225,8 +231,10 @@ class CoverChecker
         auto it = written_.find(buffer.get());
         if (it == written_.end()) {
             return VerifyResult::fail(
+                analysis::DiagKind::kRegionCover,
                 "buffer " + buffer->name +
-                " is read before any producer wrote it");
+                " is read before any producer wrote it",
+                buffer->name);
         }
         const BufferCover& cover = it->second;
         // Conservative index analysis may widen gather regions past
@@ -255,15 +263,19 @@ class CoverChecker
                 writes += renderRegion(write, analyzer_);
             }
             return VerifyResult::fail(
+                analysis::DiagKind::kRegionCover,
                 "producers of " + buffer->name +
                 " do not cover a consumer's read region: read " +
                 renderRegion(clamped, analyzer_) + " vs written " +
-                writes);
+                    writes,
+                buffer->name);
         }
         if (!arith::regionCovers(cover.hull, clamped, analyzer_)) {
             return VerifyResult::fail(
+                analysis::DiagKind::kRegionCover,
                 "producers of " + buffer->name +
-                " do not cover a consumer's read region");
+                " do not cover a consumer's read region",
+                buffer->name);
         }
         return VerifyResult::pass();
     }

@@ -9,22 +9,49 @@
 #define TENSORIR_TIR_VERIFY_H
 
 #include <string>
+#include <vector>
 
 #include "ir/stmt.h"
+#include "tir/analysis/analysis.h"
 
 namespace tir {
 
-/** Result of a verification pass. */
+/** Result of a verification pass: structured diagnostics sharing the
+ *  stable-code scheme of the static analyses (TIR-V001 thread-binding
+ *  violations, TIR-V002 region-cover violations), so tools can match
+ *  on codes rather than message text. `message()` is the shim for the
+ *  former single-string `error` field. */
 struct VerifyResult
 {
     bool ok = true;
-    std::string error;
+    std::vector<analysis::Diagnostic> diagnostics;
 
-    static VerifyResult pass() { return {true, ""}; }
+    static VerifyResult pass() { return {true, {}}; }
     static VerifyResult
-    fail(std::string message)
+    fail(analysis::DiagKind kind, std::string detail,
+         std::string buffer = "")
     {
-        return {false, std::move(message)};
+        analysis::Diagnostic diag;
+        diag.kind = kind;
+        diag.severity = analysis::Severity::kError;
+        diag.buffer = std::move(buffer);
+        diag.detail = std::move(detail);
+        return {false, {std::move(diag)}};
+    }
+
+    /** All diagnostic details joined one per line (empty when ok).
+     *  Kept source-compatible with the former `error` string: the
+     *  detail text, not the code-prefixed rendering, so existing
+     *  substring matches keep working. */
+    std::string
+    message() const
+    {
+        std::string text;
+        for (const analysis::Diagnostic& diag : diagnostics) {
+            if (!text.empty()) text += "\n";
+            text += diag.detail;
+        }
+        return text;
     }
 };
 

@@ -351,10 +351,10 @@ TEST(RegionCoverTest, GapBetweenWrittenPiecesIsCaught)
 
     VerifyResult result = verifyRegionCover(func);
     EXPECT_FALSE(result.ok);
-    EXPECT_NE(result.error.find("do not cover"), std::string::npos)
-        << result.error;
-    EXPECT_NE(result.error.find("T[5..5]"), std::string::npos)
-        << result.error;
+    EXPECT_NE(result.message().find("do not cover"), std::string::npos)
+        << result.message();
+    EXPECT_NE(result.message().find("T[5..5]"), std::string::npos)
+        << result.message();
 }
 
 TEST(RegionCoverTest, StitchedAdjacentPiecesCoverASpanningRead)
@@ -376,7 +376,7 @@ TEST(RegionCoverTest, StitchedAdjacentPiecesCoverASpanningRead)
                              bufferStore(out, bufferLoad(t, {k}), {k})));
     PrimFunc func = stagedFunc(std::move(stages), {out}, {t});
     EXPECT_TRUE(verifyRegionCover(func).ok)
-        << verifyRegionCover(func).error;
+        << verifyRegionCover(func).message();
 }
 
 TEST(RegionCoverTest, ExactCoverStillPasses)
@@ -392,7 +392,7 @@ TEST(RegionCoverTest, ExactCoverStillPasses)
                              bufferStore(out, bufferLoad(t, {k}), {k})));
     PrimFunc func = stagedFunc(std::move(stages), {out}, {t});
     EXPECT_TRUE(verifyRegionCover(func).ok)
-        << verifyRegionCover(func).error;
+        << verifyRegionCover(func).message();
 }
 
 } // namespace

@@ -218,7 +218,7 @@ TEST(CooperativeVerifyTest, ClaimBeyondLaunchRejected)
                       intImm(32 * 1024, DataType::i64()));
     VerifyResult result = verifyThreadBindings(sch.func());
     EXPECT_FALSE(result.ok);
-    EXPECT_NE(result.error.find("cooperative"), std::string::npos);
+    EXPECT_NE(result.message().find("cooperative"), std::string::npos);
     // A sane claim passes.
     sch.annotateBlock(copy, "cooperative_fetch",
                       intImm(32, DataType::i64()));

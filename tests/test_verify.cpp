@@ -58,7 +58,7 @@ TEST(ThreadVerifyTest, RejectsDuplicateTag)
         {{"blockIdx.x", 4}, {"threadIdx.x", 8}, {"threadIdx.x", 8}});
     VerifyResult result = verifyThreadBindings(func);
     EXPECT_FALSE(result.ok);
-    EXPECT_NE(result.error.find("twice"), std::string::npos);
+    EXPECT_NE(result.message().find("twice"), std::string::npos);
 }
 
 TEST(ThreadVerifyTest, RejectsBlockInsideThread)
@@ -67,7 +67,7 @@ TEST(ThreadVerifyTest, RejectsBlockInsideThread)
         {{"threadIdx.x", 8}, {"blockIdx.x", 4}});
     VerifyResult result = verifyThreadBindings(func);
     EXPECT_FALSE(result.ok);
-    EXPECT_NE(result.error.find("nested"), std::string::npos);
+    EXPECT_NE(result.message().find("nested"), std::string::npos);
 }
 
 TEST(ThreadVerifyTest, RejectsOversizedBlock)
@@ -76,7 +76,7 @@ TEST(ThreadVerifyTest, RejectsOversizedBlock)
         {{"blockIdx.x", 2}, {"threadIdx.y", 64}, {"threadIdx.x", 32}});
     VerifyResult result = verifyThreadBindings(func, 1024);
     EXPECT_FALSE(result.ok);
-    EXPECT_NE(result.error.find("exceeds"), std::string::npos);
+    EXPECT_NE(result.message().find("exceeds"), std::string::npos);
     // The same launch fits a bigger limit.
     EXPECT_TRUE(verifyThreadBindings(func, 4096).ok);
 }
@@ -119,7 +119,7 @@ TEST(ThreadVerifyTest, WarpIntrinsicNeedsThreadScope)
 
     VerifyResult no_threads = verifyThreadBindings(sch.func());
     EXPECT_FALSE(no_threads.ok);
-    EXPECT_NE(no_threads.error.find("warp"), std::string::npos);
+    EXPECT_NE(no_threads.message().find("warp"), std::string::npos);
 
     // Binding the outer loop to a thread launch fixes it.
     sch.bind(i_split[0], "blockIdx.x");
@@ -162,7 +162,7 @@ TEST(CoverVerifyTest, RejectsHalfProducedBuffer)
                                            {b}));
     VerifyResult result = verifyRegionCover(func);
     EXPECT_FALSE(result.ok);
-    EXPECT_NE(result.error.find("cover"), std::string::npos);
+    EXPECT_NE(result.message().find("cover"), std::string::npos);
 }
 
 TEST(CoverVerifyTest, RejectsUseBeforeDef)
@@ -186,7 +186,7 @@ TEST(CoverVerifyTest, RejectsUseBeforeDef)
                              makeRootBlock(body, {b}));
     VerifyResult result = verifyRegionCover(func);
     EXPECT_FALSE(result.ok);
-    EXPECT_NE(result.error.find("before"), std::string::npos);
+    EXPECT_NE(result.message().find("before"), std::string::npos);
 }
 
 TEST(CoverVerifyTest, AcceptsTunedPipelines)
