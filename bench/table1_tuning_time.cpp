@@ -9,6 +9,7 @@
 #include "bench_util.h"
 
 #include "meta/database.h"
+#include "meta/sketch.h"
 
 #include <chrono>
 
@@ -148,6 +149,59 @@ main()
                 stages.evaluate_s, stages.model_s, stages.reduce_s,
                 memo_hits, memo_measure_hits);
     std::printf("whole-benchmark wall-clock: %.2f s\n", wall_s);
+
+    // Real vs simulated measurement: the same search, once scored by
+    // the hwsim analytical model and once by wall-clock timing of the
+    // JIT-compiled candidates (measure_backend="jit"). CPU target —
+    // thread-bound GPU candidates cannot be natively compiled, so this
+    // is the apples-to-apples comparison the JIT tier supports. The
+    // trajectories differ candidate-by-candidate (the model and the
+    // host disagree on rankings) but both must descend; without a host
+    // toolchain every jit measurement falls back to hwsim and the two
+    // rows coincide (fallbacks == trials).
+    bench::printHeader(
+        "real vs simulated measurement (CPU target, wall-clock JIT)");
+    bench::printRow({"workload", "backend", "trials", "fallback",
+                     "best(us)", "wall(s)", "trajectory"},
+                    10);
+    std::vector<workloads::OpSpec> cpu_ops = {
+        workloads::gmm(64, 64, 64, DataType::f32(), DataType::f32()),
+        workloads::conv2d(1, 14, 14, 32, 32, 3, 1, 1, 1,
+                          DataType::f32(), DataType::f32())};
+    hwsim::CpuDevice cpu;
+    for (const workloads::OpSpec& op : cpu_ops) {
+        for (const char* backend : {"hwsim", "jit"}) {
+            meta::TuneOptions opts;
+            opts.population = 8;
+            opts.generations = 3;
+            opts.children_per_generation = 16;
+            opts.measured_per_generation = 6;
+            opts.seed = 77;
+            opts.measure_backend = backend;
+            opts.measure_warmup = 1;
+            opts.measure_repeats_real = 3;
+            meta::SketchApplier sketch =
+                meta::makeLoopSketchApplier(op.einsum_block,
+                                            /*gpu=*/false);
+            auto start = std::chrono::steady_clock::now();
+            meta::TuneResult tuned =
+                meta::evolutionarySearch(op.func, sketch, cpu, opts);
+            double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+            std::string trajectory;
+            for (double best : tuned.history) {
+                if (!trajectory.empty()) trajectory += " > ";
+                trajectory += bench::fmt(best, "%.2f");
+            }
+            bench::printRow(
+                {op.name, backend, std::to_string(tuned.trials_measured),
+                 std::to_string(tuned.measure_fallbacks),
+                 bench::fmt(tuned.best_latency_us, "%.2f"),
+                 bench::fmt(secs, "%.2f"), trajectory},
+                10);
+        }
+    }
     // With TENSORIR_TRACE set, the last task's in-session aggregate
     // (per-span totals, counters, gauges) rides along with the table.
     if (!trace_summary.empty()) {

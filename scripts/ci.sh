@@ -78,6 +78,16 @@ TENSORIR_JIT_CACHE="$BUILD_DIR/jit-cache-degraded" \
     ctest --test-dir "$BUILD_DIR" --output-on-failure
 echo "ci: no-toolchain degradation run (JIT -> VM fallback) passed"
 
+# Measure-jit smoke job: a tiny fixed-seed tune with the wall-clock
+# measurement backend (measure_backend="jit"), journaled, then resumed
+# — the resume must reproduce the wall-clock run byte for byte from
+# the journal alone (real latencies are not re-measurable; the journal
+# is the replay contract). The binary exits nonzero on any mismatch.
+TENSORIR_JIT_CACHE="$BUILD_DIR/jit-cache" \
+    "$BUILD_DIR/examples/example_measure_jit_smoke" \
+    "$BUILD_DIR/measure-jit-smoke-journal.txt"
+echo "ci: measure-jit smoke (journaled wall-clock resume) passed"
+
 # Traced tuning session: run the demo under a process-wide
 # TENSORIR_TRACE session, then validate the emitted Chrome-trace JSON
 # (parses, spans nest per thread, counter series are monotone, and the
@@ -120,6 +130,13 @@ cmake -B "$SAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-Wno-restrict -fno-sanitize-recover=all"
 cmake --build "$SAN_DIR" -j "$(nproc)" --target tensorir_tests
 ASAN_OPTIONS=detect_leaks=0 ctest --test-dir "$SAN_DIR" --output-on-failure
+
+# The env-parsing regressions (TENSORIR_PARALLELISM, TENSORIR_JIT_CACHE_MB)
+# once more, explicitly, under UBSan: the pre-fix bugs were exactly the
+# kind (atoi on garbage, unsigned wrap of a negative, overflowing
+# multiply) that sanitizers catch even when assertions would not.
+ASAN_OPTIONS=detect_leaks=0 \
+    "$SAN_DIR/tests/tensorir_tests" --gtest_filter='EnvParsing*'
 
 echo "ci: ASan+UBSan build and tests passed"
 

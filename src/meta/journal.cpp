@@ -110,7 +110,10 @@ headerBody(const JournalHeader& h)
        << h.children_per_generation << " " << h.measured_per_generation
        << " " << (h.use_cost_model ? 1 : 0) << " "
        << bitsOf(h.measure_overhead_us) << " " << bitsOf(h.measure_repeats)
-       << "\n";
+       << " " << (h.measure_backend.empty() ? "-" : h.measure_backend)
+       << " " << h.measure_warmup << " " << h.measure_repeats_real << " "
+       << bitsOf(h.compile_budget_ms) << " "
+       << (h.measure_pin_cpu ? 1 : 0) << "\n";
     return os.str();
 }
 
@@ -119,7 +122,9 @@ generationBody(const JournalGeneration& g)
 {
     std::ostringstream os;
     os << "gen " << g.index << " " << g.trials_measured << " "
-       << g.invalid_filtered << " " << g.race_filtered << " "
+       << g.measured_valid << " " << g.measured_invalid << " "
+       << g.compile_timeout_filtered << " " << g.measure_fallbacks
+       << " " << g.invalid_filtered << " " << g.race_filtered << " "
        << g.bounds_filtered << " " << g.runtime_filtered << " "
        << g.timeout_filtered << " " << g.numeric_filtered << " "
        << g.lint_filtered << " " << g.memo_hits << " "
@@ -142,16 +147,20 @@ generationBody(const JournalGeneration& g)
     }
     for (const JournalMemoEntry& m : g.new_memo) {
         os << "memo " << m.hash << " " << (m.measured ? 1 : 0) << " "
-           << (m.eval_failed ? 1 : 0) << " " << bitsOf(m.latency_us);
+           << (m.eval_failed ? 1 : 0) << " "
+           << (m.compile_timed_out ? 1 : 0) << " "
+           << bitsOf(m.latency_us) << " "
+           << bitsOf(m.measured_latency_us);
         for (double f : m.features) os << " " << bitsOf(f);
         // The violation text can hold spaces; keep it last, behind an
         // unambiguous separator, so the feature list stays parseable.
         if (!m.violation.empty()) os << " | " << m.violation;
         os << "\n";
     }
-    os << "measured";
-    for (uint64_t h : g.measured_hashes) os << " " << h;
-    os << "\n";
+    for (const JournalMeasured& jm : g.measured) {
+        os << "meas " << jm.hash << " " << bitsOf(jm.latency_us) << " "
+           << (jm.compile_timed_out ? 1 : 0) << "\n";
+    }
     return os.str();
 }
 
@@ -181,21 +190,29 @@ parseRecord(const std::string& body, JournalContents* out)
             if (section.header.label == "-") section.header.label.clear();
             if (!std::getline(is, line)) return false;
             std::istringstream opts(line);
-            std::string opt_tag, overhead, repeats;
+            std::string opt_tag, overhead, repeats, backend, budget;
             int cost_model = 1;
+            int pin = 0;
             opts >> opt_tag >> section.header.population >>
                 section.header.generations >>
                 section.header.children_per_generation >>
                 section.header.measured_per_generation >> cost_model >>
-                overhead >> repeats;
+                overhead >> repeats >> backend >>
+                section.header.measure_warmup >>
+                section.header.measure_repeats_real >> budget >> pin;
             if (opts.fail() || opt_tag != "options") return false;
             section.header.use_cost_model = cost_model != 0;
             section.header.measure_overhead_us = doubleOf(overhead, &ok);
             section.header.measure_repeats = doubleOf(repeats, &ok);
+            if (backend != "-") section.header.measure_backend = backend;
+            section.header.compile_budget_ms = doubleOf(budget, &ok);
+            section.header.measure_pin_cpu = pin != 0;
             if (!ok) return false;
             out->sections.push_back(std::move(section));
         } else if (tag == "gen") {
             ls >> gen.index >> gen.trials_measured >>
+                gen.measured_valid >> gen.measured_invalid >>
+                gen.compile_timeout_filtered >> gen.measure_fallbacks >>
                 gen.invalid_filtered >> gen.race_filtered >>
                 gen.bounds_filtered >> gen.runtime_filtered >>
                 gen.timeout_filtered >> gen.numeric_filtered >>
@@ -254,13 +271,17 @@ parseRecord(const std::string& body, JournalContents* out)
             gen.new_samples.push_back(std::move(s));
         } else if (tag == "memo") {
             JournalMemoEntry m;
-            int measured = 0, failed = 0;
-            std::string word;
-            ls >> m.hash >> measured >> failed >> word;
+            int measured = 0, failed = 0, ctimeout = 0;
+            std::string word, mword;
+            ls >> m.hash >> measured >> failed >> ctimeout >> word >>
+                mword;
             if (ls.fail()) return false;
             m.measured = measured != 0;
             m.eval_failed = failed != 0;
+            m.compile_timed_out = ctimeout != 0;
             m.latency_us = doubleOf(word, &ok);
+            if (!ok) return false;
+            m.measured_latency_us = doubleOf(mword, &ok);
             if (!ok) return false;
             while (ls >> word) {
                 if (word == "|") {
@@ -274,9 +295,16 @@ parseRecord(const std::string& body, JournalContents* out)
                 if (!ok) return false;
             }
             gen.new_memo.push_back(std::move(m));
-        } else if (tag == "measured") {
-            uint64_t h;
-            while (ls >> h) gen.measured_hashes.push_back(h);
+        } else if (tag == "meas") {
+            JournalMeasured jm;
+            std::string lat;
+            int ctimeout = 0;
+            ls >> jm.hash >> lat >> ctimeout;
+            if (ls.fail()) return false;
+            jm.latency_us = doubleOf(lat, &ok);
+            if (!ok) return false;
+            jm.compile_timed_out = ctimeout != 0;
+            gen.measured.push_back(jm);
         } else if (!tag.empty()) {
             return false;
         }
@@ -306,7 +334,12 @@ JournalHeader::matches(const JournalHeader& other) const
            measured_per_generation == other.measured_per_generation &&
            use_cost_model == other.use_cost_model &&
            measure_overhead_us == other.measure_overhead_us &&
-           measure_repeats == other.measure_repeats;
+           measure_repeats == other.measure_repeats &&
+           measure_backend == other.measure_backend &&
+           measure_warmup == other.measure_warmup &&
+           measure_repeats_real == other.measure_repeats_real &&
+           compile_budget_ms == other.compile_budget_ms &&
+           measure_pin_cpu == other.measure_pin_cpu;
 }
 
 const JournalSection*

@@ -67,6 +67,14 @@ struct JournalHeader
     bool use_cost_model = true;
     double measure_overhead_us = 0;
     double measure_repeats = 0;
+    /** Measurement backend ("" = analytical) and its timing-discipline
+     *  knobs. Part of the identity: a journaled wall-clock trajectory
+     *  is only meaningful to a resume configured identically. */
+    std::string measure_backend;
+    int measure_warmup = 0;
+    int measure_repeats_real = 0;
+    double compile_budget_ms = 0;
+    bool measure_pin_cpu = false;
 
     bool matches(const JournalHeader& other) const;
 };
@@ -95,8 +103,27 @@ struct JournalMemoEntry
     bool eval_failed = false;
     FeatureVec features;
     double latency_us = 0;
+    /** Committed measurement (NaN until `measured`). For a wall-clock
+     *  backend the journal is the only durable copy of this number —
+     *  replaying it is what makes resume byte-identical despite the
+     *  clock being non-replayable. */
+    double measured_latency_us = 0;
+    /** The native compile exceeded the per-candidate budget. */
+    bool compile_timed_out = false;
     /** Device-constraint violation text; empty = valid estimate. */
     std::string violation;
+};
+
+/** One measured-flag flip committed during a generation: the memo hash
+ *  plus the latency (and compile-budget verdict) it committed. An
+ *  entry added in an earlier generation can be measured later, so the
+ *  flip must replay with its value for both memo_measure_hits and the
+ *  measured trajectory to stay byte-identical across a resume. */
+struct JournalMeasured
+{
+    uint64_t hash = 0;
+    double latency_us = 0;
+    bool compile_timed_out = false;
 };
 
 /** State checkpoint after one completed generation. Counters are
@@ -107,6 +134,10 @@ struct JournalGeneration
     /** 0 = after the initial population; g+1 = after generation g. */
     int index = 0;
     int trials_measured = 0;
+    int measured_valid = 0;
+    int measured_invalid = 0;
+    int compile_timeout_filtered = 0;
+    int measure_fallbacks = 0;
     int invalid_filtered = 0;
     int race_filtered = 0;
     int bounds_filtered = 0;
@@ -124,11 +155,9 @@ struct JournalGeneration
     std::vector<JournalIndividual> population;
     std::vector<JournalSample> new_samples;
     std::vector<JournalMemoEntry> new_memo;
-    /** Memo hashes whose measured flag first flipped this generation
-     *  (an entry added in an earlier generation can be measured later;
-     *  the flag state must replay exactly for memo_measure_hits to
-     *  stay byte-identical across a resume). */
-    std::vector<uint64_t> measured_hashes;
+    /** Measurements first committed this generation (see
+     *  JournalMeasured). */
+    std::vector<JournalMeasured> measured;
 };
 
 /** One search's records, in append order. */

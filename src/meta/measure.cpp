@@ -1,0 +1,214 @@
+#include "meta/measure.h"
+
+#include <algorithm>
+#include <chrono>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include "runtime/jit.h"
+#include "runtime/vm.h"
+#include "support/logging.h"
+#include "support/rng.h"
+#include "support/trace.h"
+
+namespace tir {
+namespace meta {
+
+namespace {
+
+/** Pin the calling thread to the CPU it is currently on, restoring the
+ *  previous affinity mask on destruction. Best effort: any syscall
+ *  failure (or a non-Linux host) leaves affinity untouched — noisier
+ *  measurements, never a failed one. */
+class ScopedCpuPin
+{
+  public:
+    explicit ScopedCpuPin(bool enable)
+    {
+#if defined(__linux__)
+        if (!enable) return;
+        if (sched_getaffinity(0, sizeof(saved_), &saved_) != 0) return;
+        int cpu = sched_getcpu();
+        if (cpu < 0) return;
+        cpu_set_t one;
+        CPU_ZERO(&one);
+        CPU_SET(cpu, &one);
+        active_ = sched_setaffinity(0, sizeof(one), &one) == 0;
+#else
+        (void)enable;
+#endif
+    }
+
+    ~ScopedCpuPin()
+    {
+#if defined(__linux__)
+        if (active_) sched_setaffinity(0, sizeof(saved_), &saved_);
+#endif
+    }
+
+    ScopedCpuPin(const ScopedCpuPin&) = delete;
+    ScopedCpuPin& operator=(const ScopedCpuPin&) = delete;
+
+  private:
+#if defined(__linux__)
+    cpu_set_t saved_{};
+    bool active_ = false;
+#endif
+};
+
+double
+elapsedUs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
+
+Measurement
+HwsimMeasurer::measure(const PrimFunc& func,
+                       const hwsim::RunEstimate& estimate)
+{
+    (void)func;
+    Measurement m;
+    if (estimate.valid()) m.latency_us = estimate.latency_us;
+    return m;
+}
+
+JitMeasurer::JitMeasurer(PrimFunc workload, MeasureConfig config)
+    : workload_(std::move(workload)), config_(std::move(config))
+{
+}
+
+bool
+JitMeasurer::ensureArguments()
+{
+    if (arg_state_ != 0) return arg_state_ > 0;
+    try {
+        // A derivation stream disjoint from every candidate stream
+        // (generation + 1 indices) and from the numeric oracle's
+        // (0, ~0), so measurement inputs never correlate with schedule
+        // sampling or the spot-check data.
+        Rng rng = Rng::derive(config_.seed, ~uint64_t{0}, 1);
+        for (const Buffer& param : workload_->params) {
+            std::vector<int64_t> shape;
+            for (size_t d = 0; d < param->ndim(); ++d) {
+                shape.push_back(param->shapeInt(d));
+            }
+            runtime::NDArray array(param->dtype, shape);
+            if (param->dtype.isInt()) {
+                array.fillRandom(rng, -4, 4);
+            } else {
+                array.fillRandom(rng);
+            }
+            args_.push_back(std::move(array));
+        }
+        for (runtime::NDArray& a : args_) arg_ptrs_.push_back(&a);
+        arg_state_ = 1;
+    } catch (const std::exception&) {
+        args_.clear();
+        arg_ptrs_.clear();
+        arg_state_ = -1;
+    }
+    return arg_state_ > 0;
+}
+
+Measurement
+JitMeasurer::measure(const PrimFunc& func,
+                     const hwsim::RunEstimate& estimate)
+{
+    trace::Span span("measure.jit", trace::arg("func", func->name));
+    Measurement m;
+    auto wall_start = std::chrono::steady_clock::now();
+    // The device model stays the validity oracle: a candidate that
+    // violates device constraints (threading validation, §3.3) is
+    // rejected before any native compile is attempted.
+    if (!estimate.valid()) {
+        span.addArg(trace::arg("valid", int64_t{0}));
+        return m;
+    }
+    std::shared_ptr<const runtime::JitModule> module;
+    double compile_ms = 0;
+    // The CI escape hatch disables native code everywhere, including
+    // measurement: under TENSORIR_FORCE_TREEWALK this backend degrades
+    // to the analytical estimate like a missing toolchain would.
+    if (!runtime::forceTreeWalk()) {
+        auto compile_start = std::chrono::steady_clock::now();
+        module = runtime::jitCompile(func);
+        compile_ms = elapsedUs(compile_start) / 1000.0;
+    }
+    if (!module) {
+        // Native execution impossible (no toolchain, GPU thread
+        // bindings, compiler failure): serve the analytical estimate
+        // so the tune proceeds instead of rejecting every candidate.
+        m.latency_us = estimate.latency_us;
+        m.fallback = true;
+        trace::counterAdd("measure.jit_fallbacks", 1);
+        span.addArg(trace::arg("fallback", int64_t{1}));
+        m.wall_us = elapsedUs(wall_start);
+        return m;
+    }
+    if (config_.compile_budget_ms > 0 &&
+        compile_ms > config_.compile_budget_ms) {
+        m.compile_timeout = true;
+        trace::counterAdd("measure.compile_timeouts", 1);
+        span.addArg(trace::arg("compile_ms", compile_ms));
+        m.wall_us = elapsedUs(wall_start);
+        return m;
+    }
+    if (!ensureArguments()) {
+        m.latency_us = estimate.latency_us;
+        m.fallback = true;
+        trace::counterAdd("measure.jit_fallbacks", 1);
+        m.wall_us = elapsedUs(wall_start);
+        return m;
+    }
+    ScopedCpuPin pin(config_.pin_cpu);
+    try {
+        for (int i = 0; i < config_.warmup; ++i) {
+            module->run(arg_ptrs_);
+        }
+        int repeats = std::max(1, config_.repeats);
+        std::vector<double> samples(static_cast<size_t>(repeats));
+        for (int i = 0; i < repeats; ++i) {
+            auto run_start = std::chrono::steady_clock::now();
+            module->run(arg_ptrs_);
+            samples[static_cast<size_t>(i)] = elapsedUs(run_start);
+        }
+        auto mid = samples.begin() +
+                   static_cast<std::ptrdiff_t>(samples.size() / 2);
+        std::nth_element(samples.begin(), mid, samples.end());
+        // Clamp to a nanosecond: a kernel faster than the clock's
+        // resolution must still report a positive latency (zero would
+        // poison the fitness weights and the log1p training target).
+        m.latency_us = std::max(*mid, 1e-3);
+        span.addArg(trace::arg("latency_us", m.latency_us));
+    } catch (const std::exception&) {
+        // A failed native execution (fuel exhaustion, injected fault)
+        // rejects the candidate like a device-invalid one; latency
+        // stays infinity. Contained per candidate, never process death.
+        m.latency_us = std::numeric_limits<double>::infinity();
+        span.addArg(trace::arg("valid", int64_t{0}));
+    }
+    m.wall_us = elapsedUs(wall_start);
+    return m;
+}
+
+std::unique_ptr<MeasureBackend>
+makeMeasureBackend(const std::string& name, const PrimFunc& workload,
+                   const MeasureConfig& config)
+{
+    if (name.empty() || name == "hwsim") {
+        return std::make_unique<HwsimMeasurer>();
+    }
+    TIR_CHECK(name == "jit")
+        << "TuneOptions::measure_backend \"" << name
+        << "\" is not a backend name (expected hwsim or jit)";
+    return std::make_unique<JitMeasurer>(workload, config);
+}
+
+} // namespace meta
+} // namespace tir

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Measurement backends for the tuning loop's sequential measurement
+ * fold (search.cpp). The paper's search is driven by *measured*
+ * hardware latency; this substrate offers two ways to produce that
+ * number behind one interface:
+ *
+ *  - **HwsimMeasurer** — the analytical device models (hwsim/device.h).
+ *    Deterministic and instant: the estimate the evaluation stage
+ *    already computed is repackaged as the measurement. The default,
+ *    and the only backend whose results replay without a journal.
+ *  - **JitMeasurer** — real host wall clock. The candidate is compiled
+ *    through the native tier (runtime/jit.h) and timed on seeded
+ *    inputs with steady-state discipline: configurable untimed warmup
+ *    runs, then median-of-k timed repeats on std::chrono::steady_clock,
+ *    optionally with the measuring thread pinned to its current CPU.
+ *    A per-candidate compile budget rejects kernels whose native
+ *    compile ran too long (Measurement::compile_timeout). Candidates
+ *    the native tier cannot run — GPU thread bindings, a missing
+ *    toolchain, TENSORIR_FORCE_TREEWALK — fall back to the analytical
+ *    estimate (Measurement::fallback) instead of failing the tune.
+ *
+ * In both backends the device model stays the *validity* oracle: a
+ * candidate whose estimate carries a constraint violation (the paper's
+ * threading validation, §3.3) is rejected before any native compile.
+ * The backend only decides where a valid candidate's latency number
+ * comes from.
+ *
+ * Wall-clock numbers are inherently non-replayable; the search keeps
+ * its resume contract by journaling every committed measurement (see
+ * meta/journal.h and docs/EXECUTION.md, "Measurement backends").
+ */
+#ifndef TENSORIR_META_MEASURE_H
+#define TENSORIR_META_MEASURE_H
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hwsim/device.h"
+#include "runtime/ndarray.h"
+
+namespace tir {
+namespace meta {
+
+/** One committed measurement of a candidate program. */
+struct Measurement
+{
+    /** Latency in microseconds (the median over the timed repeats for
+     *  wall-clock backends); infinity when the candidate was rejected
+     *  at measurement time (device-constraint violation or a failed
+     *  native execution). */
+    double latency_us = std::numeric_limits<double>::infinity();
+    /** The wall-clock backend served the analytical estimate instead
+     *  of timing native code (unsupported construct, no toolchain, or
+     *  TENSORIR_FORCE_TREEWALK). Always false for HwsimMeasurer. */
+    bool fallback = false;
+    /** The native compile exceeded MeasureConfig::compile_budget_ms.
+     *  The candidate was rejected before any run; latency_us is
+     *  infinity and the search does not charge it as a trial. */
+    bool compile_timeout = false;
+    /** Real wall clock this measurement consumed (compile + warmup +
+     *  timed repeats), in microseconds. Non-deterministic; 0 for the
+     *  analytical backend. */
+    double wall_us = 0;
+
+    /** The measurement produced a usable latency. */
+    bool valid() const { return std::isfinite(latency_us); }
+};
+
+/** Timing-discipline knobs for wall-clock backends (threaded through
+ *  from the TuneOptions measure_* fields by the search). */
+struct MeasureConfig
+{
+    /** Untimed runs per candidate before the timed repeats, so the
+     *  timed window sees warm caches and a trained branch predictor. */
+    int warmup = 2;
+    /** Timed repeats per candidate; the reported latency is the
+     *  median, which shrugs off a scheduler hiccup that would skew a
+     *  mean. At least one repeat always runs. */
+    int repeats = 5;
+    /** Per-candidate compile budget in milliseconds; 0 = unlimited.
+     *  jitCompile is synchronous, so the budget is enforced after the
+     *  fact — the compile cannot be cancelled mid-flight, but the
+     *  candidate is rejected so one pathological kernel cannot slow
+     *  every later generation (the verdict is memoised upstream). */
+    double compile_budget_ms = 0;
+    /** Pin the measuring thread to its current CPU for the duration of
+     *  each measurement (reduces migration noise; Linux only, silently
+     *  unavailable elsewhere). */
+    bool pin_cpu = false;
+    /** Seed for the measurement input tensors (derived onto a stream
+     *  no candidate or oracle RNG uses). */
+    uint64_t seed = 1;
+};
+
+/** Where a valid candidate's latency number comes from. Implementations
+ *  are called only from the search's sequential fold (one thread). */
+class MeasureBackend
+{
+  public:
+    virtual ~MeasureBackend() = default;
+    /** Stable backend name ("hwsim", "jit"). */
+    virtual const char* name() const = 0;
+    /** Whether identical inputs always produce identical measurements
+     *  (true for the analytical model, false for wall clock). */
+    virtual bool deterministic() const = 0;
+    /** Measure `func`. `estimate` is the device model's verdict from
+     *  the evaluation stage: its constraint violation (if any) rejects
+     *  the candidate in every backend, and wall-clock backends fall
+     *  back to its latency when native execution is impossible. */
+    virtual Measurement measure(const PrimFunc& func,
+                                const hwsim::RunEstimate& estimate) = 0;
+};
+
+/** The analytical backend: repackages the already-computed device
+ *  estimate. No extra work, fully deterministic. */
+class HwsimMeasurer : public MeasureBackend
+{
+  public:
+    const char* name() const override { return "hwsim"; }
+    bool deterministic() const override { return true; }
+    Measurement measure(const PrimFunc& func,
+                        const hwsim::RunEstimate& estimate) override;
+};
+
+/** The wall-clock backend: native compile + timed host execution. */
+class JitMeasurer : public MeasureBackend
+{
+  public:
+    /** `workload` is the unscheduled function whose parameter shapes
+     *  define the measurement input tensors (every candidate schedules
+     *  the same workload, so the tensors are built once, lazily). */
+    JitMeasurer(PrimFunc workload, MeasureConfig config);
+
+    const char* name() const override { return "jit"; }
+    bool deterministic() const override { return false; }
+    Measurement measure(const PrimFunc& func,
+                        const hwsim::RunEstimate& estimate) override;
+
+  private:
+    /** Build the seeded argument tensors on first use; false when they
+     *  cannot be built (the caller falls back to the estimate). */
+    bool ensureArguments();
+
+    PrimFunc workload_;
+    MeasureConfig config_;
+    std::vector<runtime::NDArray> args_;
+    std::vector<runtime::NDArray*> arg_ptrs_;
+    int arg_state_ = 0; // 0 = unbuilt, 1 = ready, -1 = unavailable
+};
+
+/** Backend factory for TuneOptions::measure_backend: "" or "hwsim" →
+ *  HwsimMeasurer, "jit" → JitMeasurer. FatalError on any other name —
+ *  a typo must not silently change what "measured" means. */
+std::unique_ptr<MeasureBackend>
+makeMeasureBackend(const std::string& name, const PrimFunc& workload,
+                   const MeasureConfig& config);
+
+} // namespace meta
+} // namespace tir
+
+#endif // TENSORIR_META_MEASURE_H

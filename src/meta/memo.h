@@ -23,6 +23,7 @@
 #ifndef TENSORIR_META_MEMO_H
 #define TENSORIR_META_MEMO_H
 
+#include <limits>
 #include <unordered_map>
 
 #include "hwsim/device.h"
@@ -39,6 +40,18 @@ struct MemoEntry
     hwsim::RunEstimate estimate;
     /** Whether this candidate was already charged as a measurement. */
     bool measured = false;
+    /** The latency the measurement backend committed for this
+     *  candidate, in microseconds (infinity = rejected at measurement
+     *  time); NaN until `measured`. For a wall-clock backend this
+     *  cached number is what keeps structural duplicates — and journal
+     *  replay — deterministic: a kernel is timed at most once per
+     *  search, and every duplicate reuses the committed value. */
+    double measured_latency_us =
+        std::numeric_limits<double>::quiet_NaN();
+    /** The native compile exceeded TuneOptions::compile_budget_ms.
+     *  Cached so duplicates reject into compile_timeout_filtered
+     *  without re-invoking the compiler. */
+    bool compile_timed_out = false;
     /** Evaluation threw (contained as RejectKind::kRuntime). Cached so
      *  structural duplicates of a failing candidate reject identically
      *  without re-running the failing evaluation. */

@@ -4,6 +4,7 @@
 #include "ir/structural_hash.h"
 #include "meta/database.h"
 #include "meta/journal.h"
+#include "meta/measure.h"
 #include "meta/memo.h"
 #include "runtime/jit.h"
 #include "runtime/vm.h"
@@ -16,10 +17,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -81,19 +85,40 @@ extractFeatures(const PrimFunc& func)
     return extractFeatures(hwsim::extractStats(func));
 }
 
-namespace {
-
-/** Resolve TuneOptions::parallelism (explicit > env > hardware). */
 int
 resolveParallelism(const TuneOptions& options)
 {
     if (options.parallelism > 0) return options.parallelism;
-    if (const char* env = std::getenv("TENSORIR_PARALLELISM")) {
-        int v = std::atoi(env);
-        if (v > 0) return v;
+    const char* env = std::getenv("TENSORIR_PARALLELISM");
+    // Empty counts as unset; anything else must parse cleanly. The
+    // std::atoi this replaced mapped garbage ("abc", "8x") and
+    // overflow to 0 or undefined behaviour and silently fell through
+    // to hardware_concurrency — a typo'd setting must fail loudly, not
+    // quietly change the thread count. Same strict all-digits +
+    // ERANGE pattern as TENSORIR_STEP_LIMIT (runtime/interpreter.cpp).
+    if (env && *env) {
+        const std::string text(env);
+        TIR_CHECK(std::all_of(text.begin(), text.end(),
+                              [](unsigned char c) {
+                                  return std::isdigit(c) != 0;
+                              }))
+            << "TENSORIR_PARALLELISM must be a positive integer, got \""
+            << env << "\"";
+        errno = 0;
+        char* end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        TIR_CHECK(errno != ERANGE && end && *end == '\0' && v > 0 &&
+                  v <= static_cast<unsigned long long>(
+                           std::numeric_limits<int>::max()))
+            << "TENSORIR_PARALLELISM out of range (1.."
+            << std::numeric_limits<int>::max() << "): \"" << env
+            << "\"";
+        return static_cast<int>(v);
     }
     return support::ThreadPool::hardwareParallelism();
 }
+
+namespace {
 
 /** Why an invalid candidate was rejected (for the filter counters). */
 enum class RejectKind : uint8_t
@@ -427,6 +452,16 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
     // Numeric engine for every runtime::execute under this search
     // (the numeric spot-checks); "" inherits the ambient selection.
     runtime::ScopedEngine engine_scope(resolveEngineOption(options));
+    // Measurement backend for the sequential fold (meta/measure.h);
+    // a malformed name fails here, before any work is done.
+    MeasureConfig measure_config;
+    measure_config.warmup = options.measure_warmup;
+    measure_config.repeats = options.measure_repeats_real;
+    measure_config.compile_budget_ms = options.compile_budget_ms;
+    measure_config.pin_cpu = options.measure_pin_cpu;
+    measure_config.seed = options.seed;
+    std::unique_ptr<MeasureBackend> measurer = makeMeasureBackend(
+        options.measure_backend, workload, measure_config);
     result.parallelism_used = resolveParallelism(options);
     // Touch the intrinsic registry before spawning workers: its lazy
     // builtin registration is the one piece of mutable global state the
@@ -450,7 +485,7 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
     // checkpoint (per-generation deltas keep the records small).
     size_t journal_samples_flushed = 0;
     std::vector<uint64_t> journal_new_memo;
-    std::vector<uint64_t> journal_measured;
+    std::vector<JournalMeasured> journal_measured;
 
     auto forEach = [&](size_t n, const std::function<void(size_t)>& fn) {
         if (pool) {
@@ -568,44 +603,80 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         }
     };
 
-    // Charge one simulated hardware measurement for a candidate. The
-    // memo serves the estimate of a structurally-duplicate candidate
-    // from cache (no stats walk, no device model — the real wall-clock
-    // saving), but the *simulated* Table 1 accounting still charges the
-    // full profiling cost: the paper's tuners re-profile duplicates,
-    // and crediting a dedup cache only to our personas would skew the
-    // TVM-vs-TensorIR comparison. Returns the measured latency
-    // (infinity when the device rejects the program).
+    // Charge one hardware measurement for a candidate. The memo serves
+    // a structurally-duplicate candidate from cache — for the
+    // analytical backend that is exactly what re-measuring would
+    // produce; for a wall-clock backend it is also what keeps
+    // duplicate trials (and journal replay) deterministic, since a
+    // kernel is timed at most once per search — but the *simulated*
+    // Table 1 accounting still charges the full profiling cost: the
+    // paper's tuners re-profile duplicates, and crediting a dedup
+    // cache only to our personas would skew the TVM-vs-TensorIR
+    // comparison. Returns the measured latency (infinity when the
+    // measurement rejects the program).
     auto commitMeasurement = [&](const Candidate& cand) -> double {
         MemoEntry* entry = cand.memo;
         if (entry->measured) {
             ++result.memo_measure_hits;
             trace::counterAdd("search.memo_measure_hits", 1);
         } else {
+            Measurement m;
+            {
+                trace::AccumSpan measure_span(
+                    "search.measure_real", result.timings.measure_s);
+                m = measurer->measure(cand.func, entry->estimate);
+            }
+            if (m.fallback) {
+                ++result.measure_fallbacks;
+                trace::counterAdd("search.measure_fallbacks", 1);
+            }
             entry->measured = true;
+            entry->compile_timed_out = m.compile_timeout;
+            entry->measured_latency_us = m.latency_us;
             // The flip can land generations after the entry was
-            // journaled; recording it keeps memo_measure_hits exact
+            // journaled, and for a wall-clock backend the committed
+            // latency exists nowhere but here; recording both keeps
+            // memo_measure_hits *and* the measured trajectory exact
             // across a checkpoint resume.
-            journal_measured.push_back(cand.hash);
+            journal_measured.push_back({cand.hash,
+                                        entry->measured_latency_us,
+                                        entry->compile_timed_out});
+        }
+        if (entry->compile_timed_out) {
+            // Over the per-candidate compile budget: rejected before
+            // any run happened, so this is *not* a trial — no
+            // measurement was performed to charge. Duplicates reject
+            // identically from the memo without re-compiling.
+            ++result.compile_timeout_filtered;
+            trace::counterAdd("search.compile_timeout_filtered", 1);
+            return std::numeric_limits<double>::infinity();
         }
         ++result.trials_measured;
         trace::counterAdd("search.trials_measured", 1);
         // Charge compile+launch always; run repetitions only for
-        // programs the device accepts (a rejected one has latency
+        // programs the measurement accepts (a rejected one has latency
         // infinity, which would poison the simulated total).
         result.tuning_cost_us += options.measure_overhead_us;
-        if (entry->estimate.valid()) {
-            result.tuning_cost_us += entry->estimate.latency_us *
-                                     options.measure_repeats;
-        }
-        if (!entry->estimate.valid()) {
+        double latency = entry->measured_latency_us;
+        if (!std::isfinite(latency)) {
+            // Intended Table 1 accounting, pinned by a regression test
+            // (trials_measured == measured_valid + measured_invalid):
+            // a program rejected at measurement time still consumed a
+            // trial and the compile+launch overhead — the paper's
+            // tuners discover invalidity only by *attempting* the
+            // measurement — so it counts in trials_measured and is
+            // charged measure_overhead_us, just no run repetitions.
+            // The reject is also counted in invalid_filtered so that
+            // Table 1 column keeps its historical meaning.
+            ++result.measured_invalid;
             ++result.invalid_filtered;
             trace::counterAdd("search.invalid_filtered", 1);
             trace::instant("search.measure",
                            trace::arg("valid", int64_t{0}));
             return std::numeric_limits<double>::infinity();
         }
-        double latency = entry->estimate.latency_us;
+        ++result.measured_valid;
+        result.tuning_cost_us += latency * options.measure_repeats;
         trace::instant("search.measure",
                        trace::arg("latency_us", latency));
         train_x.push_back(entry->features);
@@ -740,6 +811,14 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         header.use_cost_model = options.use_cost_model;
         header.measure_overhead_us = options.measure_overhead_us;
         header.measure_repeats = options.measure_repeats;
+        // The measurement configuration is part of the identity: a
+        // journaled wall-clock trajectory must not be replayed into a
+        // run configured for a different backend or discipline.
+        header.measure_backend = options.measure_backend;
+        header.measure_warmup = options.measure_warmup;
+        header.measure_repeats_real = options.measure_repeats_real;
+        header.compile_budget_ms = options.compile_budget_ms;
+        header.measure_pin_cpu = options.measure_pin_cpu;
 
         JournalContents contents = readJournal(options.journal_path);
         // Reopen past the last intact record: a torn trailing frame
@@ -754,6 +833,11 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             // from this state reproduces the uninterrupted run exactly.
             const JournalGeneration& last = section->generations.back();
             result.trials_measured = last.trials_measured;
+            result.measured_valid = last.measured_valid;
+            result.measured_invalid = last.measured_invalid;
+            result.compile_timeout_filtered =
+                last.compile_timeout_filtered;
+            result.measure_fallbacks = last.measure_fallbacks;
             result.invalid_filtered = last.invalid_filtered;
             result.race_filtered = last.race_filtered;
             result.bounds_filtered = last.bounds_filtered;
@@ -788,11 +872,21 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
                     e.estimate.latency_us = m.latency_us;
                     e.estimate.violation = m.violation;
                     e.measured = m.measured;
+                    e.measured_latency_us = m.measured_latency_us;
+                    e.compile_timed_out = m.compile_timed_out;
                     e.eval_failed = m.eval_failed;
                     memo.insert(m.hash, std::move(e));
                 }
-                for (uint64_t h : g.measured_hashes) {
-                    if (MemoEntry* e = memo.find(h)) e->measured = true;
+                // Replay measurements committed after the entry was
+                // journaled. For a wall-clock backend these recorded
+                // latencies are the ground truth a resume runs on —
+                // the kernel is never re-timed.
+                for (const JournalMeasured& jm : g.measured) {
+                    if (MemoEntry* e = memo.find(jm.hash)) {
+                        e->measured = true;
+                        e->measured_latency_us = jm.latency_us;
+                        e->compile_timed_out = jm.compile_timed_out;
+                    }
                 }
             }
             journal_samples_flushed = train_x.size();
@@ -834,6 +928,10 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         JournalGeneration g;
         g.index = index;
         g.trials_measured = result.trials_measured;
+        g.measured_valid = result.measured_valid;
+        g.measured_invalid = result.measured_invalid;
+        g.compile_timeout_filtered = result.compile_timeout_filtered;
+        g.measure_fallbacks = result.measure_fallbacks;
         g.invalid_filtered = result.invalid_filtered;
         g.race_filtered = result.race_filtered;
         g.bounds_filtered = result.bounds_filtered;
@@ -858,11 +956,18 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         journal_samples_flushed = train_x.size();
         for (uint64_t h : journal_new_memo) {
             MemoEntry* e = memo.find(h);
-            g.new_memo.push_back({h, e->measured, e->eval_failed,
-                                  e->features, e->estimate.latency_us,
-                                  e->estimate.violation});
+            JournalMemoEntry m;
+            m.hash = h;
+            m.measured = e->measured;
+            m.eval_failed = e->eval_failed;
+            m.features = e->features;
+            m.latency_us = e->estimate.latency_us;
+            m.measured_latency_us = e->measured_latency_us;
+            m.compile_timed_out = e->compile_timed_out;
+            m.violation = e->estimate.violation;
+            g.new_memo.push_back(std::move(m));
         }
-        g.measured_hashes = std::move(journal_measured);
+        g.measured = std::move(journal_measured);
         journal_new_memo.clear();
         journal_measured.clear();
         journal->appendGeneration(g);
@@ -1095,6 +1200,10 @@ void
 accumulate(TuneResult& into, const TuneResult& from)
 {
     into.trials_measured += from.trials_measured;
+    into.measured_valid += from.measured_valid;
+    into.measured_invalid += from.measured_invalid;
+    into.compile_timeout_filtered += from.compile_timeout_filtered;
+    into.measure_fallbacks += from.measure_fallbacks;
     into.invalid_filtered += from.invalid_filtered;
     into.race_filtered += from.race_filtered;
     into.bounds_filtered += from.bounds_filtered;
@@ -1111,6 +1220,7 @@ accumulate(TuneResult& into, const TuneResult& from)
     into.timings.evaluate_s += from.timings.evaluate_s;
     into.timings.model_s += from.timings.model_s;
     into.timings.reduce_s += from.timings.reduce_s;
+    into.timings.measure_s += from.timings.measure_s;
     into.timings.total_s += from.timings.total_s;
     into.timings.watchdog_overruns += from.timings.watchdog_overruns;
 }
@@ -1194,6 +1304,7 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
             replayed.best_decisions = sch.decisions();
             replayed.best_sketch = record->sketch;
             replayed.trials_measured = 1;
+            replayed.measured_valid = 1;
             replayed.tuning_cost_us =
                 options.measure_overhead_us +
                 estimate.latency_us * options.measure_repeats;

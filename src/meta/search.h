@@ -19,6 +19,14 @@
  * mutable generator, and every reduction over candidate results runs on
  * the main thread in a fixed order. Only `TuneResult::timings` (real
  * wall-clock) varies between runs.
+ *
+ * The contract assumes a deterministic measurement backend (the
+ * default analytical model). With `measure_backend = "jit"` the
+ * latencies are real host wall clock — still parallelism-invariant
+ * within a run (measurements happen only in the sequential fold) but
+ * not reproducible across runs; such a run is replayed exactly only
+ * through its checkpoint journal, which records every committed
+ * measurement (see docs/EXECUTION.md, "Measurement backends").
  */
 #ifndef TENSORIR_META_SEARCH_H
 #define TENSORIR_META_SEARCH_H
@@ -69,6 +77,36 @@ struct TuneOptions
     double measure_overhead_us = 300000.0; // ~0.3 s compile+launch
     /** Simulated run repetitions charged per measurement. */
     double measure_repeats = 100;
+    /**
+     * Measurement backend for the sequential measurement fold
+     * (meta/measure.h). "" or "hwsim" (the default) scores candidates
+     * with the analytical device model — deterministic and instant.
+     * "jit" compiles each candidate through the native tier
+     * (runtime/jit.h) and times it on the host CPU with warmup +
+     * median-of-k repeats on std::chrono::steady_clock. The device
+     * model remains the validity oracle either way; under "jit",
+     * candidates the native tier cannot run (GPU thread bindings,
+     * missing toolchain, TENSORIR_FORCE_TREEWALK) fall back to the
+     * analytical estimate, counted in TuneResult::measure_fallbacks.
+     * A malformed name raises FatalError up front.
+     */
+    std::string measure_backend;
+    /** Wall-clock backends: untimed warmup runs per candidate before
+     *  the timed repeats (steady-state discipline). */
+    int measure_warmup = 2;
+    /** Wall-clock backends: timed repeats per candidate; the reported
+     *  latency is the median (robust to scheduler hiccups). */
+    int measure_repeats_real = 5;
+    /** Wall-clock backends: per-candidate native-compile budget in
+     *  milliseconds. A candidate whose compile exceeds it is rejected
+     *  into TuneResult::compile_timeout_filtered without being charged
+     *  as a trial; duplicates reject from the memo without re-invoking
+     *  the compiler. 0 = unlimited. */
+    double compile_budget_ms = 0;
+    /** Wall-clock backends: pin the measuring thread to its current
+     *  CPU during each measurement (less migration noise; Linux only,
+     *  silently unavailable elsewhere). */
+    bool measure_pin_cpu = false;
     /**
      * Worker threads for the pipeline (candidate instantiation, feature
      * extraction, cost-model fit). 0 (the default) resolves to the
@@ -180,6 +218,25 @@ struct TuneResult
     /** Sketch family of the winner ("tensor" or "loop"). */
     std::string best_sketch;
     int trials_measured = 0;
+    /** Trials whose measurement committed a finite latency.
+     *  Incremented at the same fold point as trials_measured, so
+     *  `trials_measured == measured_valid + measured_invalid` holds
+     *  for every backend — the regression-tested Table 1 accounting
+     *  invariant (see commitMeasurement in search.cpp). */
+    int measured_valid = 0;
+    /** Trials rejected at measurement time: a device-constraint
+     *  violation, or (wall-clock backends) a failed native execution.
+     *  Each is also counted in invalid_filtered, preserving that
+     *  column's historical Table 1 meaning. */
+    int measured_invalid = 0;
+    /** Candidates rejected because their native compile exceeded
+     *  TuneOptions::compile_budget_ms (wall-clock backends only).
+     *  Rejected before any run, so *not* counted as trials. */
+    int compile_timeout_filtered = 0;
+    /** Measurements the wall-clock backend served from the analytical
+     *  model instead of native timing (unsupported construct, missing
+     *  toolchain, or TENSORIR_FORCE_TREEWALK). */
+    int measure_fallbacks = 0;
     int invalid_filtered = 0;
     /** Candidates rejected by the static race analysis (a provable
      *  cross-thread write-write or unsynchronized read-after-write
@@ -253,6 +310,9 @@ struct TuneResult
         double model_s = 0;
         /** Sequential folds: measurement commits, survival, bookkeeping. */
         double reduce_s = 0;
+        /** Real measurement time (wall-clock backends: compile +
+         *  warmup + timed repeats; 0 for the analytical backend). */
+        double measure_s = 0;
         /** Whole search. */
         double total_s = 0;
         /** Configured per-stage watchdog budget (0 = disabled). */
@@ -262,6 +322,16 @@ struct TuneResult
     };
     StageTimings timings;
 };
+
+/**
+ * Resolve TuneOptions::parallelism (explicit > environment >
+ * hardware_concurrency). A set-but-non-empty TENSORIR_PARALLELISM
+ * must be a positive integer in range — garbage, zero, a sign
+ * character, or overflow raise FatalError instead of being silently
+ * ignored (the std::atoi behaviour this replaced). An empty value
+ * counts as unset. Exposed for the env-parsing regression tests.
+ */
+int resolveParallelism(const TuneOptions& options);
 
 /** Evolutionary search over the decisions of one sketch family. */
 TuneResult evolutionarySearch(const PrimFunc& workload,

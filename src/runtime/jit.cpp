@@ -8,9 +8,12 @@
 
 #include <atomic>
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -179,11 +182,28 @@ cacheCapBytes()
 {
     const char* env = std::getenv("TENSORIR_JIT_CACHE_MB");
     if (env && *env) {
-        char* end = nullptr;
-        unsigned long long mb = std::strtoull(env, &end, 10);
-        TIR_CHECK(end && *end == '\0')
+        // strtoull alone is not enough: it accepts a leading '-' or
+        // '+' (wrapping "-1" to a huge positive cap) and saturates
+        // silently without an errno check, and a large-but-parseable
+        // megabyte count overflows the byte multiply. All-digits
+        // check first, then ERANGE, then a clamped multiply.
+        const std::string text(env);
+        TIR_CHECK(std::all_of(text.begin(), text.end(),
+                              [](unsigned char c) {
+                                  return std::isdigit(c) != 0;
+                              }))
             << "TENSORIR_JIT_CACHE_MB=\"" << env
             << "\" is not a number of megabytes";
+        errno = 0;
+        char* end = nullptr;
+        unsigned long long mb = std::strtoull(env, &end, 10);
+        TIR_CHECK(errno != ERANGE && end && *end == '\0')
+            << "TENSORIR_JIT_CACHE_MB out of range: \"" << env << "\"";
+        constexpr uint64_t kMaxMb =
+            std::numeric_limits<uint64_t>::max() / (1024ull * 1024ull);
+        if (mb > kMaxMb) {
+            return std::numeric_limits<uint64_t>::max();
+        }
         return static_cast<uint64_t>(mb) * 1024 * 1024;
     }
     return 64ull * 1024 * 1024;
@@ -656,6 +676,12 @@ jitStats()
     out.evictions = s.evictions.load(std::memory_order_relaxed);
     out.vm_fallbacks = s.vm_fallbacks.load(std::memory_order_relaxed);
     return out;
+}
+
+uint64_t
+jitCacheCapBytes()
+{
+    return cacheCapBytes();
 }
 
 std::string

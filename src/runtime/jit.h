@@ -190,6 +190,13 @@ JitStats jitStats();
  *  /tmp/tensorir-jit-cache-<uid>). Not created until first use. */
 std::string jitCacheDir();
 
+/** The on-disk cache size bound in bytes, resolved from
+ *  TENSORIR_JIT_CACHE_MB (default 64 MB). Strictly parsed: garbage, a
+ *  sign character, or an out-of-range value raise FatalError, and a
+ *  megabyte count too large for the byte multiply clamps to
+ *  UINT64_MAX. Exposed for the env-parsing regression tests. */
+uint64_t jitCacheCapBytes();
+
 /** The `.so` path `func` caches to under the current compiler/flags —
  *  the file the corruption-recovery tests overwrite. */
 std::string jitObjectPathFor(const PrimFunc& func);
