@@ -40,6 +40,8 @@ main()
         int race = 0;
         int bounds = 0;
         int lint = 0;
+        int crash = 0;
+        int hang = 0;
     };
     std::vector<FilterTotals> filters(models.size());
     for (size_t m = 0; m < models.size(); ++m) {
@@ -64,6 +66,10 @@ main()
                 tvm.bounds_filtered + tensorir.bounds_filtered;
             filters[m].lint +=
                 tvm.lint_filtered + tensorir.lint_filtered;
+            filters[m].crash +=
+                tvm.crash_filtered + tensorir.crash_filtered;
+            filters[m].hang +=
+                tvm.hang_filtered + tensorir.hang_filtered;
         }
         bench::printRow({model.name, bench::fmt(tvm_minutes),
                          bench::fmt(tensorir_minutes),
@@ -75,15 +81,20 @@ main()
 
     // Candidates the validators discarded before any measurement, per
     // workload (both personas, all replications): structural rejects
-    // (failed sketch instantiation / thread-binding rules) vs the new
-    // static-analysis rejects (provable races / out-of-bounds).
+    // (failed sketch instantiation / thread-binding rules), the
+    // static-analysis rejects (provable races / out-of-bounds / lint),
+    // and the isolated-measurement rejects (worker crashes and
+    // timeout-killed hangs; zero here because this bench tunes on the
+    // analytical backend, but the columns keep the report shape stable
+    // for measure_backend="jit" runs).
     std::printf("\ncandidate filter counts (structural / race / "
-                "out-of-bounds / lint):\n");
+                "out-of-bounds / lint / crash / hang):\n");
     for (size_t m = 0; m < models.size(); ++m) {
-        std::printf("  %-14s %5d / %3d / %3d / %3d\n",
+        std::printf("  %-14s %5d / %3d / %3d / %3d / %3d / %3d\n",
                     models[m].name.c_str(), filters[m].invalid,
                     filters[m].race, filters[m].bounds,
-                    filters[m].lint);
+                    filters[m].lint, filters[m].crash,
+                    filters[m].hang);
     }
 
     // §5.2's further claim: cached search records eliminate the search

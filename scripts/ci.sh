@@ -113,6 +113,20 @@ TENSORIR_FAILPOINTS='seed=7; search.instantiate=throw(0.05); search.evaluate=err
     ctest --test-dir "$BUILD_DIR" --output-on-failure
 echo "ci: chaos run (failpoints in the search pipeline) passed"
 
+# Runner chaos job: the journaled tune again, now with failpoints that
+# kill measurement workers outright — runner.crash aborts the child
+# mid-request, runner.hang wedges it until the hard wall-clock timeout
+# SIGKILLs it (set short here so the job stays fast). The binary
+# asserts nonzero crash_filtered AND hang_filtered, that the tune
+# completed anyway, and that a journal resume replays the
+# classifications byte-identically. Skips itself without fork or a
+# toolchain.
+TENSORIR_JIT_CACHE="$BUILD_DIR/jit-cache" \
+TENSORIR_MEASURE_TIMEOUT_MS=300 \
+    "$BUILD_DIR/examples/example_runner_chaos_smoke" \
+    "$BUILD_DIR/runner-chaos-journal.txt"
+echo "ci: runner chaos (crashed/hung workers classified and journaled) passed"
+
 if [[ "${TENSORIR_CI_SKIP_SANITIZERS:-0}" == "1" ]]; then
     echo "ci: sanitizer job skipped (TENSORIR_CI_SKIP_SANITIZERS=1)"
     exit 0

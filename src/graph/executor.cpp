@@ -47,6 +47,8 @@ runModelTuned(const ModelSpec& model, const hwsim::DeviceModel& device,
         result.race_filtered += tuned.race_filtered;
         result.bounds_filtered += tuned.bounds_filtered;
         result.lint_filtered += tuned.lint_filtered;
+        result.crash_filtered += tuned.crash_filtered;
+        result.hang_filtered += tuned.hang_filtered;
     }
     return result;
 }

@@ -30,6 +30,11 @@ struct ModelResult
     int race_filtered = 0;
     int bounds_filtered = 0;
     int lint_filtered = 0;
+    /** Isolated-measurement rejects (TuneResult's crash/hang
+     *  counters): workers killed by the candidate's own kernel or by
+     *  the hard wall-clock timeout. Zero for the analytical backend. */
+    int crash_filtered = 0;
+    int hang_filtered = 0;
 };
 
 /** Tune a model with one of our tuner personas and sum layer times. */

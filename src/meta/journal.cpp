@@ -1,6 +1,5 @@
 #include "meta/journal.h"
 
-#include <array>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +7,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "support/crc32.h"
 #include "support/failpoint.h"
 #include "support/logging.h"
 
@@ -16,29 +16,9 @@ namespace meta {
 
 namespace {
 
-// --- CRC-32 (IEEE 802.3, reflected) ------------------------------------
-
-uint32_t
-crc32(const std::string& data)
-{
-    static const auto table = [] {
-        std::array<uint32_t, 256> t{};
-        for (uint32_t i = 0; i < 256; ++i) {
-            uint32_t c = i;
-            for (int k = 0; k < 8; ++k) {
-                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-            }
-            t[i] = c;
-        }
-        return t;
-    }();
-    uint32_t crc = 0xffffffffu;
-    for (char ch : data) {
-        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xff] ^
-              (crc >> 8);
-    }
-    return crc ^ 0xffffffffu;
-}
+// CRC-32 lives in support/crc32.h, shared with the measurement
+// runner's pipe framing so both protocols checksum identically.
+using support::crc32;
 
 // --- exact double round-trip -------------------------------------------
 
@@ -123,7 +103,8 @@ generationBody(const JournalGeneration& g)
     std::ostringstream os;
     os << "gen " << g.index << " " << g.trials_measured << " "
        << g.measured_valid << " " << g.measured_invalid << " "
-       << g.compile_timeout_filtered << " " << g.measure_fallbacks
+       << g.compile_timeout_filtered << " " << g.crash_filtered << " "
+       << g.hang_filtered << " " << g.measure_fallbacks
        << " " << g.invalid_filtered << " " << g.race_filtered << " "
        << g.bounds_filtered << " " << g.runtime_filtered << " "
        << g.timeout_filtered << " " << g.numeric_filtered << " "
@@ -149,6 +130,7 @@ generationBody(const JournalGeneration& g)
         os << "memo " << m.hash << " " << (m.measured ? 1 : 0) << " "
            << (m.eval_failed ? 1 : 0) << " "
            << (m.compile_timed_out ? 1 : 0) << " "
+           << (m.crashed ? 1 : 0) << " " << (m.hanged ? 1 : 0) << " "
            << bitsOf(m.latency_us) << " "
            << bitsOf(m.measured_latency_us);
         for (double f : m.features) os << " " << bitsOf(f);
@@ -159,7 +141,9 @@ generationBody(const JournalGeneration& g)
     }
     for (const JournalMeasured& jm : g.measured) {
         os << "meas " << jm.hash << " " << bitsOf(jm.latency_us) << " "
-           << (jm.compile_timed_out ? 1 : 0) << "\n";
+           << (jm.compile_timed_out ? 1 : 0) << " "
+           << (jm.crashed ? 1 : 0) << " " << (jm.hanged ? 1 : 0)
+           << "\n";
     }
     return os.str();
 }
@@ -212,7 +196,8 @@ parseRecord(const std::string& body, JournalContents* out)
         } else if (tag == "gen") {
             ls >> gen.index >> gen.trials_measured >>
                 gen.measured_valid >> gen.measured_invalid >>
-                gen.compile_timeout_filtered >> gen.measure_fallbacks >>
+                gen.compile_timeout_filtered >> gen.crash_filtered >>
+                gen.hang_filtered >> gen.measure_fallbacks >>
                 gen.invalid_filtered >> gen.race_filtered >>
                 gen.bounds_filtered >> gen.runtime_filtered >>
                 gen.timeout_filtered >> gen.numeric_filtered >>
@@ -272,13 +257,16 @@ parseRecord(const std::string& body, JournalContents* out)
         } else if (tag == "memo") {
             JournalMemoEntry m;
             int measured = 0, failed = 0, ctimeout = 0;
+            int crashed = 0, hanged = 0;
             std::string word, mword;
-            ls >> m.hash >> measured >> failed >> ctimeout >> word >>
-                mword;
+            ls >> m.hash >> measured >> failed >> ctimeout >> crashed >>
+                hanged >> word >> mword;
             if (ls.fail()) return false;
             m.measured = measured != 0;
             m.eval_failed = failed != 0;
             m.compile_timed_out = ctimeout != 0;
+            m.crashed = crashed != 0;
+            m.hanged = hanged != 0;
             m.latency_us = doubleOf(word, &ok);
             if (!ok) return false;
             m.measured_latency_us = doubleOf(mword, &ok);
@@ -298,12 +286,14 @@ parseRecord(const std::string& body, JournalContents* out)
         } else if (tag == "meas") {
             JournalMeasured jm;
             std::string lat;
-            int ctimeout = 0;
-            ls >> jm.hash >> lat >> ctimeout;
+            int ctimeout = 0, crashed = 0, hanged = 0;
+            ls >> jm.hash >> lat >> ctimeout >> crashed >> hanged;
             if (ls.fail()) return false;
             jm.latency_us = doubleOf(lat, &ok);
             if (!ok) return false;
             jm.compile_timed_out = ctimeout != 0;
+            jm.crashed = crashed != 0;
+            jm.hanged = hanged != 0;
             gen.measured.push_back(jm);
         } else if (!tag.empty()) {
             return false;

@@ -110,6 +110,12 @@ struct JournalMemoEntry
     double measured_latency_us = 0;
     /** The native compile exceeded the per-candidate budget. */
     bool compile_timed_out = false;
+    /** The isolated measurement worker crashed on this candidate.
+     *  Journaled so a resume rejects the duplicate identically instead
+     *  of re-running code known to kill its process. */
+    bool crashed = false;
+    /** The isolated measurement was timeout-killed on this candidate. */
+    bool hanged = false;
     /** Device-constraint violation text; empty = valid estimate. */
     std::string violation;
 };
@@ -124,6 +130,10 @@ struct JournalMeasured
     uint64_t hash = 0;
     double latency_us = 0;
     bool compile_timed_out = false;
+    /** Crash/hang classification committed with the measurement (see
+     *  JournalMemoEntry::crashed/hanged). */
+    bool crashed = false;
+    bool hanged = false;
 };
 
 /** State checkpoint after one completed generation. Counters are
@@ -137,6 +147,8 @@ struct JournalGeneration
     int measured_valid = 0;
     int measured_invalid = 0;
     int compile_timeout_filtered = 0;
+    int crash_filtered = 0;
+    int hang_filtered = 0;
     int measure_fallbacks = 0;
     int invalid_filtered = 0;
     int race_filtered = 0;

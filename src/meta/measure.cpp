@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <chrono>
 
-#if defined(__linux__)
-#include <sched.h>
-#endif
-
+#include "ir/structural_hash.h"
+#include "meta/runner.h"
+#include "runtime/interpreter.h"
 #include "runtime/jit.h"
 #include "runtime/vm.h"
+#include "support/cpu_pin.h"
+#include "support/env.h"
 #include "support/logging.h"
 #include "support/rng.h"
 #include "support/trace.h"
@@ -17,46 +18,6 @@ namespace tir {
 namespace meta {
 
 namespace {
-
-/** Pin the calling thread to the CPU it is currently on, restoring the
- *  previous affinity mask on destruction. Best effort: any syscall
- *  failure (or a non-Linux host) leaves affinity untouched — noisier
- *  measurements, never a failed one. */
-class ScopedCpuPin
-{
-  public:
-    explicit ScopedCpuPin(bool enable)
-    {
-#if defined(__linux__)
-        if (!enable) return;
-        if (sched_getaffinity(0, sizeof(saved_), &saved_) != 0) return;
-        int cpu = sched_getcpu();
-        if (cpu < 0) return;
-        cpu_set_t one;
-        CPU_ZERO(&one);
-        CPU_SET(cpu, &one);
-        active_ = sched_setaffinity(0, sizeof(one), &one) == 0;
-#else
-        (void)enable;
-#endif
-    }
-
-    ~ScopedCpuPin()
-    {
-#if defined(__linux__)
-        if (active_) sched_setaffinity(0, sizeof(saved_), &saved_);
-#endif
-    }
-
-    ScopedCpuPin(const ScopedCpuPin&) = delete;
-    ScopedCpuPin& operator=(const ScopedCpuPin&) = delete;
-
-  private:
-#if defined(__linux__)
-    cpu_set_t saved_{};
-    bool active_ = false;
-#endif
-};
 
 double
 elapsedUs(std::chrono::steady_clock::time_point since)
@@ -78,9 +39,53 @@ HwsimMeasurer::measure(const PrimFunc& func,
     return m;
 }
 
+bool
+resolveIsolate(bool fallback)
+{
+    return support::envFlag("TENSORIR_ISOLATE", fallback);
+}
+
+double
+resolveMeasureTimeoutMs(double fallback)
+{
+    // Bounded at one day: a larger "timeout" is a typo, not a budget.
+    return static_cast<double>(support::envUint(
+        "TENSORIR_MEASURE_TIMEOUT_MS",
+        static_cast<uint64_t>(fallback), 0, 86400000));
+}
+
+int
+resolveRunnerRetries(int fallback)
+{
+    return static_cast<int>(support::envUint(
+        "TENSORIR_RUNNER_RETRIES", static_cast<uint64_t>(fallback), 0,
+        100));
+}
+
 JitMeasurer::JitMeasurer(PrimFunc workload, MeasureConfig config)
     : workload_(std::move(workload)), config_(std::move(config))
 {
+    if (config_.isolate && MeasureRunner::available()) {
+        RunnerConfig rc;
+        rc.timeout_ms = config_.timeout_ms;
+        rc.retries = config_.retries;
+        rc.backoff_ms = config_.backoff_ms;
+        rc.seed = config_.seed;
+        // Pre-forks here, in the measurer's constructor — before the
+        // search builds its thread pool (search.cpp constructs the
+        // backend first), so the initial forks see a single-threaded
+        // process.
+        runner_ =
+            std::make_unique<MeasureRunner>(workload_, std::move(rc));
+    }
+}
+
+JitMeasurer::~JitMeasurer() = default;
+
+bool
+JitMeasurer::isolationActive() const
+{
+    return runner_ != nullptr && !runner_degraded_;
 }
 
 bool
@@ -159,6 +164,65 @@ JitMeasurer::measure(const PrimFunc& func,
         m.wall_us = elapsedUs(wall_start);
         return m;
     }
+    if (runner_ && !runner_degraded_) {
+        // Isolated path: ship the compiled object to a forked worker
+        // and let *it* dlopen and run the kernel — generated-code
+        // death (SIGSEGV, abort, a native infinite loop) is contained
+        // to the worker and comes back as a classification instead of
+        // taking this process down.
+        RunnerRequest req;
+        req.object_path = module->objectPath();
+        req.entry_symbol = module->entrySymbol();
+        req.num_params = module->numParams();
+        const std::vector<Buffer>& slots = module->buffers();
+        for (size_t s = module->numParams(); s < slots.size(); ++s) {
+            int64_t count = 1;
+            for (size_t d = 0; d < slots[s]->ndim(); ++d) {
+                count *= slots[s]->shapeInt(d);
+            }
+            req.local_counts.push_back(count);
+        }
+        req.warmup = config_.warmup;
+        req.repeats = std::max(1, config_.repeats);
+        req.step_limit = runtime::Interpreter::defaultStepLimit();
+        req.pin_cpu = config_.pin_cpu;
+        req.key = structuralHash(func);
+        RunnerResult outcome = runner_->run(req);
+        switch (outcome.status) {
+          case RunnerStatus::kOk:
+            m.latency_us = outcome.latency_us;
+            span.addArg(trace::arg("latency_us", m.latency_us));
+            m.wall_us = elapsedUs(wall_start);
+            return m;
+          case RunnerStatus::kReject:
+            // The kernel ran and rejected itself (fuel exhaustion,
+            // injected fault): same verdict as the in-process catch
+            // block — latency stays infinity.
+            span.addArg(trace::arg("valid", int64_t{0}));
+            m.wall_us = elapsedUs(wall_start);
+            return m;
+          case RunnerStatus::kCrash:
+            m.crashed = true;
+            trace::counterAdd("measure.crashes", 1);
+            span.addArg(trace::arg("crashed", int64_t{1}));
+            m.wall_us = elapsedUs(wall_start);
+            return m;
+          case RunnerStatus::kHang:
+            m.hanged = true;
+            trace::counterAdd("measure.hangs", 1);
+            span.addArg(trace::arg("hanged", int64_t{1}));
+            m.wall_us = elapsedUs(wall_start);
+            return m;
+          case RunnerStatus::kUnavailable:
+            // Every transient retry failed (or fork is impossible):
+            // degrade to the in-process path for the rest of this
+            // tune instead of re-paying the startup backoff per
+            // candidate. PR 8 behaviour, minus the isolation.
+            runner_degraded_ = true;
+            trace::counterAdd("measure.isolation_degraded", 1);
+            break;
+        }
+    }
     if (!ensureArguments()) {
         m.latency_us = estimate.latency_us;
         m.fallback = true;
@@ -166,7 +230,7 @@ JitMeasurer::measure(const PrimFunc& func,
         m.wall_us = elapsedUs(wall_start);
         return m;
     }
-    ScopedCpuPin pin(config_.pin_cpu);
+    support::ScopedCpuPin pin(config_.pin_cpu);
     try {
         for (int i = 0; i < config_.warmup; ++i) {
             module->run(arg_ptrs_);
@@ -207,7 +271,17 @@ makeMeasureBackend(const std::string& name, const PrimFunc& workload,
     TIR_CHECK(name == "jit")
         << "TuneOptions::measure_backend \"" << name
         << "\" is not a backend name (expected hwsim or jit)";
-    return std::make_unique<JitMeasurer>(workload, config);
+    // Isolation knobs resolve environment-over-config here (strictly:
+    // a malformed value fails the tune up front), so TuneOptions and
+    // the journal header stay unchanged — a journaled trajectory
+    // replays identically whether its measurements ran isolated or
+    // in-process, because every committed latency and classification
+    // is journaled.
+    MeasureConfig resolved = config;
+    resolved.isolate = resolveIsolate(resolved.isolate);
+    resolved.timeout_ms = resolveMeasureTimeoutMs(resolved.timeout_ms);
+    resolved.retries = resolveRunnerRetries(resolved.retries);
+    return std::make_unique<JitMeasurer>(workload, resolved);
 }
 
 } // namespace meta

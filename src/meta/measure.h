@@ -61,6 +61,17 @@ struct Measurement
      *  The candidate was rejected before any run; latency_us is
      *  infinity and the search does not charge it as a trial. */
     bool compile_timeout = false;
+    /** The isolated measurement worker died (fatal signal or nonzero
+     *  exit) while this candidate's kernel was running. Deterministic
+     *  generated-code death, contained to the worker process; the
+     *  candidate is rejected into TuneResult::crash_filtered, not
+     *  charged as a trial, and never retried. */
+    bool crashed = false;
+    /** The isolated measurement exceeded MeasureConfig::timeout_ms and
+     *  the worker was SIGKILLed — the hard timeout that covers native
+     *  hangs the cooperative stage watchdog cannot interrupt. Rejected
+     *  into TuneResult::hang_filtered, not charged as a trial. */
+    bool hanged = false;
     /** Real wall clock this measurement consumed (compile + warmup +
      *  timed repeats), in microseconds. Non-deterministic; 0 for the
      *  analytical backend. */
@@ -94,7 +105,41 @@ struct MeasureConfig
     /** Seed for the measurement input tensors (derived onto a stream
      *  no candidate or oracle RNG uses). */
     uint64_t seed = 1;
+    /** Run each native timing loop in a forked worker process
+     *  (meta/runner.h) so a segfaulting or hanging candidate kills a
+     *  disposable worker, never the tune. Defaults on; makeMeasureBackend
+     *  resolves TENSORIR_ISOLATE over it, and the backend degrades to
+     *  the in-process path when fork is unavailable or every worker
+     *  startup attempt fails. */
+    bool isolate = true;
+    /** Hard wall-clock budget per isolated measurement, in
+     *  milliseconds, enforced by SIGKILL on the worker; 0 = unlimited.
+     *  makeMeasureBackend resolves TENSORIR_MEASURE_TIMEOUT_MS over
+     *  it. */
+    double timeout_ms = 10000;
+    /** Transient-failure retries per isolated measurement (worker
+     *  startup failure, death without a reply); crashes and hangs are
+     *  never retried. makeMeasureBackend resolves
+     *  TENSORIR_RUNNER_RETRIES over it. */
+    int retries = 2;
+    /** Backoff before the first transient retry, in milliseconds
+     *  (doubled per subsequent retry). */
+    int backoff_ms = 50;
 };
+
+/** TENSORIR_ISOLATE resolved over `fallback` ("1"/"on" → true,
+ *  "0"/"off" → false; unset/empty → fallback; anything else raises
+ *  FatalError). Exposed for the env-parsing regression tests. */
+bool resolveIsolate(bool fallback);
+
+/** TENSORIR_MEASURE_TIMEOUT_MS resolved over `fallback` (strict
+ *  unsigned parse, ≤ 86,400,000 ms; 0 = unlimited; garbage raises
+ *  FatalError). */
+double resolveMeasureTimeoutMs(double fallback);
+
+/** TENSORIR_RUNNER_RETRIES resolved over `fallback` (strict unsigned
+ *  parse, ≤ 100; garbage raises FatalError). */
+int resolveRunnerRetries(int fallback);
 
 /** Where a valid candidate's latency number comes from. Implementations
  *  are called only from the search's sequential fold (one thread). */
@@ -126,7 +171,12 @@ class HwsimMeasurer : public MeasureBackend
                         const hwsim::RunEstimate& estimate) override;
 };
 
-/** The wall-clock backend: native compile + timed host execution. */
+class MeasureRunner;
+
+/** The wall-clock backend: native compile + timed host execution.
+ *  With MeasureConfig::isolate (the default) the timing loop runs in a
+ *  forked worker process (meta/runner.h); the compile, validity
+ *  oracle, and accounting stay in this process. */
 class JitMeasurer : public MeasureBackend
 {
   public:
@@ -134,11 +184,17 @@ class JitMeasurer : public MeasureBackend
      *  define the measurement input tensors (every candidate schedules
      *  the same workload, so the tensors are built once, lazily). */
     JitMeasurer(PrimFunc workload, MeasureConfig config);
+    ~JitMeasurer() override;
 
     const char* name() const override { return "jit"; }
     bool deterministic() const override { return false; }
     Measurement measure(const PrimFunc& func,
                         const hwsim::RunEstimate& estimate) override;
+
+    /** Whether the isolated path is currently in use (false when
+     *  disabled by config/env, unsupported, or degraded after
+     *  exhausted worker startup retries). Exposed for tests. */
+    bool isolationActive() const;
 
   private:
     /** Build the seeded argument tensors on first use; false when they
@@ -150,6 +206,12 @@ class JitMeasurer : public MeasureBackend
     std::vector<runtime::NDArray> args_;
     std::vector<runtime::NDArray*> arg_ptrs_;
     int arg_state_ = 0; // 0 = unbuilt, 1 = ready, -1 = unavailable
+    /** Fork-server pool (null when isolation is off or unsupported). */
+    std::unique_ptr<MeasureRunner> runner_;
+    /** Set after a kUnavailable outcome: every later measurement goes
+     *  straight to the in-process path instead of re-paying the
+     *  startup retry/backoff per candidate. */
+    bool runner_degraded_ = false;
 };
 
 /** Backend factory for TuneOptions::measure_backend: "" or "hwsim" →

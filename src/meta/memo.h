@@ -52,6 +52,17 @@ struct MemoEntry
      *  Cached so duplicates reject into compile_timeout_filtered
      *  without re-invoking the compiler. */
     bool compile_timed_out = false;
+    /** The isolated measurement worker died running this candidate's
+     *  kernel (Measurement::crashed). Cached so structural duplicates
+     *  reject into crash_filtered without re-running code that is
+     *  known to kill its process — the "never retry a deterministic
+     *  crash" rule applied across duplicates. */
+    bool crashed = false;
+    /** The isolated measurement hit the hard wall-clock timeout and
+     *  the worker was SIGKILLed (Measurement::hanged). Cached so
+     *  duplicates reject into hang_filtered without hanging another
+     *  worker for timeout_ms. */
+    bool hanged = false;
     /** Evaluation threw (contained as RejectKind::kRuntime). Cached so
      *  structural duplicates of a failing candidate reject identically
      *  without re-running the failing evaluation. */

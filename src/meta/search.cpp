@@ -8,6 +8,7 @@
 #include "meta/memo.h"
 #include "runtime/jit.h"
 #include "runtime/vm.h"
+#include "support/env.h"
 #include "support/failpoint.h"
 #include "support/thread_pool.h"
 #include "support/trace.h"
@@ -89,32 +90,14 @@ int
 resolveParallelism(const TuneOptions& options)
 {
     if (options.parallelism > 0) return options.parallelism;
-    const char* env = std::getenv("TENSORIR_PARALLELISM");
-    // Empty counts as unset; anything else must parse cleanly. The
-    // std::atoi this replaced mapped garbage ("abc", "8x") and
-    // overflow to 0 or undefined behaviour and silently fell through
-    // to hardware_concurrency — a typo'd setting must fail loudly, not
-    // quietly change the thread count. Same strict all-digits +
-    // ERANGE pattern as TENSORIR_STEP_LIMIT (runtime/interpreter.cpp).
-    if (env && *env) {
-        const std::string text(env);
-        TIR_CHECK(std::all_of(text.begin(), text.end(),
-                              [](unsigned char c) {
-                                  return std::isdigit(c) != 0;
-                              }))
-            << "TENSORIR_PARALLELISM must be a positive integer, got \""
-            << env << "\"";
-        errno = 0;
-        char* end = nullptr;
-        unsigned long long v = std::strtoull(env, &end, 10);
-        TIR_CHECK(errno != ERANGE && end && *end == '\0' && v > 0 &&
-                  v <= static_cast<unsigned long long>(
-                           std::numeric_limits<int>::max()))
-            << "TENSORIR_PARALLELISM out of range (1.."
-            << std::numeric_limits<int>::max() << "): \"" << env
-            << "\"";
-        return static_cast<int>(v);
-    }
+    // Strict parse (support/env.h): garbage ("abc", "8x"), overflow,
+    // and 0 all fail loudly instead of silently falling through to
+    // hardware_concurrency — a typo'd setting must not quietly change
+    // the thread count. Unset/empty means "pick for me".
+    const uint64_t v = support::envUint(
+        "TENSORIR_PARALLELISM", 0, 1,
+        static_cast<uint64_t>(std::numeric_limits<int>::max()));
+    if (v > 0) return static_cast<int>(v);
     return support::ThreadPool::hardwareParallelism();
 }
 
@@ -632,15 +615,18 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             }
             entry->measured = true;
             entry->compile_timed_out = m.compile_timeout;
+            entry->crashed = m.crashed;
+            entry->hanged = m.hanged;
             entry->measured_latency_us = m.latency_us;
             // The flip can land generations after the entry was
             // journaled, and for a wall-clock backend the committed
             // latency exists nowhere but here; recording both keeps
             // memo_measure_hits *and* the measured trajectory exact
             // across a checkpoint resume.
-            journal_measured.push_back({cand.hash,
-                                        entry->measured_latency_us,
-                                        entry->compile_timed_out});
+            journal_measured.push_back(
+                {cand.hash, entry->measured_latency_us,
+                 entry->compile_timed_out, entry->crashed,
+                 entry->hanged});
         }
         if (entry->compile_timed_out) {
             // Over the per-candidate compile budget: rejected before
@@ -649,6 +635,23 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             // identically from the memo without re-compiling.
             ++result.compile_timeout_filtered;
             trace::counterAdd("search.compile_timeout_filtered", 1);
+            return std::numeric_limits<double>::infinity();
+        }
+        if (entry->crashed) {
+            // The isolated worker died running this kernel. No usable
+            // measurement exists to charge as a trial; duplicates
+            // reject from the memo without re-running code known to
+            // kill its process (never retry a deterministic crash).
+            ++result.crash_filtered;
+            trace::counterAdd("search.crash_filtered", 1);
+            return std::numeric_limits<double>::infinity();
+        }
+        if (entry->hanged) {
+            // Timeout-killed: the kernel never produced a latency, so
+            // this is not a trial either; duplicates reject without
+            // hanging another worker for the full timeout.
+            ++result.hang_filtered;
+            trace::counterAdd("search.hang_filtered", 1);
             return std::numeric_limits<double>::infinity();
         }
         ++result.trials_measured;
@@ -837,6 +840,8 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             result.measured_invalid = last.measured_invalid;
             result.compile_timeout_filtered =
                 last.compile_timeout_filtered;
+            result.crash_filtered = last.crash_filtered;
+            result.hang_filtered = last.hang_filtered;
             result.measure_fallbacks = last.measure_fallbacks;
             result.invalid_filtered = last.invalid_filtered;
             result.race_filtered = last.race_filtered;
@@ -874,6 +879,8 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
                     e.measured = m.measured;
                     e.measured_latency_us = m.measured_latency_us;
                     e.compile_timed_out = m.compile_timed_out;
+                    e.crashed = m.crashed;
+                    e.hanged = m.hanged;
                     e.eval_failed = m.eval_failed;
                     memo.insert(m.hash, std::move(e));
                 }
@@ -886,6 +893,8 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
                         e->measured = true;
                         e->measured_latency_us = jm.latency_us;
                         e->compile_timed_out = jm.compile_timed_out;
+                        e->crashed = jm.crashed;
+                        e->hanged = jm.hanged;
                     }
                 }
             }
@@ -931,6 +940,8 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
         g.measured_valid = result.measured_valid;
         g.measured_invalid = result.measured_invalid;
         g.compile_timeout_filtered = result.compile_timeout_filtered;
+        g.crash_filtered = result.crash_filtered;
+        g.hang_filtered = result.hang_filtered;
         g.measure_fallbacks = result.measure_fallbacks;
         g.invalid_filtered = result.invalid_filtered;
         g.race_filtered = result.race_filtered;
@@ -964,6 +975,8 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
             m.latency_us = e->estimate.latency_us;
             m.measured_latency_us = e->measured_latency_us;
             m.compile_timed_out = e->compile_timed_out;
+            m.crashed = e->crashed;
+            m.hanged = e->hanged;
             m.violation = e->estimate.violation;
             g.new_memo.push_back(std::move(m));
         }
@@ -1203,6 +1216,8 @@ accumulate(TuneResult& into, const TuneResult& from)
     into.measured_valid += from.measured_valid;
     into.measured_invalid += from.measured_invalid;
     into.compile_timeout_filtered += from.compile_timeout_filtered;
+    into.crash_filtered += from.crash_filtered;
+    into.hang_filtered += from.hang_filtered;
     into.measure_fallbacks += from.measure_fallbacks;
     into.invalid_filtered += from.invalid_filtered;
     into.race_filtered += from.race_filtered;

@@ -233,6 +233,19 @@ struct TuneResult
      *  TuneOptions::compile_budget_ms (wall-clock backends only).
      *  Rejected before any run, so *not* counted as trials. */
     int compile_timeout_filtered = 0;
+    /** Candidates rejected because the isolated measurement worker died
+     *  of a fatal signal or nonzero exit while running their kernel
+     *  (Measurement::crashed). Rejected before commit, so *not* counted
+     *  as trials; structural duplicates reject here from the memo
+     *  without re-running the crashing kernel. Only populated under
+     *  measure_backend="jit" with isolation active. */
+    int crash_filtered = 0;
+    /** Candidates rejected because their isolated measurement exceeded
+     *  the hard wall-clock timeout and the worker was SIGKILLed
+     *  (Measurement::hanged) — the timeout that covers native hangs the
+     *  cooperative stage watchdog cannot interrupt. Not counted as
+     *  trials. */
+    int hang_filtered = 0;
     /** Measurements the wall-clock backend served from the analytical
      *  model instead of native timing (unsupported construct, missing
      *  toolchain, or TENSORIR_FORCE_TREEWALK). */

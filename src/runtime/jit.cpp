@@ -23,6 +23,7 @@
 
 #include "ir/structural_hash.h"
 #include "runtime/vm.h"
+#include "support/env.h"
 #include "support/failpoint.h"
 #include "support/trace.h"
 #include "tir/analysis/analysis.h"
@@ -180,37 +181,31 @@ hexKey(uint64_t key)
 uint64_t
 cacheCapBytes()
 {
-    const char* env = std::getenv("TENSORIR_JIT_CACHE_MB");
-    if (env && *env) {
-        // strtoull alone is not enough: it accepts a leading '-' or
-        // '+' (wrapping "-1" to a huge positive cap) and saturates
-        // silently without an errno check, and a large-but-parseable
-        // megabyte count overflows the byte multiply. All-digits
-        // check first, then ERANGE, then a clamped multiply.
-        const std::string text(env);
-        TIR_CHECK(std::all_of(text.begin(), text.end(),
-                              [](unsigned char c) {
-                                  return std::isdigit(c) != 0;
-                              }))
-            << "TENSORIR_JIT_CACHE_MB=\"" << env
-            << "\" is not a number of megabytes";
-        errno = 0;
-        char* end = nullptr;
-        unsigned long long mb = std::strtoull(env, &end, 10);
-        TIR_CHECK(errno != ERANGE && end && *end == '\0')
-            << "TENSORIR_JIT_CACHE_MB out of range: \"" << env << "\"";
-        constexpr uint64_t kMaxMb =
-            std::numeric_limits<uint64_t>::max() / (1024ull * 1024ull);
-        if (mb > kMaxMb) {
-            return std::numeric_limits<uint64_t>::max();
-        }
-        return static_cast<uint64_t>(mb) * 1024 * 1024;
-    }
-    return 64ull * 1024 * 1024;
+    // Strict parsing via support::envUint (garbage, a sign character,
+    // or ERANGE raise FatalError — std::strtoull alone would wrap
+    // "-1" to a huge positive cap); a large-but-parseable megabyte
+    // count that would overflow the byte multiply clamps to
+    // UINT64_MAX instead of wrapping.
+    uint64_t mb = support::envUint("TENSORIR_JIT_CACHE_MB", 64);
+    constexpr uint64_t kMaxMb =
+        std::numeric_limits<uint64_t>::max() / (1024ull * 1024ull);
+    if (mb > kMaxMb) return std::numeric_limits<uint64_t>::max();
+    return mb * 1024 * 1024;
 }
 
 /** flock-based cross-process lock; best effort (a failure to open the
- *  lock file degrades to in-process locking only). */
+ *  lock file degrades to in-process locking only).
+ *
+ *  Fork-safety (audited for the measurement runner, meta/runner.h):
+ *  an flock lock belongs to the *open file description*, which fork
+ *  shares — a child forked while this lock is held co-owns it, and the
+ *  parent's explicit LOCK_UN below still releases it for both (the
+ *  lock does not leak even if the child keeps its copy of the fd).
+ *  The runner avoids even that aliasing: measurement workers close
+ *  every inherited descriptor except their pipes on startup, and
+ *  worker forks never happen from inside jitCompile (compilation is
+ *  parent-side; the fork-server spawns before measurement begins and
+ *  respawns only from the search's sequential measurement fold). */
 class FileLock
 {
   public:
@@ -524,13 +519,14 @@ JitModule::JitModule(PrimFunc func, codegen::JitSource source,
                      void* handle, std::string object_path)
     : func_(std::move(func)), buffers_(std::move(source.buffers)),
       num_params_(source.num_params), handle_(handle),
+      entry_symbol_(std::move(source.entry_symbol)),
       object_path_(std::move(object_path))
 {
     entry_ = reinterpret_cast<EntryFn>(
-        dlsym(handle_, source.entry_symbol.c_str()));
+        dlsym(handle_, entry_symbol_.c_str()));
     TIR_CHECK(entry_ != nullptr)
         << "JIT object " << object_path_ << " lacks entry symbol "
-        << source.entry_symbol;
+        << entry_symbol_;
 }
 
 JitModule::~JitModule()

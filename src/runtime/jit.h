@@ -138,6 +138,16 @@ class JitModule
     const PrimFunc& func() const { return func_; }
     /** Path of the cached shared object backing this module. */
     const std::string& objectPath() const { return object_path_; }
+    /** Exported entry symbol in the shared object. Together with
+     *  objectPath/buffers/numParams this is what the process-isolated
+     *  measurement runner (meta/runner.h) ships to a worker, which
+     *  dlopens the object itself instead of sharing this handle. */
+    const std::string& entrySymbol() const { return entry_symbol_; }
+    /** Buffer slot table: parameters first, then intermediates that
+     *  run() allocates per call. */
+    const std::vector<Buffer>& buffers() const { return buffers_; }
+    /** Leading buffers() slots bound to function parameters. */
+    size_t numParams() const { return num_params_; }
 
   private:
     using EntryFn = int64_t (*)(double**, int64_t);
@@ -147,6 +157,7 @@ class JitModule
     size_t num_params_ = 0;
     void* handle_ = nullptr;
     EntryFn entry_ = nullptr;
+    std::string entry_symbol_;
     std::string object_path_;
 };
 

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Pin the calling thread to the CPU it is currently on, restoring the
+ * previous affinity mask on destruction. Best effort: any syscall
+ * failure (or a non-Linux host) leaves affinity untouched — noisier
+ * measurements, never a failed one.
+ *
+ * Fork-safety (audited for the measurement runner): sched_setaffinity
+ * is per-thread state, and fork(2) copies the calling thread's
+ * affinity into the child. A ScopedCpuPin held across a fork would
+ * therefore pin the child to one CPU *and* the child's _exit would
+ * skip the restoring destructor in the parent's copy of the stack.
+ * The rule in this codebase is: never fork while a pin is active.
+ * In isolated measurement mode the pin is taken inside the worker
+ * child (runner.cpp), where process exit discards the affinity mask
+ * with the process; the in-process path (measure.cpp) takes it only
+ * around the timing loop, which performs no fork.
+ */
+#ifndef TENSORIR_SUPPORT_CPU_PIN_H
+#define TENSORIR_SUPPORT_CPU_PIN_H
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace tir {
+namespace support {
+
+class ScopedCpuPin
+{
+  public:
+    explicit ScopedCpuPin(bool enable)
+    {
+#if defined(__linux__)
+        if (!enable) return;
+        if (sched_getaffinity(0, sizeof(saved_), &saved_) != 0) return;
+        int cpu = sched_getcpu();
+        if (cpu < 0) return;
+        cpu_set_t one;
+        CPU_ZERO(&one);
+        CPU_SET(cpu, &one);
+        active_ = sched_setaffinity(0, sizeof(one), &one) == 0;
+#else
+        (void)enable;
+#endif
+    }
+
+    ~ScopedCpuPin()
+    {
+#if defined(__linux__)
+        if (active_) sched_setaffinity(0, sizeof(saved_), &saved_);
+#endif
+    }
+
+    ScopedCpuPin(const ScopedCpuPin&) = delete;
+    ScopedCpuPin& operator=(const ScopedCpuPin&) = delete;
+
+  private:
+#if defined(__linux__)
+    cpu_set_t saved_{};
+    bool active_ = false;
+#endif
+};
+
+} // namespace support
+} // namespace tir
+
+#endif // TENSORIR_SUPPORT_CPU_PIN_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xedb88320) over a byte
+ * string. One implementation shared by every line-oriented framing
+ * protocol in the tree — the checkpoint journal (meta/journal.cpp) and
+ * the measurement runner's worker pipe (meta/runner.cpp) — so a frame
+ * checksummed by one side always verifies on the other.
+ */
+#ifndef TENSORIR_SUPPORT_CRC32_H
+#define TENSORIR_SUPPORT_CRC32_H
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace tir {
+namespace support {
+
+inline uint32_t
+crc32(std::string_view data)
+{
+    static const auto table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            }
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t crc = 0xffffffffu;
+    for (char ch : data) {
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xff] ^
+              (crc >> 8);
+    }
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace support
+} // namespace tir
+
+#endif // TENSORIR_SUPPORT_CRC32_H

@@ -1,0 +1,51 @@
+#include "support/env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "support/logging.h"
+
+namespace tir {
+namespace support {
+
+uint64_t
+envUint(const char* name, uint64_t fallback, uint64_t min_value,
+        uint64_t max_value)
+{
+    const char* env = std::getenv(name);
+    if (!env || !*env) return fallback;
+    const std::string text(env);
+    TIR_CHECK(std::all_of(text.begin(), text.end(),
+                          [](unsigned char c) {
+                              return std::isdigit(c) != 0;
+                          }))
+        << name << "=\"" << env
+        << "\" is not an unsigned decimal integer";
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    TIR_CHECK(errno != ERANGE && end && *end == '\0' &&
+              v >= min_value && v <= max_value)
+        << name << " out of range (" << min_value << ".." << max_value
+        << "): \"" << env << "\"";
+    return static_cast<uint64_t>(v);
+}
+
+bool
+envFlag(const char* name, bool fallback)
+{
+    const char* env = std::getenv(name);
+    if (!env || !*env) return fallback;
+    const std::string text(env);
+    if (text == "1" || text == "on") return true;
+    if (text == "0" || text == "off") return false;
+    TIR_FATAL << name << "=\"" << env
+              << "\" is not a flag (expected 1, 0, on, or off)";
+    return fallback; // unreachable; TIR_FATAL throws
+}
+
+} // namespace support
+} // namespace tir
