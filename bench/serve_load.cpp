@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Load generator for the schedule-serving layer (serve/server.h):
+ * replays a Zipf-distributed request stream — a few hot workloads
+ * dominate, a long tail misses — from C concurrent client threads
+ * against a ScheduleServer, and reports
+ *
+ *   - p50 / p99 query (lookup) latency, hot path included,
+ *   - miss-to-first-schedule latency (query miss -> first record
+ *     streamed from the background tune's initial population),
+ *   - the server's activity counters.
+ *
+ * With --check it doubles as the CI smoke gate (scripts/ci.sh,
+ * serve-smoke job): nonzero cache hits, exactly-once tuning per unique
+ * workload, every tune completed, and a clean shutdown with no leaked
+ * pool tasks — violations exit nonzero.
+ *
+ * Usage: serve_load [--requests N] [--clients C] [--workloads M]
+ *                   [--seed S] [--check]
+ */
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ir/structural_hash.h"
+#include "serve/server.h"
+#include "support/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+toMicros(Clock::duration d)
+{
+    return std::chrono::duration<double, std::micro>(d).count();
+}
+
+double
+percentile(std::vector<double>& values, double p)
+{
+    if (values.empty()) return 0;
+    std::sort(values.begin(), values.end());
+    size_t idx = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+    return values[std::min(idx, values.size() - 1)];
+}
+
+struct Args
+{
+    int requests = 400;
+    int clients = 4;
+    int workloads = 12;
+    uint64_t seed = 1;
+    bool check = false;
+};
+
+Args
+parseArgs(int argc, char** argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        auto intArg = [&](const char* flag, int* out) {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+                *out = std::atoi(argv[++i]);
+                return true;
+            }
+            return false;
+        };
+        if (intArg("--requests", &args.requests)) continue;
+        if (intArg("--clients", &args.clients)) continue;
+        if (intArg("--workloads", &args.workloads)) continue;
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            args.seed = std::strtoull(argv[++i], nullptr, 10);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--check") == 0) {
+            args.check = true;
+            continue;
+        }
+        std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+        std::exit(2);
+    }
+    return args;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace tir;
+    Args args = parseArgs(argc, argv);
+
+    // The workload universe: distinct GEMM shapes, rank-ordered by
+    // popularity. Shapes grow with rank so the hottest workloads are
+    // also the cheapest to tune.
+    std::vector<meta::TuneTask> tasks;
+    for (int r = 0; r < args.workloads; ++r) {
+        int n = 64 + 16 * (r % 8);
+        int m = 64 + 16 * ((r / 2) % 8);
+        int k = 64 + 64 * (r / 16);
+        workloads::OpSpec op = workloads::gmm(n, m, k);
+        tasks.push_back(
+            meta::TuneTask{op.func, op.einsum_block, "gpu",
+                           {"wmma_16x16x16_f16"}});
+    }
+    std::vector<uint64_t> task_hashes;
+    for (const auto& task : tasks) {
+        task_hashes.push_back(structuralHash(task.func));
+    }
+
+    // Zipf(s = 1.0) popularity over ranks: weight(r) = 1 / (r + 1).
+    std::vector<double> cumulative(tasks.size());
+    double total = 0;
+    for (size_t r = 0; r < tasks.size(); ++r) {
+        total += 1.0 / static_cast<double>(r + 1);
+        cumulative[r] = total;
+    }
+
+    serve::ServeOptions options;
+    options.tune_workers =
+        std::max(2, support::ThreadPool::hardwareParallelism() / 2);
+    options.tune.population = 4;
+    options.tune.generations = 2;
+    options.tune.children_per_generation = 8;
+    options.tune.measured_per_generation = 3;
+    options.tune.parallelism = 1;
+    options.tune.seed = args.seed;
+    serve::ScheduleServer server(options);
+
+    std::vector<std::vector<double>> query_us(args.clients);
+    std::vector<std::vector<double>> miss_to_first_us(args.clients);
+    std::atomic<int> wait_failures{0};
+
+    auto start = Clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < args.clients; ++c) {
+        clients.emplace_back([&, c] {
+            Rng rng(Rng::mixSeed(
+                args.seed, static_cast<uint64_t>(c)));
+            int budget = args.requests / args.clients +
+                         (c < args.requests % args.clients ? 1 : 0);
+            for (int i = 0; i < budget; ++i) {
+                double draw = rng.randDouble() * total;
+                size_t rank = static_cast<size_t>(
+                    std::lower_bound(cumulative.begin(),
+                                     cumulative.end(), draw) -
+                    cumulative.begin());
+                rank = std::min(rank, tasks.size() - 1);
+
+                auto t0 = Clock::now();
+                serve::ScheduleServer::Response resp =
+                    server.query(tasks[rank]);
+                query_us[c].push_back(toMicros(Clock::now() - t0));
+
+                if (!resp.record && resp.pending) {
+                    // Cold miss: wait for the first streamed schedule
+                    // (the initial population's best), the latency a
+                    // client actually experiences on a miss.
+                    auto got = resp.pending->waitFirst(
+                        std::chrono::minutes(5));
+                    if (got.has_value()) {
+                        miss_to_first_us[c].push_back(
+                            toMicros(Clock::now() - t0));
+                    } else {
+                        wait_failures.fetch_add(1);
+                    }
+                }
+            }
+        });
+    }
+    for (auto& th : clients) th.join();
+    double wall_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    server.shutdown();
+    serve::ServerStats stats = server.stats();
+    size_t leaked = server.pendingPoolTasks();
+
+    std::vector<double> all_query;
+    std::vector<double> all_miss;
+    for (int c = 0; c < args.clients; ++c) {
+        all_query.insert(all_query.end(), query_us[c].begin(),
+                         query_us[c].end());
+        all_miss.insert(all_miss.end(), miss_to_first_us[c].begin(),
+                        miss_to_first_us[c].end());
+    }
+
+    uint64_t hits = stats.hot_hits + stats.shard_hits;
+
+    std::printf("serve_load: %d requests, %d clients, %zu workloads "
+                "(Zipf s=1.0), %d tune workers\n",
+                args.requests, args.clients, tasks.size(),
+                options.tune_workers);
+    std::printf("  wall time              %8.2f s (%.0f req/s)\n",
+                wall_s, args.requests / wall_s);
+    std::printf("  query latency p50      %8.2f us\n",
+                percentile(all_query, 0.50));
+    std::printf("  query latency p99      %8.2f us\n",
+                percentile(all_query, 0.99));
+    std::printf("  miss->first schedule p50 %6.1f ms (%zu misses waited)\n",
+                percentile(all_miss, 0.50) / 1000.0, all_miss.size());
+    std::printf("  miss->first schedule p99 %6.1f ms\n",
+                percentile(all_miss, 0.99) / 1000.0);
+    std::printf("  queries=%llu hot_hits=%llu shard_hits=%llu "
+                "misses=%llu coalesced=%llu\n",
+                (unsigned long long)stats.queries,
+                (unsigned long long)stats.hot_hits,
+                (unsigned long long)stats.shard_hits,
+                (unsigned long long)stats.misses,
+                (unsigned long long)stats.coalesced);
+    std::printf("  tunes started=%llu completed=%llu failed=%llu "
+                "records_streamed=%llu leaked_tasks=%zu\n",
+                (unsigned long long)stats.tunes_started,
+                (unsigned long long)stats.tunes_completed,
+                (unsigned long long)stats.tunes_failed,
+                (unsigned long long)stats.records_streamed, leaked);
+
+    if (!args.check) return 0;
+
+    // --- CI smoke assertions -------------------------------------
+    int failures = 0;
+    auto expect = [&](bool ok, const char* what) {
+        if (!ok) {
+            std::fprintf(stderr, "serve-smoke FAILED: %s\n", what);
+            ++failures;
+        }
+    };
+    expect(stats.queries == static_cast<uint64_t>(args.requests),
+           "every request reaches the server");
+    expect(hits > 0, "nonzero cache hits under a Zipf stream");
+    expect(stats.hot_hits > 0,
+           "the mutex-free hot cache serves repeat queries");
+    expect(stats.tunes_started <=
+               static_cast<uint64_t>(tasks.size()),
+           "at most one tune per unique workload (single-flight)");
+    expect(stats.tunes_started >= 1, "cold misses trigger tuning");
+    expect(stats.tunes_completed == stats.tunes_started,
+           "every started tune completes before shutdown returns");
+    expect(stats.tunes_failed == 0, "no tune failed");
+    expect(wait_failures.load() == 0,
+           "every waited miss received a schedule");
+    expect(leaked == 0, "no leaked pool tasks after shutdown");
+    expect(server.pendingTunes() == 0,
+           "no tune left registered in flight");
+    // Exactly-once per unique workload: each tune commits exactly one
+    // workload, so a double-tuned workload would make tunes_started
+    // exceed the number of distinct records in the database.
+    expect(server.target("gpu").database().size() ==
+               stats.tunes_started,
+           "exactly one tune per unique tuned workload");
+    // And every tuned workload is one we actually requested.
+    size_t resolvable = 0;
+    for (uint64_t hash : task_hashes) {
+        if (server.target("gpu").database().lookup(hash).has_value()) {
+            ++resolvable;
+        }
+    }
+    expect(resolvable == stats.tunes_started,
+           "every database record maps back to a requested workload");
+    if (failures == 0) {
+        std::printf("serve-smoke OK\n");
+        return 0;
+    }
+    return 1;
+}

@@ -113,6 +113,16 @@ TENSORIR_FAILPOINTS='seed=7; search.instantiate=throw(0.05); search.evaluate=err
     ctest --test-dir "$BUILD_DIR" --output-on-failure
 echo "ci: chaos run (failpoints in the search pipeline) passed"
 
+# Serve-smoke job: the schedule-serving layer under a bounded
+# Zipf-distributed load (bench/serve_load.cpp --check). The binary
+# exits nonzero unless the run shows nonzero cache hits (including the
+# mutex-free hot cache), exactly-once background tuning per unique
+# workload (single-flight), every started tune completed, and a clean
+# shutdown with no leaked pool tasks or in-flight registrations.
+"$BUILD_DIR/bench/serve_load" \
+    --requests 300 --clients 4 --workloads 10 --check
+echo "ci: serve smoke (Zipf load, single-flight, clean shutdown) passed"
+
 # Runner chaos job: the journaled tune again, now with failpoints that
 # kill measurement workers outright — runner.crash aborts the child
 # mid-request, runner.hang wedges it until the hard wall-clock timeout
@@ -158,8 +168,9 @@ echo "ci: ASan+UBSan build and tests passed"
 # concurrency-heavy suites — thread pool, trace buffers, failpoint
 # registry, the intrinsic-registry snapshot path shared by both
 # execution engines, the parallel search pipeline and its
-# watchdog/journal paths. The full suite under TSan's ~10x slowdown
-# buys no extra coverage: everything else is single-threaded.
+# watchdog/journal paths, and the serving layer (sharded database,
+# hot cache, schedule server). The full suite under TSan's ~10x
+# slowdown buys no extra coverage: everything else is single-threaded.
 TSAN_DIR="${BUILD_DIR}-tsan"
 rm -rf "$TSAN_DIR"
 cmake -B "$TSAN_DIR" -S . \
@@ -168,6 +179,6 @@ cmake -B "$TSAN_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-Wno-restrict -fno-sanitize-recover=all"
 cmake --build "$TSAN_DIR" -j "$(nproc)" --target tensorir_tests
 "$TSAN_DIR/tests/tensorir_tests" \
-    --gtest_filter='ThreadPool*:ParallelSearch*:Trace*:Failpoint*:IntrinRegistry*'
+    --gtest_filter='ThreadPool*:ParallelSearch*:Trace*:Failpoint*:IntrinRegistry*:ServeDatabase*:HotCache*:ScheduleServer*'
 
 echo "ci: TSan build and concurrency tests passed"

@@ -1,9 +1,13 @@
 #include "meta/database.h"
 
+#include <atomic>
+#include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "ir/structural_hash.h"
+#include "support/double_bits.h"
 #include "support/failpoint.h"
 #include "support/trace.h"
 
@@ -48,11 +52,25 @@ TuningDatabase::serialize() const
 {
     std::ostringstream os;
     for (const auto& [hash, record] : records_) {
-        os << "record " << hash << " " << record.latency_us << " "
-           << (record.sketch.empty() ? "-" : record.sketch) << " "
-           << (record.workload_name.empty() ? "-"
-                                            : record.workload_name)
-           << "\n";
+        // The latency's IEEE-754 bit pattern is the authoritative
+        // value (the journal's convention, support/double_bits.h); the
+        // decimal next to it is for human readers only. A default-
+        // precision decimal alone used to lose low bits on every
+        // save/load cycle, which could flip the commit() improve-
+        // comparison against a freshly tuned result.
+        TIR_CHECK(record.workload_name.find('\n') == std::string::npos)
+            << "workload name contains a newline: "
+            << record.workload_name;
+        os << "record " << hash << " "
+           << support::doubleBitsHex(record.latency_us) << " "
+           << support::doubleReadable(record.latency_us) << " "
+           << (record.sketch.empty() ? "-" : record.sketch);
+        // The name is the last field and runs to end-of-line, so names
+        // containing spaces round-trip intact.
+        if (!record.workload_name.empty()) {
+            os << " " << record.workload_name;
+        }
+        os << "\n";
         for (const Decision& d : record.decisions) {
             os << "  " << decisionKindName(d.kind) << " " << d.extent
                << " " << d.number << " " << d.max_innermost << " "
@@ -77,8 +95,14 @@ TuningDatabase::deserialize(const std::string& text, LoadReport* report)
     // Tolerant mode: after damage, discard lines until the next
     // `record` header — the only resync point the format offers.
     bool skipping = false;
-    auto drop = [&] {
-        ++report->dropped;
+    // A drop is counted only when a record actually existed: either a
+    // header was open (the record loses its tail) or a header line
+    // itself was damaged (the record loses everything). Stray garbage
+    // when no record is open — leading junk, debris between records —
+    // resyncs without counting, so LoadReport::dropped means "records
+    // lost", not "lines skipped".
+    auto dropOpen = [&] {
+        if (in_record) ++report->dropped;
         in_record = false;
         skipping = true;
     };
@@ -90,24 +114,38 @@ TuningDatabase::deserialize(const std::string& text, LoadReport* report)
             if (in_record) {
                 TIR_CHECK(!strict) << "malformed database: nested record";
                 ++report->dropped; // the open record never saw its end
+                in_record = false;
             }
             skipping = false;
             current = TuneRecord();
-            ls >> current.workload_hash >> current.latency_us >>
-                current.sketch >> current.workload_name;
-            if (!strict && ls.fail()) {
-                drop();
+            std::string latency_bits;
+            std::string latency_decimal; // display only, never parsed
+            ls >> current.workload_hash >> latency_bits >>
+                latency_decimal >> current.sketch;
+            bool ok = !ls.fail();
+            if (ok) {
+                current.latency_us =
+                    support::doubleFromBitsHex(latency_bits, &ok);
+            }
+            if (!ok) {
+                TIR_CHECK(!strict)
+                    << "malformed database record header: " << line;
+                ++report->dropped; // a header existed; its record is lost
+                skipping = true;
                 continue;
             }
             if (current.sketch == "-") current.sketch.clear();
-            if (current.workload_name == "-") {
-                current.workload_name.clear();
-            }
+            // Everything after the sketch token (minus the separating
+            // space) is the workload name, spaces and all.
+            std::string name;
+            std::getline(ls, name);
+            if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+            current.workload_name = std::move(name);
             in_record = true;
         } else if (tag == "tile" || tag == "cat") {
             if (!in_record) {
                 TIR_CHECK(!strict) << "malformed database: stray decision";
-                if (!skipping) drop();
+                skipping = true;
                 continue;
             }
             Decision d;
@@ -115,8 +153,10 @@ TuningDatabase::deserialize(const std::string& text, LoadReport* report)
                                    : Decision::Kind::kCategorical;
             ls >> d.extent >> d.number >> d.max_innermost >>
                 d.num_candidates;
-            if (!strict && ls.fail()) {
-                drop();
+            if (ls.fail()) {
+                TIR_CHECK(!strict)
+                    << "malformed database decision: " << line;
+                dropOpen();
                 continue;
             }
             int64_t v;
@@ -125,7 +165,7 @@ TuningDatabase::deserialize(const std::string& text, LoadReport* report)
         } else if (tag == "end") {
             if (!in_record) {
                 TIR_CHECK(!strict) << "malformed database: stray end";
-                if (!skipping) drop();
+                skipping = true;
                 continue;
             }
             db.commit(std::move(current));
@@ -133,7 +173,7 @@ TuningDatabase::deserialize(const std::string& text, LoadReport* report)
             in_record = false;
         } else if (!tag.empty()) {
             TIR_CHECK(!strict) << "malformed database line: " << line;
-            if (in_record || !skipping) drop();
+            if (in_record || !skipping) dropOpen();
         }
     }
     if (in_record) {
@@ -183,6 +223,118 @@ TuningDatabase::load(const std::string& path, LoadReport* report)
     }
     if (report) *report = local;
     return db;
+}
+
+// --- ShardedTuningDatabase ---------------------------------------------
+
+ShardedTuningDatabase::ShardedTuningDatabase(int shards)
+{
+    TIR_CHECK(shards > 0) << "shard count must be positive, got "
+                          << shards;
+    shards_.reserve(static_cast<size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+        shards_.push_back(std::make_unique<Shard>());
+    }
+}
+
+ShardedTuningDatabase::Shard&
+ShardedTuningDatabase::shardFor(uint64_t hash) const
+{
+    // Structural hashes are already avalanche-mixed, so the low bits
+    // distribute well over any shard count.
+    return *shards_[hash % shards_.size()];
+}
+
+void
+ShardedTuningDatabase::commit(TuneRecord record)
+{
+    Shard& shard = shardFor(record.workload_hash);
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.records.find(record.workload_hash);
+    if (it == shard.records.end() ||
+        record.latency_us < it->second.latency_us) {
+        shard.records[record.workload_hash] = std::move(record);
+    }
+}
+
+std::optional<TuneRecord>
+ShardedTuningDatabase::lookup(uint64_t workload_hash) const
+{
+    const Shard& shard = shardFor(workload_hash);
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.records.find(workload_hash);
+    if (it == shard.records.end()) return std::nullopt;
+    return it->second;
+}
+
+std::optional<TuneRecord>
+ShardedTuningDatabase::lookup(const PrimFunc& workload) const
+{
+    return lookup(structuralHash(workload));
+}
+
+size_t
+ShardedTuningDatabase::size() const
+{
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard->mutex);
+        total += shard->records.size();
+    }
+    return total;
+}
+
+TuningDatabase
+ShardedTuningDatabase::snapshot() const
+{
+    TuningDatabase db;
+    for (const auto& shard : shards_) {
+        std::shared_lock<std::shared_mutex> lock(shard->mutex);
+        for (const auto& [hash, record] : shard->records) {
+            db.commit(record);
+        }
+    }
+    return db;
+}
+
+void
+ShardedTuningDatabase::absorb(const TuningDatabase& db)
+{
+    for (const auto& [hash, record] : db.records()) {
+        commit(record);
+    }
+}
+
+void
+ShardedTuningDatabase::saveSnapshot(const std::string& path) const
+{
+    std::string text = snapshot().serialize();
+    // Unique temporary in the same directory (rename is only atomic
+    // within a filesystem); a counter disambiguates concurrent savers.
+    static std::atomic<uint64_t> tmp_counter{0};
+    std::string tmp = path + ".tmp." +
+                      std::to_string(tmp_counter.fetch_add(1));
+    {
+        std::ofstream out(tmp);
+        TIR_CHECK(out.good())
+            << "cannot open " << tmp << " for writing";
+        out << text;
+        out.flush();
+        if (!out.good()) {
+            std::remove(tmp.c_str());
+            TIR_CHECK(false)
+                << "write to " << tmp
+                << " failed (disk full or I/O error); snapshot not "
+                   "saved";
+        }
+    }
+    // Atomic publish: readers see the old snapshot or the new one,
+    // never a torn mix.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        TIR_CHECK(false) << "cannot rename " << tmp << " over " << path;
+    }
+    trace::counterAdd("database.snapshots_saved", 1);
 }
 
 } // namespace meta

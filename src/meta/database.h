@@ -11,7 +11,9 @@
 #define TENSORIR_META_DATABASE_H
 
 #include <map>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -55,7 +57,22 @@ class TuningDatabase
 
     size_t size() const { return records_.size(); }
 
-    /** Serialize all records to a line-oriented text format. */
+    /** All records, keyed by workload hash (read-only iteration; used
+     *  by the sharded database to absorb offline snapshots). */
+    const std::map<uint64_t, TuneRecord>&
+    records() const
+    {
+        return records_;
+    }
+
+    /**
+     * Serialize all records to a line-oriented text format. Latencies
+     * are written as their IEEE-754 bit pattern (the journal's `meas`
+     * convention, support/double_bits.h) with a human-readable decimal
+     * alongside, so a save/load round-trip is byte-identical and never
+     * perturbs the `commit()` improve-comparison; workload names sit at
+     * end-of-line, so names containing spaces round-trip too.
+     */
     std::string serialize() const;
     /**
      * Parse records produced by serialize(). Without a report this is
@@ -78,6 +95,74 @@ class TuningDatabase
 
   private:
     std::map<uint64_t, TuneRecord> records_;
+};
+
+/**
+ * Thread-safe, sharded tuning database: records are partitioned over N
+ * independent shards by workload hash, each guarded by its own
+ * reader-writer lock, so concurrent lookups on different workloads
+ * never contend and a commit only blocks readers of its own shard.
+ * This is the authoritative store behind the schedule-serving layer
+ * (serve/server.h); the single-threaded TuningDatabase remains the
+ * offline format owner (serialize/deserialize) and the two exchange
+ * records via snapshot()/absorb().
+ *
+ * Consistency contract: every individual operation is atomic, and
+ * commit keeps the per-workload improve-only invariant under any
+ * interleaving (a worse record never overwrites a better one).
+ * snapshot() and saveSnapshot() are per-shard consistent — a snapshot
+ * taken while commits race may mix shard states from slightly
+ * different instants, but every record it contains was committed and
+ * intact.
+ */
+class ShardedTuningDatabase
+{
+  public:
+    explicit ShardedTuningDatabase(int shards = 16);
+
+    ShardedTuningDatabase(const ShardedTuningDatabase&) = delete;
+    ShardedTuningDatabase& operator=(const ShardedTuningDatabase&) =
+        delete;
+
+    /** Insert (or improve) the record for a workload. Thread-safe. */
+    void commit(TuneRecord record);
+
+    /** Best known record, or nullopt. Takes a shared (reader) lock on
+     *  one shard only. Thread-safe. */
+    std::optional<TuneRecord> lookup(uint64_t workload_hash) const;
+    std::optional<TuneRecord> lookup(const PrimFunc& workload) const;
+
+    /** Total records across all shards (per-shard consistent). */
+    size_t size() const;
+
+    int shardCount() const { return static_cast<int>(shards_.size()); }
+
+    /** Copy every record into a plain TuningDatabase. */
+    TuningDatabase snapshot() const;
+
+    /** Merge every record of `db` (improve-only per workload). */
+    void absorb(const TuningDatabase& db);
+
+    /**
+     * Atomically publish a snapshot to `path`: the records are
+     * serialized to a temporary file in the same directory, flushed and
+     * checked, then renamed over `path`. A reader (or a crash) never
+     * observes a torn file — it sees either the previous snapshot or
+     * the new one, complete. Safe to call while commits and lookups
+     * race.
+     */
+    void saveSnapshot(const std::string& path) const;
+
+  private:
+    struct Shard
+    {
+        mutable std::shared_mutex mutex;
+        std::map<uint64_t, TuneRecord> records;
+    };
+
+    Shard& shardFor(uint64_t hash) const;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 } // namespace meta

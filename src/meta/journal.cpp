@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "support/crc32.h"
+#include "support/double_bits.h"
 #include "support/failpoint.h"
 #include "support/logging.h"
 
@@ -20,29 +21,26 @@ namespace {
 // runner's pipe framing so both protocols checksum identically.
 using support::crc32;
 
-// --- exact double round-trip -------------------------------------------
+// --- exact double round-trip (support/double_bits.h, shared with the
+// tuning database so both formats encode latencies identically) -------
+
+using support::doubleBitsHex;
 
 std::string
 bitsOf(double value)
 {
-    uint64_t bits = 0;
-    std::memcpy(&bits, &value, sizeof(bits));
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016" PRIx64, bits);
-    return buf;
+    return doubleBitsHex(value);
 }
 
 double
 doubleOf(const std::string& hex, bool* ok)
 {
-    if (hex.size() != 16 ||
-        hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
-        *ok = false;
-        return 0;
-    }
-    uint64_t bits = std::strtoull(hex.c_str(), nullptr, 16);
-    double value = 0;
-    std::memcpy(&value, &bits, sizeof(value));
+    // Sticky-false accumulation: callers parse several fields into one
+    // `ok` flag, so a successful parse must not clear an earlier
+    // failure.
+    bool field_ok = false;
+    double value = support::doubleFromBitsHex(hex, &field_ok);
+    if (!field_ok) *ok = false;
     return value;
 }
 

@@ -928,6 +928,24 @@ evolutionarySearch(const PrimFunc& workload, const SketchApplier& sketch,
     }
 
     auto appendCheckpoint = [&](int index) {
+        // Streaming hook (TuneOptions::progress): announce the
+        // best-so-far state at checkpoint granularity, journal or not.
+        // Runs on the sequential fold thread, before the record is
+        // persisted, so a client acting on the announcement can rely
+        // on at-least-this-good results even if the process dies
+        // mid-write.
+        if (options.progress) {
+            TuneProgress p;
+            p.generation = index;
+            p.generations_total = options.generations;
+            p.best_latency_us = result.best_latency_us;
+            p.best_decisions = result.best_decisions;
+            p.tuning_cost_us = result.tuning_cost_us;
+            options.progress(p);
+            trace::instant(
+                "search.progress",
+                trace::arg("gen", static_cast<int64_t>(index)));
+        }
         if (!journal) return;
         // The kill-mid-generation site: a `throw` schedule here
         // crashes the search after a generation finished but before it
@@ -1294,6 +1312,20 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
     // autoTune runs up to two searches over the same workload and seed
     // options; distinct labels keep their journal sections apart.
     opts.journal_label = "primary";
+    // Tag streamed progress with the sketch family the search is
+    // exploring: a client replaying the announced decisions needs to
+    // know which applier to replay them through (the same reason
+    // TuneRecord carries `sketch`).
+    const std::string primary_sketch =
+        candidates.empty() ? "loop" : "tensor";
+    if (options.progress) {
+        opts.progress = [cb = options.progress,
+                         primary_sketch](const TuneProgress& p0) {
+            TuneProgress p = p0;
+            p.sketch = primary_sketch;
+            cb(p);
+        };
+    }
     if (style == TunerStyle::kAmosLike) {
         // AMOS explores intrinsic mappings without a transferable cost
         // model over tensorized programs.
@@ -1335,7 +1367,7 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
 
     TuneResult result = evolutionarySearch(task.func, applier, device,
                                            opts);
-    result.best_sketch = candidates.empty() ? "loop" : "tensor";
+    result.best_sketch = primary_sketch;
     if (style == TunerStyle::kTensorIR && !candidates.empty()) {
         // The full system's search space also contains non-tensorized
         // sketches; on tiny or layout-bound operators the plain SIMT
@@ -1347,6 +1379,18 @@ autoTune(const TuneTask& task, const hwsim::DeviceModel& device,
         loop_opts.generations = std::max(1, opts.generations / 2);
         loop_opts.seed = opts.seed + 7777;
         loop_opts.journal_label = "secondary";
+        if (options.progress) {
+            // The secondary search streams under its own family tag;
+            // its announcements may be worse than the primary's best —
+            // consumers that only want improvements (the schedule
+            // server's improve-only commit) filter by latency.
+            loop_opts.progress =
+                [cb = options.progress](const TuneProgress& p0) {
+                    TuneProgress p = p0;
+                    p.sketch = "loop";
+                    cb(p);
+                };
+        }
         TuneResult loop_result = evolutionarySearch(
             task.func, loop_applier, device, loop_opts);
         accumulate(result, loop_result);

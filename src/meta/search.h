@@ -47,6 +47,32 @@ FeatureVec extractFeatures(const PrimFunc& func);
  *  when the stats also feed the device model). */
 FeatureVec extractFeatures(const hwsim::ProgramStats& stats);
 
+/**
+ * Streaming progress snapshot, delivered after every completed
+ * checkpoint of a search: index 0 is the state after the initial
+ * random population, index g+1 the state after evolution generation g
+ * — the same granularity as the crash-safe journal's records.
+ */
+struct TuneProgress
+{
+    /** Checkpoint index (0 = initial population). */
+    int generation = 0;
+    /** Total evolution generations configured for this search. */
+    int generations_total = 0;
+    /** Best latency found so far (infinity before any valid
+     *  measurement). */
+    double best_latency_us = std::numeric_limits<double>::infinity();
+    /** Decision trace of the best-so-far schedule (replayable exactly
+     *  like a TuningDatabase record). */
+    std::vector<Decision> best_decisions;
+    /** Sketch family of best_decisions ("tensor" or "loop"). Filled by
+     *  autoTune, which knows which applier it handed the search; empty
+     *  from a bare evolutionarySearch. */
+    std::string sketch;
+    /** Simulated tuning cost spent so far. */
+    double tuning_cost_us = 0;
+};
+
 /** Search configuration. */
 struct TuneOptions
 {
@@ -195,6 +221,22 @@ struct TuneOptions
     /** Section label within the journal; autoTune sets this per sketch
      *  family. Single token (no whitespace). */
     std::string journal_label;
+    /**
+     * Generation-progress callback, invoked on the sequential search
+     * thread at every checkpoint — after the initial population and
+     * after each evolution generation — with the best-so-far decision
+     * trace. This is the streaming hook the schedule server
+     * (serve/server.h) uses to surface improving results to waiting
+     * clients while a background tune runs. Independent of the
+     * journal: it fires whether or not `journal_path` is set (when it
+     * is, the callback runs just before the checkpoint record is
+     * persisted). Generations restored by a journal resume are *not*
+     * re-announced — only work actually performed reports progress.
+     * The callback must not throw; an escaping exception aborts the
+     * search. Purely observational: tuning decisions and latencies are
+     * byte-identical with or without it.
+     */
+    std::function<void(const TuneProgress&)> progress;
     /**
      * When non-empty, autoTune opens a trace session (support/trace.h)
      * writing Chrome-trace JSON here — per-generation and per-candidate

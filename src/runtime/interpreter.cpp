@@ -26,11 +26,14 @@ debugChecksOverride()
     return value;
 }
 
-/** Explicit setDefaultStepLimit override; unset falls to the env. */
+/** Explicit setDefaultStepLimit override; unset falls to the env.
+ *  Thread-local for the same reason as the engine override (jit.cpp):
+ *  concurrent tuning sessions install their fuel budgets per thread,
+ *  and all execution of a session happens on its own thread. */
 std::optional<uint64_t>&
 stepLimitOverride()
 {
-    static std::optional<uint64_t> value;
+    static thread_local std::optional<uint64_t> value;
     return value;
 }
 

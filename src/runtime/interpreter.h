@@ -173,9 +173,11 @@ class Interpreter final : public ExecContext
 void validateArguments(const PrimFunc& func,
                        const std::vector<NDArray*>& args);
 
-/** RAII override of the process-wide default step limit (restores the
- *  previous default on destruction). The tuner installs one for the
- *  duration of autoTune from TuneOptions::eval_step_limit. */
+/** RAII override of the default step limit (restores the previous
+ *  default on destruction). The tuner installs one for the duration of
+ *  autoTune from TuneOptions::eval_step_limit. Per-thread, like the
+ *  engine override (runtime/jit.h): concurrent tuning sessions budget
+ *  their fuel independently. */
 class ScopedStepLimit
 {
   public:

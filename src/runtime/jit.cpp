@@ -79,7 +79,13 @@ state()
 std::optional<Engine>&
 engineOverrideSlot()
 {
-    static std::optional<Engine> value;
+    // Thread-local: a ScopedEngine installed by one tuning session
+    // must not leak into another running concurrently on a different
+    // thread (the schedule server runs background autoTune jobs in
+    // parallel). Every runtime::execute in a search happens on the
+    // thread that owns the session — the sequential measurement fold —
+    // so per-thread scoping is exactly per-session scoping.
+    static thread_local std::optional<Engine> value;
     return value;
 }
 

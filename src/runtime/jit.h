@@ -77,8 +77,11 @@ std::optional<Engine> parseEngineName(const std::string& name);
  */
 Engine selectedEngine();
 
-/** Process-wide engine override (std::nullopt returns to the
- *  environment). The tuner installs one from TuneOptions::engine. */
+/** Per-thread engine override (std::nullopt returns to the
+ *  environment). The tuner installs one from TuneOptions::engine.
+ *  Thread-local so concurrent tuning sessions — the schedule server
+ *  runs background autoTune jobs on pool workers — select engines
+ *  independently; install it on the thread that executes. */
 void setEngine(std::optional<Engine> engine);
 
 /** Current value of the setEngine override (not the resolved engine —

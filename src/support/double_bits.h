@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Exact double round-tripping for line-oriented persistence formats:
+ * a double is written as its 16-hex-digit IEEE-754 bit pattern, so a
+ * save/load cycle reproduces the value bit for bit (including NaN
+ * payloads, signed zero, and subnormals). Shared by the tuning journal
+ * (meta/journal.cpp) and the tuning database (meta/database.cpp) so
+ * both formats encode latencies identically; a decimal rendering may
+ * ride alongside for human readers but is never the parsed value.
+ */
+#ifndef TENSORIR_SUPPORT_DOUBLE_BITS_H
+#define TENSORIR_SUPPORT_DOUBLE_BITS_H
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tir {
+namespace support {
+
+/** The 16-hex-digit IEEE-754 bit pattern of `value`. */
+inline std::string
+doubleBitsHex(double value)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, bits);
+    return buf;
+}
+
+/** Parse a doubleBitsHex() string; `*ok` reports whether `hex` was a
+ *  well-formed 16-digit lowercase pattern (the value is 0 when not). */
+inline double
+doubleFromBitsHex(const std::string& hex, bool* ok)
+{
+    if (hex.size() != 16 ||
+        hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+        *ok = false;
+        return 0;
+    }
+    *ok = true;
+    uint64_t bits = std::strtoull(hex.c_str(), nullptr, 16);
+    double value = 0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+/** Shortest decimal rendering that still identifies the double for a
+ *  human reader ("%.17g" guarantees uniqueness; shorter forms win when
+ *  they round-trip). Display only — parsers read the bit pattern. */
+inline std::string
+doubleReadable(double value)
+{
+    char buf[40];
+    for (int precision : {6, 9, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        double back = std::strtod(buf, nullptr);
+        uint64_t a = 0;
+        uint64_t b = 0;
+        std::memcpy(&a, &back, sizeof(a));
+        std::memcpy(&b, &value, sizeof(b));
+        if (a == b) break;
+    }
+    return buf;
+}
+
+} // namespace support
+} // namespace tir
+
+#endif // TENSORIR_SUPPORT_DOUBLE_BITS_H

@@ -16,12 +16,23 @@
  * parallelFor must be called from the thread that owns the pool (it
  * participates in the batch itself); calling it from inside a worker
  * task would deadlock and is not supported.
+ *
+ * Besides index batches, the pool runs detached background *tasks*
+ * (submit/drain): fire-and-forget jobs the schedule-serving layer uses
+ * for cache-miss tuning. Tasks and batches share the worker threads; a
+ * worker prefers an open batch (the owner is blocked on it) and picks
+ * up queued tasks otherwise, so a long-running task occupies one
+ * worker without stalling parallelFor. A task must not call
+ * parallelFor or submit on its own pool (deadlock / unbounded
+ * recursion); spawning a private nested pool — as a background
+ * autoTune with parallelism > 1 does — is fine.
  */
 #ifndef TENSORIR_SUPPORT_THREAD_POOL_H
 #define TENSORIR_SUPPORT_THREAD_POOL_H
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -54,15 +65,20 @@ class ThreadPool
         }
     }
 
+    /** Destruction stops workers after their *current* work item:
+     *  queued-but-unstarted tasks are discarded (observable via
+     *  pendingTasks() beforehand). Callers that need every submitted
+     *  task to finish call drain() first — that is the serving layer's
+     *  clean-shutdown contract. */
     ~ThreadPool()
     {
         {
             std::lock_guard<std::mutex> lock(mutex_);
             for (std::jthread& w : workers_) w.request_stop();
         }
-        batch_ready_.notify_all();
+        work_ready_.notify_all();
         // Join here, in the destructor body, so every worker has fully
-        // returned from batch_ready_.wait (which reacquires mutex_)
+        // returned from work_ready_.wait (which reacquires mutex_)
         // before the mutex and condition variables are destroyed.
         workers_.clear();
     }
@@ -106,7 +122,7 @@ class ThreadPool
             TIR_ICHECK(!batch_) << "nested parallelFor is not supported";
             batch_ = batch;
         }
-        batch_ready_.notify_all();
+        work_ready_.notify_all();
         runBatch(*batch);
         {
             std::unique_lock<std::mutex> lock(mutex_);
@@ -116,6 +132,56 @@ class ThreadPool
             batch_ = nullptr;
         }
         if (batch->error) std::rethrow_exception(batch->error);
+    }
+
+    /**
+     * Enqueue a detached background task; it runs on some pool worker
+     * when one is free. Requires a pool with at least one worker
+     * (threads >= 2): with none, a "background" task could only run by
+     * blocking the submitting thread, which would silently serialize
+     * the caller — fail loudly instead. A task that throws is contained
+     * (the exception is swallowed and counted in taskExceptions());
+     * tasks that care about their errors report them through their own
+     * channel, as the schedule server's tune jobs do.
+     */
+    void
+    submit(std::function<void()> task)
+    {
+        TIR_ICHECK(!workers_.empty())
+            << "ThreadPool::submit needs a pool with workers "
+               "(threads >= 2)";
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            tasks_.push_back(std::move(task));
+        }
+        work_ready_.notify_one();
+    }
+
+    /** Block until every submitted task has finished (queue empty and
+     *  nothing running). New submissions during the wait extend it. */
+    void
+    drain()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        tasks_done_.wait(lock, [&] {
+            return tasks_.empty() && running_tasks_ == 0;
+        });
+    }
+
+    /** Tasks not yet finished: queued plus currently running. Zero
+     *  after drain() — the "no leaked pool tasks" shutdown assertion. */
+    size_t
+    pendingTasks() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return tasks_.size() + static_cast<size_t>(running_tasks_);
+    }
+
+    /** Background tasks that terminated by throwing (contained). */
+    int
+    taskExceptions() const
+    {
+        return task_exceptions_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -158,22 +224,54 @@ class ThreadPool
     {
         while (true) {
             std::shared_ptr<Batch> batch;
+            std::function<void()> task;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
-                batch_ready_.wait(lock, st, [&] {
-                    return batch_ && batch_->next.load() < batch_->n;
+                work_ready_.wait(lock, st, [&] {
+                    return (batch_ && batch_->next.load() < batch_->n) ||
+                           !tasks_.empty();
                 });
                 if (st.stop_requested()) return;
-                batch = batch_;
+                if (batch_ && batch_->next.load() < batch_->n) {
+                    // An open batch wins: the pool owner is blocked on
+                    // it, while background tasks have no one waiting
+                    // synchronously.
+                    batch = batch_;
+                } else {
+                    task = std::move(tasks_.front());
+                    tasks_.pop_front();
+                    ++running_tasks_;
+                }
             }
-            if (batch) runBatch(*batch);
+            if (batch) {
+                runBatch(*batch);
+            } else {
+                try {
+                    task();
+                } catch (...) {
+                    // A background task has no caller to rethrow into;
+                    // containment (count, never terminate) mirrors the
+                    // per-candidate policy everywhere else.
+                    task_exceptions_.fetch_add(1,
+                                               std::memory_order_relaxed);
+                }
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    --running_tasks_;
+                }
+                tasks_done_.notify_all();
+            }
         }
     }
 
-    std::mutex mutex_;
-    std::condition_variable_any batch_ready_;
+    mutable std::mutex mutex_;
+    std::condition_variable_any work_ready_;
     std::condition_variable_any batch_done_;
+    std::condition_variable_any tasks_done_;
     std::shared_ptr<Batch> batch_;
+    std::deque<std::function<void()>> tasks_;
+    int running_tasks_ = 0;
+    std::atomic<int> task_exceptions_{0};
     // Last member: even if the explicit join in ~ThreadPool is ever
     // bypassed, the jthreads' own destructors run before the mutex and
     // condition variables above are torn down.

@@ -8,16 +8,32 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "ir/structural_hash.h"
 #include "meta/database.h"
 #include "meta/search.h"
+#include "support/double_bits.h"
 #include "workloads/workloads.h"
 
 #include "test_util.h"
 
 namespace tir {
 namespace {
+
+/** A valid serialized record header in the current format:
+ *  `record <hash> <bits> <decimal> <sketch> [name]`. */
+std::string
+recordHeader(uint64_t hash, double latency, const std::string& sketch,
+             const std::string& name = "")
+{
+    std::ostringstream os;
+    os << "record " << hash << " " << support::doubleBitsHex(latency)
+       << " " << support::doubleReadable(latency) << " " << sketch;
+    if (!name.empty()) os << " " << name;
+    os << "\n";
+    return os.str();
+}
 
 TEST(StructuralHashTest, AlphaEquivalentProgramsHashEqual)
 {
@@ -124,13 +140,123 @@ TEST(DatabaseTest, SerializeRoundTrips)
     EXPECT_EQ(got->decisions[1].kind, Decision::Kind::kCategorical);
 }
 
+TEST(DatabaseTest, SerializeRoundTripIsByteIdentical)
+{
+    // Regression: latencies used to be written at the default ostream
+    // precision (6 significant digits), so any latency that does not
+    // fit — 0.1, a measured 1234.5678901 µs, 100/3 — came back
+    // slightly different after save/load. That could flip commit()'s
+    // improve-comparison against a fresh result, silently replacing a
+    // faster schedule. The format now writes the IEEE-754 bit pattern,
+    // so serialize(deserialize(serialize(db))) is byte-identical and
+    // every latency round-trips exactly.
+    meta::TuningDatabase db;
+    const double awkward[] = {0.1, 1234.5678901, 100.0 / 3.0,
+                              1e-300, 7.0};
+    uint64_t hash = 1;
+    for (double latency : awkward) {
+        meta::TuneRecord record;
+        record.workload_hash = hash++;
+        record.workload_name = "wl";
+        record.latency_us = latency;
+        record.sketch = "tensor";
+        Decision tile;
+        tile.kind = Decision::Kind::kPerfectTile;
+        tile.extent = 16;
+        tile.number = 2;
+        tile.max_innermost = 4;
+        tile.values = {4, 4};
+        record.decisions = {tile};
+        db.commit(record);
+    }
+
+    std::string first = db.serialize();
+    meta::TuningDatabase restored =
+        meta::TuningDatabase::deserialize(first);
+    EXPECT_EQ(restored.serialize(), first);
+
+    hash = 1;
+    for (double latency : awkward) {
+        auto got = restored.lookup(hash++);
+        ASSERT_TRUE(got.has_value());
+        // Exact, not near: the bit pattern is authoritative.
+        EXPECT_EQ(got->latency_us, latency);
+    }
+}
+
+TEST(DatabaseTest, WorkloadNamesWithSpacesRoundTrip)
+{
+    // Regression: deserialize used to read the workload name with
+    // operator>>, so a name like "fused conv2d relu" consumed only
+    // "fused" and the leftover tokens corrupted the parse of the
+    // following lines. Names now sit at end-of-line and are read with
+    // getline.
+    meta::TuningDatabase db;
+    meta::TuneRecord record;
+    record.workload_hash = 77;
+    record.workload_name = "fused conv2d relu 3x3 pad=1";
+    record.latency_us = 4.5;
+    record.sketch = "tensor";
+    db.commit(record);
+    meta::TuneRecord second;
+    second.workload_hash = 78;
+    second.workload_name = "plain";
+    second.latency_us = 6.0;
+    db.commit(second);
+
+    std::string text = db.serialize();
+    // Strict mode: a spaced name must not be "damage".
+    meta::TuningDatabase restored =
+        meta::TuningDatabase::deserialize(text);
+    ASSERT_EQ(restored.size(), 2u);
+    EXPECT_EQ(restored.lookup(77)->workload_name,
+              "fused conv2d relu 3x3 pad=1");
+    EXPECT_EQ(restored.lookup(78)->workload_name, "plain");
+    // And the round-trip stays byte-identical.
+    EXPECT_EQ(restored.serialize(), text);
+}
+
+TEST(DatabaseTest, TolerantParseDoesNotCountStrayGarbageAsDrops)
+{
+    // Regression: the tolerant parser used to count a "dropped record"
+    // for stray garbage before any `record` header ever appeared, so
+    // LoadReport::dropped over-reported damage (callers alert on it).
+    // A drop must mean a record actually lost: junk ahead of the first
+    // header or debris between complete records just resyncs.
+    std::string text = "# comment-ish junk\nmore junk here\n" +
+                       recordHeader(1, 1.0, "tensor", "ok") + "end\n" +
+                       "debris between records\n" +
+                       recordHeader(2, 2.0, "loop") + "end\n";
+    meta::LoadReport report;
+    meta::TuningDatabase restored =
+        meta::TuningDatabase::deserialize(text, &report);
+    EXPECT_EQ(report.loaded, 2);
+    EXPECT_EQ(report.dropped, 0);
+    EXPECT_EQ(restored.size(), 2u);
+
+    // Garbage *inside* a record still costs that record exactly one
+    // drop — the boundary the fix must not move.
+    std::string torn = recordHeader(3, 3.0, "tensor") +
+                       "garbage inside\nend\n";
+    meta::LoadReport torn_report;
+    meta::TuningDatabase torn_restored =
+        meta::TuningDatabase::deserialize(torn, &torn_report);
+    EXPECT_EQ(torn_report.loaded, 0);
+    EXPECT_EQ(torn_report.dropped, 1);
+    EXPECT_EQ(torn_restored.size(), 0u);
+}
+
 TEST(DatabaseTest, RejectsMalformedText)
 {
     EXPECT_THROW(meta::TuningDatabase::deserialize("garbage here"),
                  FatalError);
     EXPECT_THROW(
-        meta::TuningDatabase::deserialize("record 1 2.0 tensor x\n"),
+        meta::TuningDatabase::deserialize(recordHeader(1, 2.0, "tensor")),
         FatalError); // unterminated
+    EXPECT_THROW(
+        meta::TuningDatabase::deserialize(
+            "record 1 not_a_bit_pattern 2 tensor x\nend\n"),
+        FatalError); // damaged latency bits
 }
 
 TEST(DatabaseTest, TolerantParseRecoversFromTruncatedTail)
@@ -154,7 +280,7 @@ TEST(DatabaseTest, TolerantParseRecoversFromTruncatedTail)
     std::string text = db.serialize();
     // Append a record whose `end` (and part of its decision line) was
     // lost to the crash.
-    text += "record 22 9.0 loop torn\n  tile 64 3";
+    text += recordHeader(22, 9.0, "loop", "torn") + "  tile 64 3";
 
     meta::LoadReport report;
     meta::TuningDatabase restored =
@@ -177,9 +303,10 @@ TEST(DatabaseTest, TolerantParseResyncsAfterCorruptMiddleRecord)
     // record, resyncs at the next `record` header, and keeps both
     // neighbours.
     std::string text =
-        "record 1 1.0 tensor first\nend\n"
-        "record 2 oops_not_a_number loop damaged\n  tile 4 1 2 0 4\nend\n"
-        "record 3 3.0 tensor last\nend\n";
+        recordHeader(1, 1.0, "tensor", "first") + "end\n" +
+        "record 2 oops_not_a_number 2 loop damaged\n"
+        "  tile 4 1 2 0 4\nend\n" +
+        recordHeader(3, 3.0, "tensor", "last") + "end\n";
     meta::LoadReport report;
     meta::TuningDatabase restored =
         meta::TuningDatabase::deserialize(text, &report);
@@ -199,8 +326,8 @@ TEST(DatabaseTest, LoadSkipsAndCountsCorruptRecords)
         ::testing::TempDir() + "/tensorir_db_torn_test.txt";
     {
         std::ofstream out(path);
-        out << "record 5 5.0 tensor kept\nend\n"
-            << "record 6 6.0 loop torn\n  tile 64";
+        out << recordHeader(5, 5.0, "tensor", "kept") << "end\n"
+            << recordHeader(6, 6.0, "loop", "torn") << "  tile 64";
     }
     meta::LoadReport report;
     meta::TuningDatabase loaded =

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "intrin/tensor_intrin.h"
 #include "ir/printer.h"
@@ -212,6 +213,60 @@ TEST(ThreadPoolTest, SingleThreadRunsInline)
         order.push_back(static_cast<int>(i));
     });
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, BackgroundTasksRunAndDrain)
+{
+    support::ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&] { ran.fetch_add(1); });
+    }
+    pool.drain();
+    EXPECT_EQ(ran.load(), 100);
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+    EXPECT_EQ(pool.taskExceptions(), 0);
+}
+
+TEST(ThreadPoolTest, TasksAndBatchesShareWorkers)
+{
+    // A long-running background task occupies one worker; parallelFor
+    // must still complete on the rest (the serving layer tunes in the
+    // background while searches run batches on the same pool).
+    support::ThreadPool pool(4);
+    std::atomic<bool> release{false};
+    std::atomic<int> task_ran{0};
+    pool.submit([&] {
+        while (!release.load()) std::this_thread::yield();
+        task_ran.fetch_add(1);
+    });
+    std::atomic<int> batch_ran{0};
+    pool.parallelFor(64, [&](size_t) { batch_ran.fetch_add(1); });
+    EXPECT_EQ(batch_ran.load(), 64);
+    release.store(true);
+    pool.drain();
+    EXPECT_EQ(task_ran.load(), 1);
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskIsContainedAndCounted)
+{
+    support::ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("contained"); });
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 1) << "a throwing task must not kill workers";
+    EXPECT_EQ(pool.taskExceptions(), 1);
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitOnWorkerlessPoolFails)
+{
+    // threads = 1 means no workers: a "background" task could only run
+    // by blocking the submitter, so submit fails loudly instead.
+    support::ThreadPool pool(1);
+    EXPECT_THROW(pool.submit([] {}), InternalError);
 }
 
 TEST(ParallelSearchTest, ThrowingCandidatesKeepDeterminism)
